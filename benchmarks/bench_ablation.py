@@ -1,0 +1,18 @@
+"""T10/T11 — regenerate the ablation tables."""
+
+
+def bench_t10_t11_ablations(run_experiment_benchmarked):
+    result = run_experiment_benchmarked("T10")
+    pivot = sorted(result.tables["pivot_ablation"], key=lambda r: r["log2_delta"])
+    # Midpoint grows with log Δ; the ladder's growth is much smaller.
+    mid_growth = pivot[-1]["midpoint_msgs_per_cycle"] - pivot[0]["midpoint_msgs_per_cycle"]
+    ladder_growth = pivot[-1]["ladder_msgs_per_cycle"] - pivot[0]["ladder_msgs_per_cycle"]
+    assert mid_growth > 2 * max(0.0, ladder_growth) + 5
+    # The end-to-end gap widens with Δ.
+    assert pivot[-1]["gap"] > pivot[0]["gap"]
+
+    existence = sorted(result.tables["existence_ablation"], key=lambda r: r["n"])
+    for row in existence:
+        assert row["msgs_ipdps15"] >= row["msgs_cor33"], row
+    # Each boundary re-probe costs Θ(log n): grows with n.
+    assert existence[-1]["msgs_per_reprobe"] > existence[0]["msgs_per_reprobe"]

@@ -1,0 +1,12 @@
+"""T6/F5 — regenerate the DENSEPROTOCOL scaling tables."""
+
+
+def bench_t6_dense_protocol(run_experiment_benchmarked):
+    result = run_experiment_benchmarked("T6")
+    table = result.tables["sigma_sweep"]
+    rows = sorted(table, key=lambda r: r["sigma"])
+    # Cost grows with σ ...
+    assert rows[-1]["msgs_per_phase"] > rows[0]["msgs_per_phase"]
+    # ... but stays under the Thm 5.8 bound shape by a wide margin.
+    for row in rows:
+        assert row["online_msgs"] <= 50 * row["thm58_bound"] * max(1, row["opt_lb"]), row

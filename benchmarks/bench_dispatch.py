@@ -1,0 +1,12 @@
+"""T9 — regenerate the dispatcher boundary table."""
+
+
+def bench_t9_dispatcher(run_experiment_benchmarked):
+    result = run_experiment_benchmarked("T9")
+    table = result.tables["dispatch"]
+    eps = 0.1
+    for row in table:
+        if row["gap"] < 0.8 * eps:
+            assert row["dense_fraction"] >= 0.9, row
+        if row["gap"] > 1.2 * eps:
+            assert row["dense_fraction"] <= 0.1, row

@@ -1,0 +1,18 @@
+"""T12 — regenerate the ε-sensitivity grid."""
+
+
+def bench_t12_eps_grid(run_experiment_benchmarked):
+    result = run_experiment_benchmarked("T12")
+    opt = result.tables["opt_phases"]
+    phases = opt.column("opt_phases")
+    assert phases == sorted(phases, reverse=True)  # OPT monotone in ε
+    grid = result.tables["ratio_grid"]
+    # For a fixed online run, a stronger (larger-ε) adversary means a
+    # larger ratio: within each eps_online group ratios grow with eps_off.
+    for eps_on in {r["eps_online"] for r in grid}:
+        rows = sorted(
+            (r for r in grid if r["eps_online"] == eps_on),
+            key=lambda r: r["eps_offline"],
+        )
+        ratios = [r["ratio"] for r in rows]
+        assert ratios == sorted(ratios)

@@ -1,0 +1,15 @@
+"""T1 — regenerate the EXISTENCE-protocol table and assert Lemma 3.1."""
+
+from repro.experiments.exp_existence import PAPER_BOUND
+
+
+def bench_t1_existence(run_experiment_benchmarked):
+    result = run_experiment_benchmarked("T1")
+    table = result.tables["messages"]
+    # Lemma 3.1: E[messages] bounded by a constant, for every (n, b).
+    for row in table:
+        assert row["mean_msgs"] <= PAPER_BOUND + 1.0, row
+        assert row["max_rounds"] <= row["round_budget"], row
+    # Flatness: the largest mean is within a small factor of the smallest.
+    means = [r["mean_msgs"] for r in table if r["b"] > 0]
+    assert max(means) <= 4 * min(means)

@@ -1,0 +1,11 @@
+"""T7 — regenerate the Corollary 5.9 comparison."""
+
+
+def bench_t7_halfeps(run_experiment_benchmarked):
+    result = run_experiment_benchmarked("T7")
+    table = result.tables["halfeps_sweep"]
+    for row in table:
+        # One-round DENSE never costs more than the full machinery.
+        assert row["halfeps_msgs"] <= row["dense_msgs"] * 1.05, row
+        # Per-phase cost stays within a constant of the Cor. 5.9 shape.
+        assert row["halfeps_per_phase"] <= 25 * row["cor59_bound"], row

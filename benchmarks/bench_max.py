@@ -1,0 +1,14 @@
+"""T2 — regenerate the max-protocol table and assert Lemma 2.6."""
+
+
+def bench_t2_max_protocol(run_experiment_benchmarked):
+    result = run_experiment_benchmarked("T2")
+    table = result.tables["max_protocol"]
+    # O(log n): messages per log2(n) stays within a constant band.
+    per_log = [r["msgs_per_log_n"] for r in table]
+    assert max(per_log) <= 3 * min(per_log)
+    assert max(per_log) < 8.0
+    # The top-(m) probe scales ~linearly in m.
+    probe = result.tables["top_m_probe"]
+    per_unit = [r["msgs_per_m_log_n"] for r in probe]
+    assert max(per_unit) <= 3 * min(per_unit)

@@ -1,0 +1,21 @@
+"""T13/T14 — regenerate the model-ablation tables."""
+
+
+def bench_t13_t14_model_ablations(run_experiment_benchmarked):
+    result = run_experiment_benchmarked("T13")
+    pricing = result.tables["broadcast_pricing"]
+    for algo in {r["algorithm"] for r in pricing}:
+        rows = sorted((r for r in pricing if r["algorithm"] == algo),
+                      key=lambda r: r["broadcast_cost"])
+        costs = [r["total_cost"] for r in rows]
+        assert costs == sorted(costs)  # dearer broadcasts, dearer bill
+        assert rows[-1]["cost_vs_unit"] > 1.5  # the channel matters
+
+    base = sorted(result.tables["existence_base"], key=lambda r: r["base"])
+    rounds = [r["mean_rounds"] for r in base]
+    assert rounds == sorted(rounds, reverse=True)  # rounds fall with b
+    # b = 2 stays within the Lemma 3.1 message bound.
+    b2 = next(r for r in base if r["base"] == 2.0)
+    assert b2["mean_msgs"] <= 6.5
+    # Very aggressive bases overshoot in messages.
+    assert base[-1]["mean_msgs"] > b2["mean_msgs"]

@@ -1,0 +1,94 @@
+"""Micro-benchmarks of the hot paths (wall-clock, not message counts).
+
+These time the simulator substrate itself: useful when optimizing and a
+regression tripwire for the experiment harness's runtime.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.approx_monitor import ApproxTopKMonitor
+from repro.core.exact_monitor import ExactTopKMonitor
+from repro.core.primitives import max_protocol, top_m_probe
+from repro.model.channel import Channel
+from repro.model.engine import MonitoringEngine
+from repro.model.ledger import CostLedger
+from repro.model.node import NodeArray
+from repro.offline.opt import offline_opt
+from repro.streams.synthetic import random_walk
+from repro.streams.transforms import make_distinct
+from repro.streams.workloads import cluster_load, sensor_field
+
+
+@pytest.fixture(scope="module")
+def walk_trace():
+    return make_distinct(random_walk(400, 64, high=2**16, step=256, rng=0))
+
+
+@pytest.fixture(scope="module")
+def dense_trace():
+    return sensor_field(400, 64, 8, eps=0.1, band=24, rng=0)
+
+
+def bench_existence_round(benchmark):
+    nodes = NodeArray(4096)
+    nodes.deliver(np.zeros(4096))
+    mask = np.zeros(4096, dtype=bool)
+    mask[::7] = True
+
+    def round_():
+        Channel(nodes, CostLedger(), 1).existence_any(mask)
+
+    benchmark(round_)
+
+
+def bench_max_protocol(benchmark):
+    values = np.random.default_rng(0).permutation(4096).astype(float)
+    nodes = NodeArray(4096)
+    nodes.deliver(values)
+
+    def find_max():
+        return max_protocol(Channel(nodes, CostLedger(), 2))
+
+    node, value = benchmark(find_max)
+    assert value == 4095.0
+
+
+def bench_top_m_probe(benchmark):
+    values = np.random.default_rng(0).permutation(1024).astype(float)
+    nodes = NodeArray(1024)
+    nodes.deliver(values)
+
+    def probe():
+        return top_m_probe(Channel(nodes, CostLedger(), 3), 9)
+
+    result = benchmark(probe)
+    assert [v for _, v in result] == list(range(1023, 1014, -1))
+
+
+def bench_engine_exact_monitor(benchmark, walk_trace):
+    def run():
+        algo = ExactTopKMonitor(8)
+        return MonitoringEngine(walk_trace, algo, k=8, seed=0, record_outputs=False).run()
+
+    result = benchmark(run)
+    assert result.messages > 0
+
+
+def bench_engine_dense_monitor(benchmark, dense_trace):
+    def run():
+        algo = ApproxTopKMonitor(8, 0.1)
+        return MonitoringEngine(dense_trace, algo, k=8, eps=0.1, seed=0, record_outputs=False).run()
+
+    result = benchmark(run)
+    assert result.messages > 0
+
+
+def bench_offline_opt(benchmark):
+    trace = cluster_load(600, 64, rng=1)
+
+    def compute():
+        return offline_opt(trace, 8, 0.1)
+
+    result = benchmark(compute)
+    assert result.phases >= 1

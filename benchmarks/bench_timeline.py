@@ -1,0 +1,17 @@
+"""T8/F6 — regenerate the web-cluster timeline figure."""
+
+
+def bench_t8_timeline(run_experiment_benchmarked):
+    result = run_experiment_benchmarked("T8")
+    table = result.tables["totals"]
+    totals = {r["algorithm"]: r["total_msgs"] for r in table}
+    send_always = totals["send-always"]
+    # The filter hierarchy: approximate < exact < naive; OPT below all.
+    assert totals["exact-cor3.3"] < send_always
+    assert totals["exact-cor3.3"] <= totals["exact-ipdps15"]
+    approx = [v for name, v in totals.items() if name.startswith("approx")][0]
+    halfeps = [v for name, v in totals.items() if name.startswith("halfeps")][0]
+    assert approx < totals["exact-cor3.3"]
+    assert halfeps < totals["exact-cor3.3"]
+    opt = [v for name, v in totals.items() if name.startswith("OPT")][0]
+    assert opt < min(approx, halfeps)

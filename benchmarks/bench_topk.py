@@ -1,0 +1,16 @@
+"""T4/F3 — regenerate the Theorem 4.5 ratio sweeps."""
+
+
+def bench_t4_topk_protocol(run_experiment_benchmarked):
+    result = run_experiment_benchmarked("T4")
+    delta_table = result.tables["delta_sweep"]
+    ratios = [r["ratio"] for r in delta_table]
+    # log log Δ: ratio essentially flat while Δ spans many octaves.
+    assert max(ratios) <= 2.0 * min(ratios)
+    # Every ratio within a constant of the Thm 4.5 bound shape.
+    for row in delta_table:
+        assert row["ratio"] <= 40 * row["thm45_bound"], row
+    eps_table = result.tables["eps_sweep"]
+    # Shrinking ε can only make the (same-trace) run dearer or equal.
+    msgs = [r["online_msgs"] for r in eps_table]
+    assert msgs[0] <= msgs[-1] * 1.25  # eps sorted large -> small

@@ -1,0 +1,40 @@
+"""Shared fixtures for the benchmark harness.
+
+Every ``bench_*.py`` file regenerates one experiment of DESIGN.md §3: it
+times the experiment body with pytest-benchmark, asserts the paper's
+qualitative claim on the produced tables (who wins, what scales how), and
+writes the tables/figures under ``results/`` so a benchmark run leaves
+the same artifacts as ``python -m repro.experiments``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import run_experiment
+from repro.experiments.common import ExperimentResult
+
+
+@pytest.fixture
+def run_experiment_benchmarked(benchmark):
+    """Run one experiment under the benchmark clock and persist results."""
+
+    def _run(exp_id: str, *, seed: int = 0) -> ExperimentResult:
+        result = benchmark.pedantic(
+            run_experiment,
+            args=(exp_id,),
+            kwargs={"quick": True, "seed": seed},
+            rounds=1,
+            iterations=1,
+        )
+        # Quick-sweep artifacts go to their own tree so a benchmark run
+        # never clobbers the full-sweep results/ used by EXPERIMENTS.md.
+        outdir = result.write(Path("results_quick"))
+        benchmark.extra_info["results_dir"] = str(outdir)
+        for note in result.notes:
+            benchmark.extra_info.setdefault("notes", []).append(note)
+        return result
+
+    return _run

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""The dense regime: sensors oscillating around the k-th largest value.
+
+"Lots of nodes observe values oscillating around the k-th largest value
+and ... this observation is not of any qualitative relevance for the
+server." (Sect. 1)
+
+This example sweeps the density σ (how many sensors share the
+ε-neighborhood of the k-th value) and shows why Section 5 exists:
+
+- the exact-style TOP-K-PROTOCOL alone melts down as σ grows,
+- the Theorem 5.8 DENSE machinery keeps cost polynomial in σ per phase,
+- the Corollary 5.9 one-round variant (if the comparison offline player
+  is restricted to ε/2) is additively linear in σ.
+
+Usage::
+
+    python examples/sensor_network.py [--nodes 48] [--k 4] [--eps 0.15]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import ApproxTopKMonitor, HalfEpsMonitor, MonitoringEngine, TopKMonitor, offline_opt
+from repro.streams import sensor_field
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--steps", type=int, default=400)
+    parser.add_argument("--nodes", type=int, default=48)
+    parser.add_argument("--k", type=int, default=4)
+    parser.add_argument("--eps", type=float, default=0.15)
+    parser.add_argument("--seed", type=int, default=2)
+    args = parser.parse_args()
+
+    print(f"sensor field: n={args.nodes}, k={args.k}, ε={args.eps}, T={args.steps}")
+    print(f"\n{'σ':>4s} {'topk-only':>10s} {'thm 5.8':>10s} {'cor 5.9':>10s} "
+          f"{'OPT(ε) lb':>10s} {'OPT(ε/2) lb':>11s}")
+    print("-" * 60)
+
+    bands = [args.k + 2, args.k * 2, args.k * 4, min(args.nodes, args.k * 8)]
+    for band in sorted(set(bands)):
+        trace = sensor_field(args.steps, args.nodes, args.k, eps=args.eps,
+                             band=band, wobble=0.8, rng=args.seed + band)
+        sigma = trace.sigma_max(args.k, args.eps)
+
+        costs = {}
+        for label, algo in [
+            ("topk", TopKMonitor(args.k, args.eps)),
+            ("dense", ApproxTopKMonitor(args.k, args.eps)),
+            ("halfeps", HalfEpsMonitor(args.k, args.eps)),
+        ]:
+            res = MonitoringEngine(trace, algo, k=args.k, eps=args.eps,
+                                   seed=args.seed, record_outputs=False).run()
+            costs[label] = res.messages
+
+        opt_full = offline_opt(trace, args.k, args.eps)
+        opt_half = offline_opt(trace, args.k, args.eps / 2)
+        print(f"{sigma:>4d} {costs['topk']:>10d} {costs['dense']:>10d} "
+              f"{costs['halfeps']:>10d} {opt_full.message_lb:>10d} "
+              f"{opt_half.message_lb:>11d}")
+
+    print(
+        "\nReading: 'topk-only' ignores the density and pays per oscillation;\n"
+        "the Thm 5.8 dispatcher absorbs the neighborhood into DENSE phases;\n"
+        "Cor. 5.9 classifies the band once per phase (cheapest), priced\n"
+        "against the weaker OPT(ε/2)."
+    )
+
+
+if __name__ == "__main__":
+    main()

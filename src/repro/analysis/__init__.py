@@ -1,0 +1,30 @@
+"""Measurement and comparison helpers for the experiment suite.
+
+- :mod:`repro.analysis.bounds` — the paper's bound formulas, evaluated
+  numerically so tables can print "measured vs predicted shape".
+- :mod:`repro.analysis.competitive` — run online algorithms against the
+  computed offline optimum and report ratios.
+- :mod:`repro.analysis.aggregate` — multi-seed statistics.
+"""
+
+from repro.analysis.aggregate import SeedStats, aggregate
+from repro.analysis.bounds import (
+    bound_cor33,
+    bound_cor59,
+    bound_dense,
+    bound_ipdps15,
+    bound_topk,
+)
+from repro.analysis.competitive import CompetitiveRun, run_competitive
+
+__all__ = [
+    "CompetitiveRun",
+    "SeedStats",
+    "aggregate",
+    "bound_cor33",
+    "bound_cor59",
+    "bound_dense",
+    "bound_ipdps15",
+    "bound_topk",
+    "run_competitive",
+]

@@ -1,0 +1,56 @@
+"""Multi-seed aggregation for randomized measurements.
+
+The existence protocol and the max protocol are Las Vegas algorithms, so
+message counts are random variables; tables report mean ± std (and the
+max where a bound is per-instance) over independent seeds.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+__all__ = ["SeedStats", "aggregate"]
+
+
+@dataclass(frozen=True, slots=True)
+class SeedStats:
+    """Summary of one measured quantity across seeds."""
+
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    count: int
+
+    @property
+    def sem(self) -> float:
+        """Standard error of the mean."""
+        if self.count <= 1:
+            return 0.0
+        return self.std / math.sqrt(self.count)
+
+    def __format__(self, spec: str) -> str:
+        spec = spec or ".4g"
+        return f"{self.mean:{spec}} ± {self.std:{spec}}"
+
+
+def aggregate(measure: Callable[[int], float], seeds: Sequence[int]) -> SeedStats:
+    """Evaluate ``measure(seed)`` for every seed and summarize."""
+    if len(seeds) == 0:
+        raise ValueError("need at least one seed")
+    values = [float(measure(s)) for s in seeds]
+    n = len(values)
+    mean = sum(values) / n
+    if n > 1:
+        var = sum((v - mean) ** 2 for v in values) / (n - 1)
+    else:
+        var = 0.0
+    return SeedStats(
+        mean=mean,
+        std=math.sqrt(var),
+        minimum=min(values),
+        maximum=max(values),
+        count=n,
+    )

@@ -1,0 +1,95 @@
+"""The paper's competitive bounds as numeric formulas.
+
+These are *shapes*, not predictions with known constants: competitive
+analysis hides constant factors, and our cost model makes specific
+choices (broadcast-per-round, probe accounting) the paper leaves
+abstract.  The experiment tables therefore print the bound value next to
+the measurement so the reader can eyeball proportionality; fitted
+constants are reported where a table makes a scaling claim.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.util.mathx import log2
+
+__all__ = [
+    "bound_ipdps15",
+    "bound_cor33",
+    "bound_topk",
+    "bound_dense",
+    "bound_cor59",
+    "loglog_term",
+]
+
+
+def _pos_log(x: float) -> float:
+    """``log2(x)`` clamped to ≥ 1 (bounds never go below a constant)."""
+    return max(1.0, log2(x))
+
+
+def loglog_term(delta: float) -> float:
+    """``log log Δ`` clamped to ≥ 1."""
+    return max(1.0, log2(_pos_log(delta)))
+
+
+def bound_ipdps15(k: int, n: int, delta: float) -> float:
+    """[6]'s exact-monitoring bound: k·log n + log Δ · log n."""
+    return k * _pos_log(n) + _pos_log(delta) * _pos_log(n)
+
+
+def bound_cor33(k: int, n: int, delta: float) -> float:
+    """Corollary 3.3: k·log n + log Δ."""
+    return k * _pos_log(n) + _pos_log(delta)
+
+
+def bound_topk(k: int, n: int, delta: float, eps: float) -> float:
+    """Theorem 4.5: k·log n + log log Δ + log(1/ε)."""
+    return k * _pos_log(n) + loglog_term(delta) + _pos_log(1.0 / eps)
+
+
+def bound_dense(sigma: int, vk: float, delta: float, eps: float) -> float:
+    """Theorem 5.8: σ²·log(ε·v_k) + σ·log²(ε·v_k) + log log Δ + log(1/ε)."""
+    lev = _pos_log(max(2.0, eps * vk))
+    return sigma**2 * lev + sigma * lev**2 + loglog_term(delta) + _pos_log(1.0 / eps)
+
+
+def bound_cor59(sigma: int, k: int, n: int, delta: float, eps: float) -> float:
+    """Corollary 5.9: σ + k·log n + log log Δ + log(1/ε)."""
+    return sigma + k * _pos_log(n) + loglog_term(delta) + _pos_log(1.0 / eps)
+
+
+def lower_bound_ratio(sigma: int, k: int) -> float:
+    """Theorem 5.1: Ω(σ/k) — the unavoidable ratio in the dense regime."""
+    return max(1.0, (sigma - k) / (k + 1))
+
+
+def fitted_slope(xs: list[float], ys: list[float]) -> float:
+    """Least-squares slope of ``ys`` against ``xs`` (simple, no scipy).
+
+    Used by tables asserting linear-in-X scaling (e.g. messages vs log n).
+    """
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise ValueError("need at least two paired observations")
+    mx = sum(xs) / len(xs)
+    my = sum(ys) / len(ys)
+    num = sum((x - mx) * (y - my) for x, y in zip(xs, ys))
+    den = sum((x - mx) ** 2 for x in xs)
+    if den == 0.0:
+        raise ValueError("degenerate xs (all equal)")
+    return num / den
+
+
+def correlation(xs: list[float], ys: list[float]) -> float:
+    """Pearson correlation — reported as the goodness of a scaling claim."""
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise ValueError("need at least two paired observations")
+    mx = sum(xs) / len(xs)
+    my = sum(ys) / len(ys)
+    num = sum((x - mx) * (y - my) for x, y in zip(xs, ys))
+    dx = math.sqrt(sum((x - mx) ** 2 for x in xs))
+    dy = math.sqrt(sum((y - my) ** 2 for y in ys))
+    if dx == 0.0 or dy == 0.0:
+        return 0.0
+    return num / (dx * dy)

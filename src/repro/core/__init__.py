@@ -1,0 +1,35 @@
+"""The paper's algorithms — the core contribution of the reproduction.
+
+Modules map 1:1 to the paper's sections:
+
+- :mod:`repro.core.primitives` — EXISTENCE-based building blocks
+  (Lemma 3.1 / Cor. 3.2 applications, the Lemma 2.6 max protocol and the
+  top-(k+1) probe).
+- :mod:`repro.core.exact_monitor` — exact Top-k monitoring: the
+  Corollary 3.3 algorithm (O(k log n + log Δ)-competitive) and the
+  `[6]`-style baseline without the existence protocol
+  (O(k log n + log Δ log n)).
+- :mod:`repro.core.topk_protocol` — Section 4's TOP-K-PROTOCOL with the
+  four phase strategies (P1)–(P4) / algorithms A1, A2, A3 (Thm 4.5).
+- :mod:`repro.core.dense_protocol` / :mod:`repro.core.sub_protocol` —
+  Section 5.2's DENSEPROTOCOL and SUBPROTOCOL (Thm 5.8).
+- :mod:`repro.core.approx_monitor` — the Theorem 5.8 dispatcher
+  (probe top-(k+1); separated → TOP-K, dense → DENSE).
+- :mod:`repro.core.halfeps` — the Corollary 5.9 one-round-dense variant
+  (competitive against an offline player with error ε' ≤ ε/2).
+- :mod:`repro.core.naive` — non-filter baselines for the timeline figure.
+"""
+
+from repro.core.approx_monitor import ApproxTopKMonitor
+from repro.core.exact_monitor import ExactTopKMonitor
+from repro.core.halfeps import HalfEpsMonitor
+from repro.core.naive import SendAlwaysMonitor
+from repro.core.topk_protocol import TopKMonitor
+
+__all__ = [
+    "ApproxTopKMonitor",
+    "ExactTopKMonitor",
+    "HalfEpsMonitor",
+    "SendAlwaysMonitor",
+    "TopKMonitor",
+]

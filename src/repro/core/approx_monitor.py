@@ -1,0 +1,67 @@
+"""The Theorem 5.8 monitor: ε-Top-k against an ε-approximate adversary.
+
+"At time t ... the algorithm probes the nodes holding the k+1 largest
+values.  If ``v_{k+1} < (1-ε)·v_k`` holds, the algorithm TOP-K-PROTOCOL
+is called.  Otherwise the algorithm DENSEPROTOCOL is executed.  After
+termination of the respective call, the procedure starts over again."
+
+The separated case has a unique output, so TOP-K-PROTOCOL's exact-
+adversary analysis applies (Thm 4.5); the dense case is handled by
+DENSEPROTOCOL (Lemmas 5.2–5.7).  Overall competitiveness against an
+offline algorithm that may itself use error ε:
+O(σ² log(ε v_k) + σ log²(ε v_k) + log log Δ + log 1/ε)  (Thm 5.8).
+"""
+
+from __future__ import annotations
+
+from repro.core.dense_protocol import DenseCore
+from repro.core.phased import PhaseCore, PhasedMonitor
+from repro.core.topk_protocol import TopKCore
+from repro.util.checks import check_epsilon
+
+__all__ = ["ApproxTopKMonitor"]
+
+
+class ApproxTopKMonitor(PhasedMonitor):
+    """ε-Top-k-Position Monitoring via the Thm 5.8 dispatcher.
+
+    Parameters
+    ----------
+    k:
+        Number of top positions.
+    eps:
+        The output error ε ∈ (0, 1) both we and the adversary may use.
+    resolution:
+        Guess-interval granularity for DENSEPROTOCOL; ``1.0`` matches the
+        paper's ℕ-valued streams (see DESIGN.md §4).
+    """
+
+    def __init__(self, k: int, eps: float, *, resolution: float = 1.0) -> None:
+        super().__init__(k, check_epsilon(eps))
+        self.resolution = float(resolution)
+        self.name = f"approx-monitor(eps={eps:g})"
+        #: phase-kind counters for experiment T9
+        self.topk_phases = 0
+        self.dense_phases = 0
+
+    def _dispatch(self, probe: list[tuple[int, float]]) -> PhaseCore:
+        v_k = probe[self.k - 1][1]
+        v_k1 = probe[self.k][1]
+        if v_k1 < (1.0 - self.eps) * v_k:
+            self.topk_phases += 1
+            return TopKCore(self.channel, self.k, self.eps, probe)
+        self.dense_phases += 1
+        return DenseCore(self.channel, self.k, self.eps, probe, resolution=self.resolution)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def dense_stats(self) -> dict[str, int]:
+        """Aggregate DENSE statistics of the *current* core (0s otherwise)."""
+        core = self._core
+        if isinstance(core, DenseCore):
+            return {
+                "rounds": core.rounds_used,
+                "subs": core.subs_started,
+                "sub_rounds": core.sub_rounds,
+            }
+        return {"rounds": 0, "subs": 0, "sub_rounds": 0}

@@ -1,0 +1,92 @@
+"""Non-filter baselines for the timeline experiment (T8).
+
+These strawmen quantify what filters buy: without them, keeping the
+server's view current costs Θ(n) messages per step regardless of how
+quiet the streams are.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.model.invariants import exact_topk_set
+from repro.model.protocol import MonitoringAlgorithm
+
+__all__ = ["SendAlwaysMonitor", "SendOnChangeMonitor"]
+
+
+class SendAlwaysMonitor(MonitoringAlgorithm):
+    """Every node reports its value every step (n upstream messages).
+
+    The server then knows everything and outputs the exact top-k.  This is
+    the "central collection" baseline the continuous monitoring literature
+    starts from.
+    """
+
+    name = "send-always"
+    filter_based = False
+
+    def __init__(self, k: int) -> None:
+        super().__init__()
+        self.k = int(k)
+        self._values: np.ndarray | None = None
+
+    def on_start(self) -> None:
+        self._collect()
+
+    def on_step(self) -> None:
+        self._collect()
+
+    def _collect(self) -> None:
+        # All n nodes report unconditionally: value > -inf matches everyone
+        # (1 broadcast for the query round + n replies).
+        ids, values = self.channel.collect_above(-np.inf, strict=True)
+        full = np.empty(self.channel.n, dtype=np.float64)
+        full[ids] = values
+        self._values = full
+
+    def output(self) -> frozenset[int]:
+        assert self._values is not None
+        return exact_topk_set(self._values, self.k)
+
+
+class SendOnChangeMonitor(MonitoringAlgorithm):
+    """Nodes report only when their value changed since their last report.
+
+    A slightly smarter strawman: silent for frozen streams, but any noise
+    at all — even noise that cannot affect the top-k — costs messages.
+    Filter-based algorithms specifically avoid that failure mode.
+    """
+
+    name = "send-on-change"
+
+    def __init__(self, k: int) -> None:
+        super().__init__()
+        self.k = int(k)
+        self._values: np.ndarray | None = None
+
+    def on_start(self) -> None:
+        ids, values = self.channel.collect_above(-np.inf, strict=True)
+        full = np.empty(self.channel.n, dtype=np.float64)
+        full[ids] = values
+        self._values = full
+        self._arm_filters()
+
+    def on_step(self) -> None:
+        # Nodes outside their point filters report (they changed); each
+        # reporter re-freezes itself locally (rule broadcast at start).
+        assert self._values is not None
+        reports = self.channel.existence_violations()
+        while reports:
+            for report in reports:
+                self._values[report.node] = report.value
+                self.channel.self_freeze(report.node)
+            reports = self.channel.existence_violations()
+
+    def _arm_filters(self) -> None:
+        """Point filters [v, v]: any change is a violation."""
+        self.channel.broadcast_freeze()
+
+    def output(self) -> frozenset[int]:
+        assert self._values is not None
+        return exact_topk_set(self._values, self.k)

@@ -1,0 +1,71 @@
+"""The experiment registry — every table/figure of EXPERIMENTS.md.
+
+Each entry maps an experiment id to a module exposing
+``run(quick=True, seed=0) -> ExperimentResult``; run them all with
+``python -m repro.experiments`` (see ``--help``).  DESIGN.md §3 holds the
+index mapping experiments to the paper's theorems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.experiments import (
+    exp_ablation,
+    exp_dense,
+    exp_dispatch,
+    exp_eps_grid,
+    exp_exact,
+    exp_existence,
+    exp_halfeps,
+    exp_lowerbound,
+    exp_max,
+    exp_model,
+    exp_timeline,
+    exp_topk,
+)
+from repro.experiments.common import ExperimentResult
+
+__all__ = ["EXPERIMENTS", "ExperimentResult", "ExperimentSpec", "run_experiment"]
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One registered experiment."""
+
+    exp_id: str
+    title: str
+    run: Callable[..., ExperimentResult]
+    validates: str
+
+
+_MODULES = [
+    (exp_existence, "Lemma 3.1"),
+    (exp_max, "Lemma 2.6"),
+    (exp_exact, "Corollary 3.3 vs [6]"),
+    (exp_topk, "Theorem 4.5"),
+    (exp_lowerbound, "Theorem 5.1"),
+    (exp_dense, "Theorem 5.8"),
+    (exp_halfeps, "Corollary 5.9"),
+    (exp_timeline, "Motivation (Sect. 1)"),
+    (exp_dispatch, "Theorem 5.8 dispatcher"),
+    (exp_ablation, "A1-A3 ladder & Lemma 3.1 ablations"),
+    (exp_eps_grid, "ε sensitivity (Sect. 4/5)"),
+    (exp_model, "Model ablations (broadcast channel, existence base)"),
+]
+
+EXPERIMENTS: dict[str, ExperimentSpec] = {
+    module.EXP_ID: ExperimentSpec(module.EXP_ID, module.TITLE, module.run, validates)
+    for module, validates in _MODULES
+}
+
+
+def run_experiment(exp_id: str, *, quick: bool = True, seed: int = 0) -> ExperimentResult:
+    """Run one experiment by id (raises ``KeyError`` for unknown ids)."""
+    try:
+        spec = EXPERIMENTS[exp_id]
+    except KeyError:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise KeyError(f"unknown experiment {exp_id!r}; known: {known}") from None
+    return spec.run(quick=quick, seed=seed)

@@ -1,0 +1,57 @@
+"""CLI: regenerate every table and figure into ``results/``.
+
+Usage::
+
+    python -m repro.experiments                # run all, quick sweeps
+    python -m repro.experiments --full         # full sweeps (EXPERIMENTS.md)
+    python -m repro.experiments run T5 T6      # a subset
+    python -m repro.experiments list           # what exists
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments import EXPERIMENTS, run_experiment
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the reproduction's tables and figures.",
+    )
+    parser.add_argument("command", nargs="?", default="run", choices=["run", "list"])
+    parser.add_argument("ids", nargs="*", help="experiment ids (default: all)")
+    parser.add_argument("--full", action="store_true", help="full sweeps (slower)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--outdir", type=Path, default=Path("results"))
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for spec in EXPERIMENTS.values():
+            print(f"{spec.exp_id:>4}  {spec.title}  [{spec.validates}]")
+        return 0
+
+    ids = args.ids or list(EXPERIMENTS)
+    unknown = [i for i in ids if i not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment ids: {unknown}", file=sys.stderr)
+        return 2
+
+    for exp_id in ids:
+        start = time.perf_counter()
+        print(f"[{exp_id}] {EXPERIMENTS[exp_id].title} ...", flush=True)
+        result = run_experiment(exp_id, quick=not args.full, seed=args.seed)
+        outdir = result.write(args.outdir)
+        elapsed = time.perf_counter() - start
+        print(f"[{exp_id}] done in {elapsed:.1f}s -> {outdir}")
+        for note in result.notes:
+            print(f"    note: {note}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

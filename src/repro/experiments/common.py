@@ -1,0 +1,76 @@
+"""Shared infrastructure of the experiment suite.
+
+Every experiment module exposes ``run(quick=True, seed=0) ->
+ExperimentResult``.  ``quick`` selects reduced sweeps (used by the test
+suite and as the pytest-benchmark payload); the CLI default runs the full
+sweeps recorded in EXPERIMENTS.md.  Results are plain tables plus ASCII
+figures, written under ``results/<exp_id>/``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.util.tables import Table
+
+__all__ = ["ExperimentResult", "default_results_dir"]
+
+
+def default_results_dir() -> Path:
+    """``results/`` next to the repository root (created on demand)."""
+    return Path.cwd() / "results"
+
+
+@dataclass
+class ExperimentResult:
+    """Everything one experiment produced."""
+
+    exp_id: str
+    title: str
+    tables: dict[str, Table] = field(default_factory=dict)
+    figures: dict[str, str] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+    def add_table(self, name: str, table: Table) -> None:
+        if name in self.tables:
+            raise ValueError(f"duplicate table {name!r} in {self.exp_id}")
+        self.tables[name] = table
+
+    def add_figure(self, name: str, rendered: str) -> None:
+        if name in self.figures:
+            raise ValueError(f"duplicate figure {name!r} in {self.exp_id}")
+        self.figures[name] = rendered
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    # ------------------------------------------------------------------ #
+    def to_markdown(self) -> str:
+        """Full markdown report of this experiment."""
+        parts = [f"## {self.exp_id} — {self.title}", ""]
+        for note in self.notes:
+            parts.append(f"> {note}")
+            parts.append("")
+        for name, table in self.tables.items():
+            parts.append(table.to_markdown())
+            parts.append("")
+        for name, fig in self.figures.items():
+            parts.append(f"**{name}**")
+            parts.append("")
+            parts.append("```")
+            parts.append(fig)
+            parts.append("```")
+            parts.append("")
+        return "\n".join(parts)
+
+    def write(self, outdir: Path | None = None) -> Path:
+        """Write report + CSVs + figures under ``results/<exp_id>/``."""
+        outdir = (outdir or default_results_dir()) / self.exp_id
+        outdir.mkdir(parents=True, exist_ok=True)
+        (outdir / "report.md").write_text(self.to_markdown())
+        for name, table in self.tables.items():
+            (outdir / f"{name}.csv").write_text(table.to_csv())
+        for name, fig in self.figures.items():
+            (outdir / f"{name}.txt").write_text(fig)
+        return outdir

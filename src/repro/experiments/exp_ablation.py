@@ -1,0 +1,128 @@
+"""T10/T11 — ablations of the paper's two key mechanisms.
+
+**T10 (pivot strategies).**  Replace the (P1)–(P4) strategy ladder of
+TOP-K-PROTOCOL by the plain midpoint rule of Corollary 3.3 and drive both
+with a *pivot-chasing* adversary: one low node moves just above its
+current filter bound every step, forcing the maximum number of pivot
+updates per phase.  The midpoint ladder needs Θ(log Δ) violations per
+phase, the Section-4 ladder Θ(log log Δ + log 1/ε) — sweeping Δ makes the
+separation visible directly.
+
+**T11 (existence protocol).**  The Cor. 3.3 monitor with existence-based
+violation detection vs the identical monitor with deterministic bisection
+detection — the Lemma 3.1 mechanism in isolation (detection-scope costs).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.exact_monitor import ExactTopKMonitor, MidpointCore
+from repro.core.phased import PhaseCore, PhasedMonitor
+from repro.core.topk_protocol import TopKMonitor
+from repro.experiments.common import ExperimentResult
+from repro.model.engine import MonitoringEngine
+from repro.streams.adversarial import PivotChaser
+from repro.util.ascii_plot import Series, line_plot
+from repro.util.tables import Table
+
+EXP_ID = "T10"
+TITLE = "Ablations: pivot-strategy ladder (T10) and existence protocol (T11)"
+
+
+class MidpointApproxMonitor(PhasedMonitor):
+    """TOP-K-PROTOCOL with A1/A2/A3 ablated to the plain midpoint rule."""
+
+    def __init__(self, k: int) -> None:
+        super().__init__(k, eps=0.0)
+        self.name = "midpoint-only"
+
+    def _dispatch(self, probe: list[tuple[int, float]]) -> PhaseCore:
+        return MidpointCore(self.channel, self.k, probe)
+
+
+def _chase(monitor_factory, high: float, T: int, seed: int) -> tuple[float, int]:
+    """Messages per reset cycle for one monitor at plateau height `high`."""
+    source = PivotChaser(T, n=8, k=3, high=high)
+    algo = monitor_factory()
+    res = MonitoringEngine(source, algo, k=3, eps=0.0, seed=seed, record_outputs=False).run()
+    cycles = max(1, source.resets)
+    return res.messages / cycles, source.resets
+
+
+def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+    result = ExperimentResult(EXP_ID, TITLE)
+    T = 400 if quick else 1200
+    eps = 0.1
+
+    # --- T10: pivot strategies under the chasing adversary --------------- #
+    log_deltas = [12, 20, 28] if quick else [10, 16, 22, 28, 34, 40]
+    table = Table(
+        [
+            "log2_delta", "midpoint_msgs_per_cycle", "ladder_msgs_per_cycle",
+            "gap", "cycles",
+        ],
+        title="T10: per-cycle cost of midpoint vs (P1)-(P4) ladder",
+    )
+    xs, y_mid, y_ladder = [], [], []
+    for ld in log_deltas:
+        high = float(2**ld)
+        mid_cost, cycles = _chase(lambda: MidpointApproxMonitor(3), high, T, seed)
+        ladder_cost, _ = _chase(lambda: TopKMonitor(3, eps), high, T, seed)
+        table.add(ld, mid_cost, ladder_cost, mid_cost / max(1e-9, ladder_cost), cycles)
+        xs.append(float(ld))
+        y_mid.append(mid_cost)
+        y_ladder.append(ladder_cost)
+    result.add_table("pivot_ablation", table)
+    result.note(
+        "Midpoint pivots cost Θ(log Δ) per adversary cycle (slope "
+        f"{np.polyfit(xs, y_mid, 1)[0]:.2f} msgs per log2 Δ) while the "
+        "(P1)-(P4) ladder stays near-flat — the log Δ → log log Δ "
+        "improvement of Theorem 4.5."
+    )
+    result.add_figure(
+        "F10_ladder_vs_midpoint",
+        line_plot(
+            [Series("midpoint-only", xs, y_mid), Series("(P1)-(P4) ladder", xs, y_ladder)],
+            title="per-cycle messages vs log2 Δ (pivot-chasing adversary)",
+            xlabel="log2 Δ", ylabel="messages per cycle",
+        ),
+    )
+
+    # --- T11: existence/report mechanism ablation ------------------------- #
+    # Driven by the pivot chaser: every violation is a from-below ride,
+    # so the [6]-style boundary re-probe runs over the n−k staggered low
+    # nodes each time and its Θ(log n) price is isolated from workload
+    # noise (random walks mix cheap k-sided probes in, see git history).
+    t11 = Table(
+        [
+            "n", "log2_n", "msgs_cor33", "msgs_ipdps15", "reprobe_msgs",
+            "msgs_per_reprobe",
+        ],
+        title="T11: violation-handling cost, Cor. 3.3 vs [6]-style (chaser)",
+    )
+    ns = [8, 32, 128] if quick else [8, 16, 32, 64, 128, 256]
+    for n in ns:
+        msgs, reprobe, reprobes = {}, 0, 0
+        for use_existence in (True, False):
+            source = PivotChaser(T, n=n, k=3, high=float(2**20))
+            algo = ExactTopKMonitor(3, use_existence=use_existence)
+            res = MonitoringEngine(
+                source, algo, k=3, eps=0.0, seed=seed, record_outputs=False
+            ).run()
+            msgs[use_existence] = res.messages
+            if not use_existence:
+                reprobe = res.ledger.by_scope().get("boundary_reprobe", 0)
+                reprobes = algo.stats.get("reprobes", 0)
+        t11.add(
+            n, float(np.log2(n)), msgs[True], msgs[False], reprobe,
+            reprobe / max(1, reprobes),
+        )
+    result.add_table("existence_ablation", t11)
+    result.note(
+        "Each [6]-style boundary re-probe costs Θ(log n) messages and the "
+        "per-re-probe price grows with n; Cor. 3.3 replaces the mechanism "
+        "with O(1)-message existence handling — Lemma 3.1's contribution "
+        "in isolation."
+    )
+    return result

@@ -1,0 +1,90 @@
+"""T6/F5 — Theorem 5.8: DENSEPROTOCOL's cost scaling in σ and ε.
+
+Sensor-field workloads put exactly ``band ≈ σ`` nodes inside the
+ε-neighborhood; the per-phase message cost of the Theorem 5.8 monitor is
+measured against σ (the bound is σ²·log(εv_k) + σ·log²(εv_k), so the
+log-log slope should land between 1 and 2) and against ε.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.bounds import bound_dense, fitted_slope
+from repro.core.approx_monitor import ApproxTopKMonitor
+from repro.experiments.common import ExperimentResult
+from repro.model.engine import MonitoringEngine
+from repro.offline.opt import offline_opt
+from repro.streams.workloads import sensor_field
+from repro.util.ascii_plot import Series, line_plot
+from repro.util.tables import Table
+
+EXP_ID = "T6"
+TITLE = "DENSEPROTOCOL cost vs σ and ε (Thm 5.8)"
+
+
+def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+    result = ExperimentResult(EXP_ID, TITLE)
+    k, n = 4, 64
+    T = 300 if quick else 800
+    eps = 0.1
+
+    # --- σ sweep --------------------------------------------------------- #
+    bands = [8, 16, 32] if quick else [6, 8, 12, 16, 24, 32, 48, 64]
+    sigma_table = Table(
+        [
+            "sigma", "online_msgs", "phases", "msgs_per_phase", "opt_lb",
+            "ratio", "thm58_bound",
+        ],
+        title=f"T6a: DENSE cost vs σ (k={k}, n={n}, ε={eps})",
+    )
+    xs, ys = [], []
+    for band in bands:
+        trace = sensor_field(T, n, k, eps=eps, band=band, wobble=0.8, rng=seed + band)
+        sigma = trace.sigma_max(k, eps)
+        algo = ApproxTopKMonitor(k, eps)
+        res = MonitoringEngine(trace, algo, k=k, eps=eps, seed=seed, record_outputs=False).run()
+        opt = offline_opt(trace, k, eps)
+        per_phase = res.messages / max(1, algo.phases)
+        vk = float(np.median(trace.kth_largest_series(k)))
+        sigma_table.add(
+            sigma, res.messages, algo.phases, per_phase, opt.message_lb,
+            res.messages / opt.ratio_denominator, bound_dense(sigma, vk, trace.delta, eps),
+        )
+        xs.append(float(sigma))
+        ys.append(per_phase)
+    result.add_table("sigma_sweep", sigma_table)
+    slope = fitted_slope([np.log2(x) for x in xs], [np.log2(y) for y in ys])
+    result.note(
+        f"log-log slope of per-phase cost vs σ: {slope:.2f} "
+        "(Thm 5.8 allows up to 2; ≥ 1 is forced by the Thm 5.1 bound)."
+    )
+
+    # --- ε sweep ---------------------------------------------------------- #
+    eps_values = [0.3, 0.1, 0.03] if quick else [0.4, 0.2, 0.1, 0.05, 0.02]
+    eps_table = Table(
+        ["eps", "sigma", "online_msgs", "phases", "msgs_per_phase", "opt_lb"],
+        title=f"T6b: DENSE cost vs ε (k={k}, n={n}, band=16)",
+    )
+    for eps_v in eps_values:
+        trace = sensor_field(T, n, k, eps=eps_v, band=16, wobble=0.8, rng=seed + 99)
+        algo = ApproxTopKMonitor(k, eps_v)
+        res = MonitoringEngine(trace, algo, k=k, eps=eps_v, seed=seed, record_outputs=False).run()
+        opt = offline_opt(trace, k, eps_v)
+        eps_table.add(
+            eps_v, trace.sigma_max(k, eps_v), res.messages, algo.phases,
+            res.messages / max(1, algo.phases), opt.message_lb,
+        )
+    result.add_table("eps_sweep", eps_table)
+
+    result.add_figure(
+        "F5_cost_vs_sigma",
+        line_plot(
+            [Series("msgs/phase", xs, ys),
+             Series("sigma^2 ref", xs, [ys[0] * (x / xs[0]) ** 2 for x in xs]),
+             Series("sigma ref", xs, [ys[0] * (x / xs[0]) for x in xs])],
+            title="DENSE per-phase cost vs σ (log-log)",
+            xlabel="σ", ylabel="messages/phase", logx=True, logy=True,
+        ),
+    )
+    return result

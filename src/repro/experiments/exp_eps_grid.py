@@ -1,0 +1,68 @@
+"""T12 — ε sensitivity: how online and offline costs move with the error.
+
+On a fixed cluster-load workload:
+
+- row 1: OPT's phase count as ε_offline grows (monotonically non-
+  increasing — more slack, fewer forced reconfigurations),
+- grid: the Theorem 5.8 monitor's message count and its ratio against
+  OPT(ε_offline) for every (ε_online, ε_offline) pair with
+  ε_offline ≤ ε_online (the comparisons the paper's Sections 4/5 make:
+  the diagonal is Thm 5.8, the ε/2 column is Cor. 5.9 territory, and
+  ε_offline = 0 is Thm 4.5's exact adversary).
+"""
+
+from __future__ import annotations
+
+from repro.core.approx_monitor import ApproxTopKMonitor
+from repro.experiments.common import ExperimentResult
+from repro.model.engine import MonitoringEngine
+from repro.offline.opt import offline_opt
+from repro.streams.workloads import cluster_load
+from repro.util.tables import Table
+
+EXP_ID = "T12"
+TITLE = "ε-grid: online cost and OPT phases across error budgets"
+
+
+def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+    result = ExperimentResult(EXP_ID, TITLE)
+    k, n = 4, 32
+    T = 300 if quick else 1000
+    trace = cluster_load(T, n, rng=seed)
+    eps_values = [0.02, 0.05, 0.1, 0.2] if quick else [0.01, 0.02, 0.05, 0.1, 0.2, 0.4]
+
+    opt_table = Table(
+        ["eps_offline", "opt_phases", "opt_message_lb"],
+        title="T12a: OPT phases vs offline error",
+    )
+    opt_cache = {}
+    for eps_off in [0.0] + eps_values:
+        opt = offline_opt(trace, k, eps_off)
+        opt_cache[eps_off] = opt
+        opt_table.add(eps_off, opt.phases, opt.message_lb)
+    result.add_table("opt_phases", opt_table)
+    phases = opt_table.column("opt_phases")
+    assert phases == sorted(phases, reverse=True), "OPT must be monotone in ε"
+    result.note(
+        f"OPT phases fall {phases[0]} → {phases[-1]} as ε grows to "
+        f"{eps_values[-1]}: the slack the online algorithms compete for."
+    )
+
+    grid = Table(
+        ["eps_online", "online_msgs", "eps_offline", "ratio"],
+        title="T12b: Thm 5.8 monitor vs OPT(ε_offline ≤ ε_online)",
+    )
+    for eps_on in eps_values:
+        algo = ApproxTopKMonitor(k, eps_on)
+        res = MonitoringEngine(trace, algo, k=k, eps=eps_on, seed=seed, record_outputs=False).run()
+        for eps_off in [0.0] + [e for e in eps_values if e <= eps_on]:
+            opt = opt_cache[eps_off]
+            grid.add(eps_on, res.messages, eps_off, res.messages / opt.ratio_denominator)
+    result.add_table("ratio_grid", grid)
+    result.note(
+        "Within one row (fixed online cost) the ratio grows as the "
+        "adversary's ε approaches the online ε — the Section-5 regime "
+        "where the Ω(σ/k) lower bound lives; against the exact adversary "
+        "(ε_offline = 0) the same runs look strongly competitive (Thm 4.5)."
+    )
+    return result

@@ -1,0 +1,118 @@
+"""T3/F2 — Corollary 3.3 vs the [6] baseline on exact monitoring.
+
+Sweeps Δ (and n) on random-walk workloads and compares the two exact
+monitors, which differ only in violation handling: existence-protocol
+detection with report-value updates (Cor. 3.3, O(k log n + log Δ)) versus
+direct reports plus an O(log n) boundary re-probe per violation
+([6]-style, O(k log n + log Δ·log n)).  The table reports totals and the
+per-violation overhead, where the log n gap lives.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.exact_monitor import ExactTopKMonitor
+from repro.experiments.common import ExperimentResult
+from repro.model.engine import MonitoringEngine
+from repro.streams.adversarial import PivotChaser
+from repro.streams.synthetic import random_walk
+from repro.streams.transforms import make_distinct
+from repro.util.ascii_plot import Series, line_plot
+from repro.util.tables import Table
+
+EXP_ID = "T3"
+TITLE = "Exact monitoring: Cor. 3.3 vs the [6] baseline (log Δ vs log Δ·log n)"
+
+
+def _run_pair(trace, k: int, seed: int) -> dict[str, tuple[int, int, int]]:
+    out = {}
+    for use_existence, label in ((True, "cor3.3"), (False, "ipdps15")):
+        algo = ExactTopKMonitor(k, use_existence=use_existence)
+        engine = MonitoringEngine(trace, algo, k=k, eps=0.0, seed=seed, record_outputs=False)
+        res = engine.run()
+        reprobe = res.ledger.by_scope().get("boundary_reprobe", 0)
+        out[label] = (res.messages, algo.phases, reprobe)
+    return out
+
+
+def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+    result = ExperimentResult(EXP_ID, TITLE)
+    k = 4
+    T = 300 if quick else 800
+    ns = [16, 64] if quick else [16, 64, 256]
+    deltas = [2**10, 2**14, 2**18] if quick else [2**8, 2**12, 2**16, 2**20, 2**24]
+
+    table = Table(
+        [
+            "n", "log2_delta", "msgs_cor33", "msgs_ipdps15", "total_gap",
+            "reprobe_msgs", "reprobe_share", "phases",
+        ],
+        title="T3: exact monitors across Δ and n (same trace, same phase logic)",
+    )
+    fig_series: dict[str, Series] = {}
+    for n in ns:
+        xs, y_new, y_old = [], [], []
+        for delta in deltas:
+            trace = make_distinct(
+                random_walk(T, n, high=delta, step=max(1, delta // 256), rng=seed + n)
+            )
+            pair = _run_pair(trace, k, seed)
+            msgs_new, phases, _ = pair["cor3.3"]
+            msgs_old, _, reprobe = pair["ipdps15"]
+            table.add(
+                n, float(np.log2(delta)), msgs_new, msgs_old,
+                msgs_old / max(1, msgs_new),
+                reprobe, reprobe / max(1, msgs_old), phases,
+            )
+            xs.append(float(np.log2(delta)))
+            y_new.append(msgs_new)
+            y_old.append(msgs_old)
+        fig_series[f"cor3.3 n={n}"] = Series(f"cor3.3 n={n}", xs, y_new)
+        fig_series[f"ipdps15 n={n}"] = Series(f"ipdps15 n={n}", xs, y_old)
+    result.add_table("exact_sweep", table)
+
+    gaps = [r["total_gap"] for r in table]
+    result.note(
+        "Random walks trigger few violations per phase, so the end-to-end "
+        f"gap is a modest {min(gaps):.2f}–{max(gaps):.2f}× there; the "
+        "adversarial table below isolates the per-violation factor."
+    )
+
+    # Adversarial view: the pivot chaser maximizes violations per phase,
+    # so the per-violation Θ(log n) re-probe dominates and the gap tracks
+    # log n — the worst case behind the [6] bound.
+    chaser_table = Table(
+        ["n", "log2_n", "msgs_cor33", "msgs_ipdps15", "gap"],
+        title="T3b: same monitors under the pivot-chasing adversary (Δ=2^24)",
+    )
+    chaser_ns = [8, 32] if quick else [8, 16, 32, 64, 128]
+    for n in chaser_ns:
+        msgs = {}
+        for use_existence in (True, False):
+            source = PivotChaser(T, n=n, k=k, high=float(2**24))
+            algo = ExactTopKMonitor(k, use_existence=use_existence)
+            res = MonitoringEngine(
+                source, algo, k=k, eps=0.0, seed=seed, record_outputs=False
+            ).run()
+            msgs[use_existence] = res.messages
+        chaser_table.add(
+            n, float(np.log2(n)), msgs[True], msgs[False],
+            msgs[False] / max(1, msgs[True]),
+        )
+    result.add_table("chaser_sweep", chaser_table)
+    chaser_gaps = chaser_table.column("gap")
+    result.note(
+        f"Under the chaser the gap reaches {max(chaser_gaps):.2f}× and "
+        "grows with n — the log Δ·log n vs log Δ separation of Cor. 3.3."
+    )
+    biggest_n = ns[-1]
+    result.add_figure(
+        "F2_msgs_vs_logdelta",
+        line_plot(
+            [fig_series[f"cor3.3 n={biggest_n}"], fig_series[f"ipdps15 n={biggest_n}"]],
+            title=f"exact monitoring cost vs log2 Δ (n={biggest_n})",
+            xlabel="log2 Δ", ylabel="messages",
+        ),
+    )
+    return result

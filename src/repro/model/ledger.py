@@ -1,0 +1,175 @@
+"""Message and round accounting.
+
+The efficiency measure of every algorithm in the paper is the *number of
+messages*: node→server unicast, server→node unicast and server broadcast
+each cost exactly one unit ("these communication methods incur unit
+communication cost per message").  Protocol *rounds* are free but bounded
+(polylogarithmic between consecutive time steps); the ledger records them
+so the bound is auditable.
+
+The ledger additionally keeps
+
+- a per-time-step series of total messages (for the cumulative
+  communication-over-time figures), and
+- per-scope counters: primitives run inside ``with ledger.scope("max")``
+  attribute their costs to that scope, which the experiment tables use to
+  break down where communication goes.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = ["CostLedger", "CostSnapshot"]
+
+
+@dataclass(frozen=True, slots=True)
+class CostSnapshot:
+    """Immutable view of ledger totals, used for before/after deltas."""
+
+    node_to_server: int
+    server_to_node: int
+    broadcasts: int
+    rounds: int
+    broadcast_cost: int = 1
+
+    @property
+    def messages(self) -> int:
+        """Total message cost (rounds are not messages)."""
+        return self.node_to_server + self.server_to_node + self.broadcasts * self.broadcast_cost
+
+    def __sub__(self, other: "CostSnapshot") -> "CostSnapshot":
+        return CostSnapshot(
+            self.node_to_server - other.node_to_server,
+            self.server_to_node - other.server_to_node,
+            self.broadcasts - other.broadcasts,
+            self.rounds - other.rounds,
+            self.broadcast_cost,
+        )
+
+
+class CostLedger:
+    """Mutable account of all communication in one simulation run.
+
+    Parameters
+    ----------
+    broadcast_cost:
+        Unit price of one broadcast.  The paper's model (Cormode et al.'s
+        broadcast enhancement) uses 1; setting it to ``n`` recovers the
+        plain model where reaching all nodes takes ``n`` unicasts —
+        experiment T13 quantifies what the broadcast channel buys.
+    """
+
+    def __init__(self, broadcast_cost: int = 1) -> None:
+        if broadcast_cost < 1:
+            raise ValueError(f"broadcast_cost must be >= 1, got {broadcast_cost}")
+        self.broadcast_cost = int(broadcast_cost)
+        self.node_to_server = 0
+        self.server_to_node = 0
+        self.broadcasts = 0
+        self.rounds = 0
+        #: messages charged during each completed time step
+        self.per_step: list[int] = []
+        self._step_start_messages = 0
+        self._scopes: list[str] = []
+        self._by_scope: dict[str, int] = defaultdict(int)
+        self._max_rounds_in_step = 0
+        self._step_start_rounds = 0
+
+    # ------------------------------------------------------------------ #
+    # Charging
+    # ------------------------------------------------------------------ #
+    def charge_up(self, count: int = 1) -> None:
+        """Charge ``count`` node→server messages."""
+        self._charge("node_to_server", count)
+
+    def charge_down(self, count: int = 1) -> None:
+        """Charge ``count`` server→node unicast messages."""
+        self._charge("server_to_node", count)
+
+    def charge_broadcast(self, count: int = 1) -> None:
+        """Charge ``count`` broadcasts (``broadcast_cost`` units each)."""
+        self._charge("broadcasts", count, scope_amount=count * self.broadcast_cost)
+
+    def charge_rounds(self, count: int = 1) -> None:
+        """Record ``count`` protocol rounds (free, but bounded)."""
+        if count < 0:
+            raise ValueError(f"negative round count {count}")
+        self.rounds += count
+
+    def _charge(self, attr: str, count: int, scope_amount: int | None = None) -> None:
+        if count < 0:
+            raise ValueError(f"negative message count {count}")
+        setattr(self, attr, getattr(self, attr) + count)
+        for name in set(self._scopes):
+            self._by_scope[name] += count if scope_amount is None else scope_amount
+
+    # ------------------------------------------------------------------ #
+    # Reading
+    # ------------------------------------------------------------------ #
+    @property
+    def messages(self) -> int:
+        """Total message cost so far (broadcasts weighted by their price)."""
+        return self.node_to_server + self.server_to_node + self.broadcasts * self.broadcast_cost
+
+    def snapshot(self) -> CostSnapshot:
+        """Immutable totals; subtract two snapshots to get a phase cost."""
+        return CostSnapshot(
+            self.node_to_server,
+            self.server_to_node,
+            self.broadcasts,
+            self.rounds,
+            self.broadcast_cost,
+        )
+
+    def by_scope(self) -> dict[str, int]:
+        """Message totals attributed to each named scope."""
+        return dict(self._by_scope)
+
+    @property
+    def max_rounds_per_step(self) -> int:
+        """The largest number of rounds used between two time steps."""
+        return self._max_rounds_in_step
+
+    # ------------------------------------------------------------------ #
+    # Time-step bookkeeping (driven by the engine)
+    # ------------------------------------------------------------------ #
+    def begin_step(self) -> None:
+        """Mark the start of a time step (engine hook)."""
+        self._step_start_messages = self.messages
+        self._step_start_rounds = self.rounds
+
+    def end_step(self) -> None:
+        """Mark the end of a time step; append to the per-step series."""
+        self.per_step.append(self.messages - self._step_start_messages)
+        self._max_rounds_in_step = max(
+            self._max_rounds_in_step, self.rounds - self._step_start_rounds
+        )
+
+    # ------------------------------------------------------------------ #
+    # Scoping
+    # ------------------------------------------------------------------ #
+    @contextmanager
+    def scope(self, name: str) -> Iterator[None]:
+        """Attribute messages charged inside the block to ``name``.
+
+        Scopes nest *hierarchically*: a message charged inside nested
+        scopes counts toward every scope on the stack (once per distinct
+        name), so a composite primitive's total includes its building
+        blocks.  Different scopes therefore overlap and do not sum to the
+        ledger total.
+        """
+        self._scopes.append(name)
+        try:
+            yield
+        finally:
+            self._scopes.pop()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CostLedger(up={self.node_to_server}, down={self.server_to_node}, "
+            f"bcast={self.broadcasts}, rounds={self.rounds})"
+        )

@@ -1,0 +1,108 @@
+"""Node-local state: private values and server-assigned filters.
+
+A :class:`NodeArray` holds what the *nodes* know — their current stream
+values and the filter interval each was last assigned.  Server-side
+algorithms must never read ``values`` directly; they interact with nodes
+exclusively through :class:`repro.model.channel.Channel`, which charges the
+cost ledger.  (The attribute is deliberately public so that *omniscient*
+components — invariant checks, offline OPT, adaptive adversaries — can read
+it; the layering is enforced by convention and by the test suite, which
+audits that algorithms only hold a ``Channel``.)
+
+Filters follow Definition 2.1: one closed interval per node, ``[lo, hi]``
+with ``hi = +inf`` allowed.  A node *violates from below* when its value
+exceeds ``hi`` (it crossed the upper boundary coming from below) and
+*violates from above* when its value drops under ``lo`` — the paper's
+slightly counter-intuitive naming, kept here for 1:1 traceability.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.util.intervals import Interval
+
+__all__ = ["NodeArray", "VIOLATION_NONE", "VIOLATION_BELOW", "VIOLATION_ABOVE"]
+
+#: No violation: the value lies inside the assigned filter.
+VIOLATION_NONE = 0
+#: Violation *from below*: value > filter upper bound (Sect. 2.1).
+VIOLATION_BELOW = 1
+#: Violation *from above*: value < filter lower bound (Sect. 2.1).
+VIOLATION_ABOVE = 2
+
+
+class NodeArray:
+    """Vectorized state of the ``n`` distributed nodes.
+
+    Parameters
+    ----------
+    n:
+        Number of nodes.  Node ids are ``0..n-1`` (the paper uses 1-based
+        ids only for exposition).
+    """
+
+    def __init__(self, n: int) -> None:
+        if n < 2:
+            raise ValueError(f"need at least 2 nodes, got {n}")
+        self.n = int(n)
+        self.values = np.zeros(n, dtype=np.float64)
+        # Initial filters are [-inf, +inf]: silent until the server speaks.
+        self.filter_lo = np.full(n, -math.inf, dtype=np.float64)
+        self.filter_hi = np.full(n, math.inf, dtype=np.float64)
+
+    # ------------------------------------------------------------------ #
+    # Value delivery (engine-side)
+    # ------------------------------------------------------------------ #
+    def deliver(self, values: np.ndarray) -> None:
+        """Install the time step's observations (one per node)."""
+        values = np.asarray(values, dtype=np.float64)
+        if values.shape != (self.n,):
+            raise ValueError(f"expected shape ({self.n},), got {values.shape}")
+        if not np.all(np.isfinite(values)):
+            raise ValueError("stream values must be finite")
+        self.values[:] = values
+
+    # ------------------------------------------------------------------ #
+    # Filter assignment (channel-side; costs charged by the channel)
+    # ------------------------------------------------------------------ #
+    def set_filter(self, node_id: int, interval: Interval) -> None:
+        """Assign ``interval`` as node ``node_id``'s filter."""
+        self.filter_lo[node_id] = interval.lo
+        self.filter_hi[node_id] = interval.hi
+
+    def set_filters_bulk(self, ids: np.ndarray, lo: float, hi: float) -> None:
+        """Assign the same ``[lo, hi]`` filter to every node in ``ids``."""
+        self.filter_lo[ids] = lo
+        self.filter_hi[ids] = hi
+
+    def get_filter(self, node_id: int) -> Interval:
+        """Return node ``node_id``'s current filter."""
+        return Interval(float(self.filter_lo[node_id]), float(self.filter_hi[node_id]))
+
+    # ------------------------------------------------------------------ #
+    # Node-local predicates (free: local computation costs nothing)
+    # ------------------------------------------------------------------ #
+    def violation_kind(self) -> np.ndarray:
+        """Per-node violation code (``VIOLATION_*``) for current values."""
+        kind = np.zeros(self.n, dtype=np.int8)
+        kind[self.values > self.filter_hi] = VIOLATION_BELOW
+        kind[self.values < self.filter_lo] = VIOLATION_ABOVE
+        return kind
+
+    def violating_mask(self) -> np.ndarray:
+        """Boolean mask of nodes whose value is outside their filter."""
+        return (self.values > self.filter_hi) | (self.values < self.filter_lo)
+
+    def mask_above(self, threshold: float, *, strict: bool = True) -> np.ndarray:
+        """Mask of nodes with value above ``threshold``."""
+        return self.values > threshold if strict else self.values >= threshold
+
+    def mask_below(self, threshold: float, *, strict: bool = True) -> np.ndarray:
+        """Mask of nodes with value below ``threshold``."""
+        return self.values < threshold if strict else self.values <= threshold
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"NodeArray(n={self.n})"

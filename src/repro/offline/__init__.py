@@ -1,0 +1,29 @@
+"""The offline adversary's optimum (the competitive-ratio denominator).
+
+Proposition 2.4 shows an optimal filter-based offline algorithm needs only
+two filters at any time, and Lemma 2.5 characterizes when it can stay
+silent.  This package turns that into a computable quantity:
+
+- :mod:`repro.offline.feasibility` — can a window ``[t, t']`` be survived
+  with one fixed output and two fixed filters?
+- :mod:`repro.offline.phases` — greedy maximal feasible windows (optimal
+  for the downward-monotone feasibility predicate).
+- :mod:`repro.offline.opt` — OPT's message lower bound and the explicit
+  two-filter offline algorithm's cost.
+"""
+
+from repro.offline.feasibility import window_feasible, witness_set
+from repro.offline.opt import OfflineResult, offline_opt
+from repro.offline.phases import greedy_phases
+from repro.offline.schedule import OfflinePlayer, OfflineSchedule, build_schedule
+
+__all__ = [
+    "OfflinePlayer",
+    "OfflineResult",
+    "OfflineSchedule",
+    "build_schedule",
+    "greedy_phases",
+    "offline_opt",
+    "window_feasible",
+    "witness_set",
+]

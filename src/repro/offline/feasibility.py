@@ -1,0 +1,100 @@
+"""Window feasibility for a two-filter offline algorithm.
+
+**Claim** (Lemma 2.5 + converse).  An offline filter-based algorithm can
+survive a window ``[t, t']`` without communication — one fixed output
+``S``, one fixed pair of filters — **iff** there is a k-subset ``S`` with
+
+    MIN_S(t, t') ≥ (1-ε) · MAX_{S̄}(t, t'),
+
+where MIN/MAX are the per-node window extremes of Definition 2.3.
+
+*Necessity* is Lemma 2.5 verbatim.  *Sufficiency*: set
+``F1 = [MIN_S, ∞]``, ``F2 = [-∞, MAX_{S̄}]`` (Prop. 2.4's two filters) —
+no violations by construction, valid by Observation 2.2; and ``S`` is a
+valid ε-output at every step in the window:
+
+- with ``m := MIN_S``, ``M := MAX_{S̄}`` and ``m ≥ (1-ε)M``, the k-th
+  largest value satisfies ``m ≤ v_k ≤ m/(1-ε)`` (S's k members give the
+  lower bound; any node beating ``m/(1-ε) ≥ M`` must be in S, and S's own
+  minimum does not, giving the upper bound);
+- hence no outsider is clearly-larger (``v_j ≤ M ≤ v_k/(1-ε)``, using
+  ``v_k ≥ m ≥ (1-ε)M``), and every member of S sits above
+  ``m ≥ (1-ε)·v_k·(1-ε)/(1-ε) … ≥ (1-ε)v_k`` — inside the ε-neighborhood
+  or above, as required.
+
+**Checking ∃S** efficiently: let ``a_i`` = window min and ``b_i`` = window
+max of node ``i``.  If ``S`` works, ``θ := MAX_{S̄} b`` is one of the
+``b`` values and every node with ``b_j > θ`` must be in ``S``; so it
+suffices to scan the k+1 largest ``b`` values as candidate θ (any smaller
+θ forces more than k mandatory members).  For each candidate:
+
+1. all mandatory nodes (``b > θ``) must satisfy ``a ≥ (1-ε)θ``, and
+2. at least ``k`` nodes overall must satisfy ``a ≥ (1-ε)θ``.
+
+Both checks are vectorized; the scan is O(k) candidates over O(n) work.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["window_feasible", "witness_set"]
+
+
+def _candidate_thetas(b: np.ndarray, k: int) -> np.ndarray:
+    """The k+1 largest window maxima (descending, with duplicates kept)."""
+    m = min(k + 1, b.size)
+    idx = np.argpartition(b, b.size - m)[b.size - m :]
+    return np.sort(b[idx])[::-1]
+
+
+def window_feasible(a: np.ndarray, b: np.ndarray, k: int, eps: float) -> bool:
+    """∃ k-set S with ``min_S a ≥ (1-eps)·max_{S̄} b``?
+
+    ``a``/``b`` are per-node window minima/maxima (``a <= b`` pointwise).
+    """
+    return _feasible_theta(a, b, k, eps) is not None
+
+
+def witness_set(a: np.ndarray, b: np.ndarray, k: int, eps: float) -> np.ndarray | None:
+    """A concrete witness S (node ids) or ``None`` when infeasible.
+
+    Mandatory members (``b > θ``) come first; the remainder is filled with
+    the largest-``a`` qualifying nodes.  Used by tests to cross-validate
+    the fast feasibility check against the definition.
+    """
+    theta = _feasible_theta(a, b, k, eps)
+    if theta is None:
+        return None
+    mandatory = np.flatnonzero(b > theta)
+    mandatory_set = {int(i) for i in mandatory}
+    qualified = np.flatnonzero(a >= (1.0 - eps) * theta)
+    by_a_desc = qualified[np.argsort(-a[qualified], kind="stable")]
+    fill = [int(i) for i in by_a_desc if int(i) not in mandatory_set]
+    chosen = sorted(mandatory_set) + fill[: k - len(mandatory_set)]
+    return np.array(sorted(chosen[:k]), dtype=np.int64)
+
+
+def _feasible_theta(a: np.ndarray, b: np.ndarray, k: int, eps: float) -> float | None:
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    n = a.size
+    if b.shape != a.shape or a.ndim != 1:
+        raise ValueError("a and b must be 1-D arrays of equal length")
+    if not 1 <= k < n:
+        raise ValueError(f"k must be in [1, n), got k={k}, n={n}")
+    if np.any(a > b):
+        raise ValueError("window minima exceed maxima — a/b swapped?")
+    scale = 1.0 - eps
+    for theta in _candidate_thetas(b, k):
+        mandatory = b > theta
+        count_mandatory = int(mandatory.sum())
+        if count_mandatory > k:
+            continue  # too many forced members; smaller θ only adds more
+        bound = scale * theta
+        qualifies = a >= bound
+        if count_mandatory and not np.all(qualifies[mandatory]):
+            continue
+        if int(qualifies.sum()) >= k:
+            return float(theta)
+    return None

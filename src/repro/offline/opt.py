@@ -1,0 +1,68 @@
+"""OPT's cost: the competitive-ratio denominator.
+
+Two numbers are reported for every trace (DESIGN.md §4 item 9):
+
+- ``message_lb`` — the information-theoretic lower bound every
+  filter-based offline algorithm obeys: with ``P`` greedy feasible
+  windows, any algorithm with ``c`` communications splits time into
+  ``c + 1`` silent stretches, each of which must be feasible, so
+  ``c ≥ P - 1``.  Competitive ratios in the experiment tables divide by
+  ``max(1, P - 1)`` (pessimistic *for the online algorithm*).
+- ``explicit_cost`` — what the concrete offline strategy of the
+  Theorem 5.1 proof pays: at the start of each window, one unicast filter
+  to each of the k output nodes plus one broadcast for everyone else,
+  i.e. ``(k + 1) · P`` messages.  This is an upper bound on OPT and the
+  fair comparison point for end-to-end message tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.offline.phases import greedy_phases
+from repro.streams.base import Trace
+
+__all__ = ["OfflineResult", "offline_opt"]
+
+
+@dataclass(frozen=True, slots=True)
+class OfflineResult:
+    """Offline optimum summary for one trace."""
+
+    phases: int
+    """Minimum number of feasible windows P."""
+    phase_starts: tuple[int, ...]
+    """Start index of each window."""
+    k: int
+    eps: float
+
+    @property
+    def message_lb(self) -> int:
+        """Lower bound on any filter-based offline algorithm: P − 1."""
+        return max(0, self.phases - 1)
+
+    @property
+    def ratio_denominator(self) -> int:
+        """``max(1, P − 1)`` — the denominator used in ratio tables."""
+        return max(1, self.message_lb)
+
+    @property
+    def explicit_cost(self) -> int:
+        """The Thm 5.1-style explicit offline algorithm: (k+1)·P."""
+        return (self.k + 1) * self.phases
+
+
+def offline_opt(trace: Trace, k: int, eps: float) -> OfflineResult:
+    """Compute the offline optimum summary for ``trace``.
+
+    ``eps`` is the *offline* algorithm's allowed error — pass ``0`` to
+    model the exact adversary of Section 4, the online algorithm's ε for
+    Theorem 5.8 comparisons, or ``ε/2`` for Corollary 5.9.
+    """
+    starts = greedy_phases(trace, k, eps)
+    return OfflineResult(
+        phases=len(starts),
+        phase_starts=tuple(starts),
+        k=int(k),
+        eps=float(eps),
+    )

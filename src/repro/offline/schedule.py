@@ -1,0 +1,139 @@
+"""An *executable* offline optimum: the adversary's concrete filter plan.
+
+:func:`repro.offline.opt.offline_opt` counts what OPT must pay;
+this module constructs what OPT actually *does* — per greedy window, a
+witness output set ``S`` and the Prop. 2.4 two-filter assignment
+
+    F1 = [MIN_S(window), ∞]   for i ∈ S,
+    F2 = [-∞, MAX_{S̄}(window)] for the rest,
+
+which provably produces zero filter-violations inside the window and a
+valid ε-output at every step (see :mod:`repro.offline.feasibility`).
+:class:`OfflinePlayer` replays the schedule through the normal engine, so
+the offline algorithm's bill is *measured* by the same ledger as every
+online algorithm — the timeline figure's OPT curve is a real run, not an
+estimate.
+
+The player is, of course, omniscient (it was built from the whole trace);
+it exists to realize the adversary's side of the competitive game, never
+as a deployable algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.model.protocol import MonitoringAlgorithm
+from repro.offline.feasibility import witness_set
+from repro.offline.phases import greedy_phases
+from repro.streams.base import Trace
+from repro.util.intervals import Interval
+
+__all__ = ["OfflineSchedule", "ScheduleWindow", "build_schedule", "OfflinePlayer"]
+
+
+@dataclass(frozen=True, slots=True)
+class ScheduleWindow:
+    """One no-communication stretch of the offline plan."""
+
+    start: int
+    stop: int  # exclusive
+    output: tuple[int, ...]
+    lower: float  # F1 = [lower, ∞] for the output nodes
+    upper: float  # F2 = [-∞, upper] for everyone else
+
+    @property
+    def length(self) -> int:
+        return self.stop - self.start
+
+
+@dataclass(frozen=True, slots=True)
+class OfflineSchedule:
+    """The full plan: windows + bookkeeping."""
+
+    windows: tuple[ScheduleWindow, ...]
+    k: int
+    eps: float
+
+    @property
+    def reconfigurations(self) -> int:
+        """Window switches — each costs (k + 1) messages when replayed."""
+        return len(self.windows)
+
+
+def build_schedule(trace: Trace, k: int, eps: float) -> OfflineSchedule:
+    """Construct the two-filter offline plan for ``trace``.
+
+    Windows come from the greedy decomposition (minimum count); the
+    witness set and filter endpoints come straight from the feasibility
+    characterization.  Raises if a window has no witness — impossible by
+    construction, so it doubles as an internal consistency check.
+    """
+    starts = greedy_phases(trace, k, eps)
+    bounds = list(starts) + [trace.num_steps]
+    windows = []
+    for start, stop in zip(starts, bounds[1:]):
+        segment = trace.data[start:stop]
+        a = segment.min(axis=0)
+        b = segment.max(axis=0)
+        witness = witness_set(a, b, k, eps)
+        if witness is None:  # pragma: no cover - greedy guarantees feasibility
+            raise AssertionError(f"greedy window [{start},{stop}) has no witness")
+        members = np.asarray(witness, dtype=np.int64)
+        rest_mask = np.ones(trace.n, dtype=bool)
+        rest_mask[members] = False
+        windows.append(
+            ScheduleWindow(
+                start=start,
+                stop=stop,
+                output=tuple(int(i) for i in members),
+                lower=float(a[members].min()),
+                upper=float(b[rest_mask].max()),
+            )
+        )
+    return OfflineSchedule(windows=tuple(windows), k=int(k), eps=float(eps))
+
+
+class OfflinePlayer(MonitoringAlgorithm):
+    """Replay an :class:`OfflineSchedule` through the engine.
+
+    At each window start it pays the Theorem 5.1 offline price: one
+    unicast filter per output node plus one broadcast for the rest.
+    Inside a window it is silent by construction (tests assert this via
+    the engine's check mode).
+    """
+
+    name = "offline-player"
+
+    def __init__(self, schedule: OfflineSchedule) -> None:
+        super().__init__()
+        self.schedule = schedule
+        self._t = 0
+        self._window_idx = -1
+
+    def on_start(self) -> None:
+        self._apply_if_boundary()
+        self._t = 1
+
+    def on_step(self) -> None:
+        self._apply_if_boundary()
+        self._t += 1
+
+    def output(self) -> frozenset[int]:
+        return frozenset(self.schedule.windows[self._window_idx].output)
+
+    # ------------------------------------------------------------------ #
+    def _apply_if_boundary(self) -> None:
+        nxt = self._window_idx + 1
+        if nxt < len(self.schedule.windows) and self.schedule.windows[nxt].start == self._t:
+            window = self.schedule.windows[nxt]
+            self._window_idx = nxt
+            for node in window.output:
+                self.channel.unicast_filter(node, Interval.at_least(window.lower))
+            rest = np.setdiff1d(
+                np.arange(self.channel.n, dtype=np.int64),
+                np.asarray(window.output, dtype=np.int64),
+            )
+            self.channel.broadcast_filters([(rest, Interval.at_most(window.upper))])

@@ -1,0 +1,43 @@
+"""Stream and workload generators.
+
+The paper evaluates nothing empirically, but its model is precise about the
+input: each node observes one natural number per time step.  This package
+provides
+
+- :class:`~repro.streams.base.Trace` — an immutable ``(T, n)`` value
+  matrix implementing the engine's :class:`~repro.model.engine.ValueSource`
+  protocol, plus ground-truth helpers (Δ, k-th-largest series, σ(t)),
+- synthetic generators (:mod:`repro.streams.synthetic`),
+- the paper's motivating workloads (:mod:`repro.streams.workloads`):
+  web-cluster load balancing and noisy sensor fields,
+- adaptive adversaries (:mod:`repro.streams.adversarial`), most notably
+  the Theorem 5.1 lower-bound construction, and
+- value transforms (:mod:`repro.streams.transforms`), e.g. the
+  distinctness perturbation the exact problem requires.
+"""
+
+from repro.streams.base import Trace
+from repro.streams.synthetic import (
+    iid_uniform,
+    random_walk,
+    sine_drift,
+    step_levels,
+)
+from repro.streams.workloads import cluster_load, sensor_field
+from repro.streams.adversarial import LowerBoundAdversary, oscillation_trace
+from repro.streams.transforms import clip_trace, make_distinct, quantize
+
+__all__ = [
+    "Trace",
+    "LowerBoundAdversary",
+    "cluster_load",
+    "clip_trace",
+    "iid_uniform",
+    "make_distinct",
+    "oscillation_trace",
+    "quantize",
+    "random_walk",
+    "sensor_field",
+    "sine_drift",
+    "step_levels",
+]

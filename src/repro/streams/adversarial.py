@@ -1,0 +1,251 @@
+"""Adversarial inputs, most importantly the Theorem 5.1 lower bound.
+
+The paper's adversaries are *adaptive*: they know the algorithm's code,
+all node/server state and past coin flips, and choose the next values
+accordingly (Sect. 2.1).  :class:`LowerBoundAdversary` implements the
+Ω(σ/k) construction of Theorem 5.1 as a :class:`~repro.model.engine.ValueSource`
+that inspects the online algorithm's *current filters* each step:
+
+- σ "band" nodes start at a common value ``y0`` (the remaining ``n − σ``
+  sit clearly below);
+- while more than ``k`` band nodes remain at ``y0``, the adversary picks
+  one whose filter forbids the drop (one must exist while the online
+  filter set is valid) and drops it to ``y1 < (1−ε)·y0``, forcing ≥ 1
+  online message;
+- when only ``k`` remain, the epoch ends and every band node is reset to
+  ``y0`` ("by essentially repeating these ideas, the input stream can be
+  extended to an arbitrary length").
+
+The adversary logs the values it plays, so the resulting
+:class:`~repro.streams.base.Trace` feeds the offline-OPT computation: per
+epoch OPT pays O(k) (one filter per survivor plus a broadcast) while any
+filter-based online algorithm pays ≥ σ − k.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.model.node import NodeArray
+from repro.streams.base import Trace
+from repro.util.checks import check_epsilon, check_k, check_positive_int, require
+from repro.util.rngtools import make_rng
+
+__all__ = ["LowerBoundAdversary", "PivotChaser", "oscillation_trace"]
+
+
+class LowerBoundAdversary:
+    """Adaptive value source realizing the Theorem 5.1 instance.
+
+    Parameters
+    ----------
+    n, k:
+        Model parameters of the monitored system.
+    sigma:
+        Number of band nodes (the paper's σ); must satisfy
+        ``k + 1 <= sigma <= n``.
+    eps:
+        The *online* algorithm's allowed error; the drop target is
+        ``y1 < (1-eps)·y0`` so the drop always violates a valid filter of
+        an output node.
+    epochs:
+        How many drop-and-reset rounds to play.
+    y0:
+        The band level (a large natural number).
+    rng:
+        Tie-breaking randomness for victim selection.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        k: int,
+        sigma: int,
+        *,
+        eps: float,
+        epochs: int = 4,
+        y0: float = 2**16,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        n = check_positive_int(n, "n")
+        self._k = check_k(k, n)
+        self._n = n
+        self._eps = check_epsilon(eps)
+        self._epochs = check_positive_int(epochs, "epochs")
+        require(k + 1 <= sigma <= n, f"sigma must be in [k+1, n], got {sigma}")
+        self._sigma = int(sigma)
+        self._y0 = float(int(y0))
+        # Any y1 < (1-eps)*y0 works; stay integral and clearly separated.
+        self._y1 = float(int((1.0 - self._eps) * self._y0) - 1)
+        require(self._y1 >= 2.0, f"y0={y0} too small for eps={eps} (y1={self._y1})")
+        self._y_base = float(max(1, int(self._y1 / 2)))
+        self._rng = make_rng(rng)
+        self._log: list[np.ndarray] = []
+        self._forced_drops = 0
+        # Current values the adversary maintains.
+        self._current = np.full(n, self._y_base, dtype=np.float64)
+        self._current[: self._sigma] = self._y0
+
+    # ------------------------------------------------------------------ #
+    # ValueSource protocol
+    # ------------------------------------------------------------------ #
+    @property
+    def n(self) -> int:
+        """Number of nodes."""
+        return self._n
+
+    @property
+    def num_steps(self) -> int:
+        """1 setup step + per epoch (σ − k) drops and one reset."""
+        return 1 + self._epochs * (self._sigma - self._k + 1)
+
+    def values(self, t: int, nodes: NodeArray) -> np.ndarray:
+        """Adaptively choose the next observations (inspects filters)."""
+        if t > 0:
+            band = np.arange(self._sigma)
+            at_y0 = band[self._current[band] == self._y0]
+            if at_y0.size > self._k:
+                self._drop_one(at_y0, nodes)
+            else:
+                # Epoch over: raise every band node back to y0.
+                self._current[band] = self._y0
+        row = self._current.copy()
+        self._log.append(row)
+        return row
+
+    # ------------------------------------------------------------------ #
+    def _drop_one(self, at_y0: np.ndarray, nodes: NodeArray) -> None:
+        """Drop one band node to y1, preferring one whose filter forbids it.
+
+        While the online filter set is valid and the output has k members,
+        at least one at-y0 node has a filter lower bound > y1 (Thm 5.1's
+        existence argument); we pick uniformly among those to avoid
+        accidentally cooperating with any particular server strategy.
+        """
+        lo = nodes.filter_lo[at_y0]
+        candidates = at_y0[lo > self._y1]
+        if candidates.size > 0:
+            victim = int(self._rng.choice(candidates))
+            self._forced_drops += 1
+        else:  # pragma: no cover - only reachable with an invalid filter set
+            victim = int(at_y0[np.argmax(lo)])
+        self._current[victim] = self._y1
+
+    # ------------------------------------------------------------------ #
+    # Post-run artifacts
+    # ------------------------------------------------------------------ #
+    @property
+    def trace(self) -> Trace:
+        """The values actually played (for offline-OPT computation)."""
+        if not self._log:
+            raise RuntimeError("adversary has not produced any steps yet")
+        return Trace(np.stack(self._log))
+
+    @property
+    def forced_drops(self) -> int:
+        """Drops that provably violated an online filter (≥ 1 message each)."""
+        return self._forced_drops
+
+    @property
+    def epochs(self) -> int:
+        """The number of drop-and-reset epochs played."""
+        return self._epochs
+
+    def offline_reference_cost(self) -> int:
+        """Cost of the explicit offline strategy of the Theorem 5.1 proof.
+
+        Per epoch: k unicast filters for the surviving output nodes plus
+        one broadcast for everyone else — ``epochs · (k + 1)``.
+        """
+        return self._epochs * (self._k + 1)
+
+
+def oscillation_trace(
+    num_steps: int,
+    n: int,
+    k: int,
+    *,
+    high: float = 50_000.0,
+    gap: float = 5_000.0,
+    amplitude: float = 1_000.0,
+    rng: np.random.Generator | int | None = None,
+) -> Trace:
+    """Oscillation *without* rank changes: the filter-friendly extreme.
+
+    The top-k nodes wobble around ``high`` and the rest around
+    ``high − gap``; with ``amplitude < gap/2`` ranks never change, so an
+    optimal filter-based algorithm communicates only once while any
+    send-on-change baseline pays Θ(n) per step.  Used for the timeline
+    figure (T8) and baseline sanity tests.
+    """
+    num_steps = check_positive_int(num_steps, "num_steps")
+    n = check_positive_int(n, "n")
+    k = check_k(k, n)
+    require(amplitude < gap / 2, f"need amplitude < gap/2 for rank stability, got {amplitude} vs {gap}")
+    rng = make_rng(rng)
+    centers = np.full(n, high - gap, dtype=np.float64)
+    centers[:k] = high
+    noise = rng.integers(-int(amplitude), int(amplitude) + 1, size=(num_steps, n)).astype(np.float64)
+    return Trace(np.maximum(centers[None, :] + noise, 0.0))
+
+
+class PivotChaser:
+    """Adaptive adversary: one node rides just above its filter bound.
+
+    Node ``k`` (the chaser) observes its current filter's upper bound and
+    moves one unit above it each step, forcing a violation from below on
+    every tick while the online algorithm walks its pivot ladder upward.
+    When the ladder is exhausted (the next ride would touch the frozen
+    top-k plateau at ``high``), the chaser ends the cycle with a genuine
+    rank change — one step above the plateau, then back to the bottom —
+    which empties any guess interval and starts a fresh phase for every
+    correct filter-based monitor.  An offline player pays O(1) per cycle
+    (two rank changes), so messages-per-cycle exposes the ladder length:
+    Θ(log Δ) for midpoint pivots vs Θ(log log Δ) for the (P1)–(P4) ladder.
+    """
+
+    def __init__(self, num_steps: int, n: int, k: int, high: float) -> None:
+        if n < k + 2:
+            raise ValueError("need at least k+2 nodes for the chaser game")
+        self._steps = int(num_steps)
+        self._n = int(n)
+        self._k = int(k)
+        self._high = float(high)
+        self._low = 4.0
+        self._chaser = k  # node id of the chaser
+        # Distinct, staggered low values in [2, 3.5): a degenerate (tied)
+        # low plateau would let boundary re-probes converge in O(1) rounds
+        # and mask the Θ(log n) factor experiments T3b/T10 measure.
+        self._current = 2.0 + 1.5 * np.arange(n) / n
+        self._current[:k] = [high + k - i for i in range(k)]  # distinct plateau
+        self._current[self._chaser] = self._low
+        self._mode = "climb"
+        self.resets = 0
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    @property
+    def num_steps(self) -> int:
+        return self._steps
+
+    def values(self, t: int, nodes: NodeArray) -> np.ndarray:
+        if t > 0:
+            if self._mode == "spike":
+                # Back down: the second rank change ends the cycle.
+                self._current[self._chaser] = self._low
+                self._mode = "climb"
+                self.resets += 1
+            else:
+                bound = float(nodes.filter_hi[self._chaser])
+                target = bound + 1.0
+                if not math.isfinite(bound) or target >= self._high - 2.0:
+                    # Ladder exhausted: spike above the plateau.
+                    self._current[self._chaser] = self._high + self._k + 10.0
+                    self._mode = "spike"
+                else:
+                    self._current[self._chaser] = target
+        return self._current.copy()

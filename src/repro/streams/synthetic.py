@@ -1,0 +1,146 @@
+"""Synthetic stream generators.
+
+Each generator returns a :class:`~repro.streams.base.Trace`.  All values
+are non-negative integers by default (the paper's streams are over ℕ, and
+integral values make the guess-interval arithmetic of the protocols behave
+exactly as analyzed); the ``integral`` switch produces floats where noted.
+
+Generators take an explicit ``rng`` (any ``numpy.random.Generator`` or
+seed) so experiment sweeps are reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.streams.base import Trace
+from repro.util.checks import check_positive_int, require
+from repro.util.rngtools import make_rng
+
+__all__ = ["random_walk", "iid_uniform", "sine_drift", "step_levels"]
+
+
+def random_walk(
+    num_steps: int,
+    n: int,
+    *,
+    low: float = 0.0,
+    high: float = 2**16,
+    step: float = 8.0,
+    init: np.ndarray | None = None,
+    lazy: float = 0.0,
+    rng: np.random.Generator | int | None = None,
+) -> Trace:
+    """Independent reflected integer random walks, one per node.
+
+    Each node starts uniformly in ``[low, high]`` (or at ``init``) and
+    moves by a uniform integer step in ``[-step, step]`` per tick,
+    reflecting at the bounds.  ``lazy`` is the per-tick probability that a
+    node does not move at all — high laziness models the "similar to the
+    previous time step" regime where filters shine.
+
+    This is the workhorse for Δ-sweeps (T3/T4): ``high`` controls Δ.
+    """
+    num_steps = check_positive_int(num_steps, "num_steps")
+    n = check_positive_int(n, "n")
+    require(high > low, f"need high > low, got [{low}, {high}]")
+    require(0.0 <= lazy <= 1.0, f"lazy must be a probability, got {lazy}")
+    rng = make_rng(rng)
+    step = max(1, int(step))
+    data = np.empty((num_steps, n), dtype=np.float64)
+    if init is None:
+        current = rng.integers(int(low), int(high) + 1, size=n).astype(np.float64)
+    else:
+        current = np.asarray(init, dtype=np.float64).copy()
+        require(current.shape == (n,), f"init must have shape ({n},)")
+    data[0] = current
+    for t in range(1, num_steps):
+        moves = rng.integers(-step, step + 1, size=n).astype(np.float64)
+        if lazy > 0.0:
+            moves[rng.random(n) < lazy] = 0.0
+        current = current + moves
+        # Reflect at the bounds (keeps values in range and integral).
+        current = np.where(current < low, 2 * low - current, current)
+        current = np.where(current > high, 2 * high - current, current)
+        current = np.clip(current, low, high)
+        data[t] = current
+    return Trace(data)
+
+
+def iid_uniform(
+    num_steps: int,
+    n: int,
+    *,
+    low: float = 0.0,
+    high: float = 2**16,
+    rng: np.random.Generator | int | None = None,
+) -> Trace:
+    """Fresh uniform integer redraw every step — maximal churn.
+
+    Filters barely help here; used as a stress case and to sanity-check
+    that online costs degrade gracefully together with OPT's.
+    """
+    num_steps = check_positive_int(num_steps, "num_steps")
+    n = check_positive_int(n, "n")
+    require(high > low, f"need high > low, got [{low}, {high}]")
+    rng = make_rng(rng)
+    data = rng.integers(int(low), int(high) + 1, size=(num_steps, n)).astype(np.float64)
+    return Trace(data)
+
+
+def sine_drift(
+    num_steps: int,
+    n: int,
+    *,
+    base: float = 1000.0,
+    amplitude: float = 200.0,
+    period: float = 200.0,
+    noise: float = 5.0,
+    rng: np.random.Generator | int | None = None,
+) -> Trace:
+    """Per-node sinusoids with random phases plus integer noise.
+
+    Produces slow rank churn: nodes overtake each other as their phases
+    drift apart — a gentle, realistic workload for timeline figures.
+    """
+    num_steps = check_positive_int(num_steps, "num_steps")
+    n = check_positive_int(n, "n")
+    rng = make_rng(rng)
+    phases = rng.uniform(0.0, 2 * np.pi, size=n)
+    offsets = rng.uniform(0.0, amplitude / 2, size=n)
+    t = np.arange(num_steps, dtype=np.float64)[:, None]
+    clean = base + offsets[None, :] + amplitude * np.sin(2 * np.pi * t / period + phases[None, :])
+    jitter = rng.integers(-int(noise), int(noise) + 1, size=(num_steps, n)) if noise >= 1 else 0.0
+    data = np.round(np.maximum(clean + jitter, 0.0))
+    return Trace(data)
+
+
+def step_levels(
+    num_steps: int,
+    n: int,
+    *,
+    levels: int = 8,
+    spread: float = 1000.0,
+    switch_prob: float = 0.01,
+    noise: float = 2.0,
+    rng: np.random.Generator | int | None = None,
+) -> Trace:
+    """Nodes sit on discrete levels and occasionally jump to another level.
+
+    Long quiet stretches punctuated by rank changes — the regime where a
+    good filter-based algorithm should approach OPT.
+    """
+    num_steps = check_positive_int(num_steps, "num_steps")
+    n = check_positive_int(n, "n")
+    levels = check_positive_int(levels, "levels")
+    rng = make_rng(rng)
+    level_values = np.linspace(spread / levels, spread, levels)
+    assignment = rng.integers(0, levels, size=n)
+    data = np.empty((num_steps, n), dtype=np.float64)
+    for t in range(num_steps):
+        switches = rng.random(n) < switch_prob
+        if switches.any():
+            assignment[switches] = rng.integers(0, levels, size=int(switches.sum()))
+        jitter = rng.integers(-int(noise), int(noise) + 1, size=n) if noise >= 1 else 0
+        data[t] = np.maximum(level_values[assignment] + jitter, 0.0)
+    return Trace(np.round(data))

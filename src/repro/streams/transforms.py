@@ -1,0 +1,45 @@
+"""Trace transforms.
+
+The most important one is :func:`make_distinct`: the exact Top-k problem
+assumes all values are distinct ("at least by using the nodes' identifiers
+to break ties", Sect. 2).  The canonical realization is an order-preserving
+re-encoding ``v' = v·n + (n-1-i)`` for node ``i`` — equal raw values are
+ordered by *lower id wins*, matching
+:func:`repro.model.invariants.exact_topk_set`.  It requires an integral
+trace and scales Δ by the factor ``n`` (documented; harmless for the
+log Δ experiments, which account for it).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.streams.base import Trace
+from repro.util.checks import require
+
+__all__ = ["make_distinct", "clip_trace", "quantize"]
+
+
+def make_distinct(trace: Trace) -> Trace:
+    """Perturb an integral trace so all per-step values are distinct.
+
+    ``v'[t, i] = v[t, i] * n + (n - 1 - i)`` — strictly order-preserving
+    across nodes, ties broken toward lower ids (the lower id receives the
+    larger offset and hence the larger perturbed value).
+    """
+    require(trace.is_integral(), "make_distinct requires an integer-valued trace")
+    n = trace.n
+    offsets = (n - 1 - np.arange(n)).astype(np.float64)
+    return Trace(trace.data * n + offsets[None, :])
+
+
+def clip_trace(trace: Trace, lo: float, hi: float) -> Trace:
+    """Clamp all values into ``[lo, hi]``."""
+    require(hi > lo, f"need hi > lo, got [{lo}, {hi}]")
+    return Trace(np.clip(trace.data, lo, hi))
+
+
+def quantize(trace: Trace, grid: float) -> Trace:
+    """Round every value to the nearest multiple of ``grid``."""
+    require(grid > 0, f"grid must be positive, got {grid}")
+    return Trace(np.round(trace.data / grid) * grid)

@@ -1,0 +1,20 @@
+"""Small generic utilities shared by every layer of the reproduction.
+
+Nothing in :mod:`repro.util` knows about streams, protocols or the
+monitoring model; these are plain data structures and numeric helpers:
+
+- :mod:`repro.util.intervals` — closed numeric intervals with ``+inf``
+  endpoints, the basic currency of filter-based algorithms.
+- :mod:`repro.util.mathx` — safe logarithms and the (P1)–(P4) style
+  double-log predicates used by Section 4 of the paper.
+- :mod:`repro.util.rngtools` — deterministic random-generator spawning.
+- :mod:`repro.util.tables` — a light tabular result container with
+  markdown/CSV rendering (used for every experiment table).
+- :mod:`repro.util.ascii_plot` — dependency-free "figures".
+- :mod:`repro.util.checks` — argument validation helpers.
+"""
+
+from repro.util.intervals import Interval
+from repro.util.tables import Table
+
+__all__ = ["Interval", "Table"]

@@ -1,0 +1,142 @@
+"""Dependency-free ASCII "figures".
+
+matplotlib is unavailable in the offline environment, so every figure in
+EXPERIMENTS.md is rendered twice: as a CSV series (for real plotting later)
+and as an ASCII chart produced here.  The charts are intentionally simple —
+a fixed-size character grid with one glyph per series — but they make the
+*shape* claims of the paper (constant vs log vs linear growth, crossovers)
+visible directly in the terminal and in the committed results.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = ["Series", "line_plot", "histogram"]
+
+_GLYPHS = "*o+x#@%&"
+
+
+@dataclass
+class Series:
+    """One named (x, y) series for :func:`line_plot`."""
+
+    name: str
+    x: Sequence[float]
+    y: Sequence[float]
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.y):
+            raise ValueError(f"series {self.name!r}: len(x)={len(self.x)} != len(y)={len(self.y)}")
+
+
+def _transform(values: Sequence[float], log: bool) -> list[float]:
+    if not log:
+        return [float(v) for v in values]
+    out = []
+    for v in values:
+        if v <= 0:
+            raise ValueError(f"log-scale axis requires positive values, got {v}")
+        out.append(math.log10(v))
+    return out
+
+
+def line_plot(
+    series: Sequence[Series],
+    *,
+    title: str = "",
+    xlabel: str = "x",
+    ylabel: str = "y",
+    width: int = 72,
+    height: int = 20,
+    logx: bool = False,
+    logy: bool = False,
+) -> str:
+    """Render series as a character grid line plot.
+
+    Points are scattered onto a ``width x height`` grid; each series uses
+    its own glyph, and a legend maps glyphs back to names.  Log scales are
+    available per axis (labels show the raw values).
+    """
+    if not series or all(len(s.x) == 0 for s in series):
+        return f"{title}\n(no data)"
+    xs = [v for s in series for v in _transform(s.x, logx)]
+    ys = [v for s in series for v in _transform(s.y, logy)]
+    xmin, xmax = min(xs), max(xs)
+    ymin, ymax = min(ys), max(ys)
+    if xmax == xmin:
+        xmax = xmin + 1.0
+    if ymax == ymin:
+        ymax = ymin + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def put(xv: float, yv: float, glyph: str) -> None:
+        col = int(round((xv - xmin) / (xmax - xmin) * (width - 1)))
+        row = int(round((yv - ymin) / (ymax - ymin) * (height - 1)))
+        grid[height - 1 - row][col] = glyph
+
+    for idx, s in enumerate(series):
+        glyph = _GLYPHS[idx % len(_GLYPHS)]
+        for xv, yv in zip(_transform(s.x, logx), _transform(s.y, logy)):
+            put(xv, yv, glyph)
+
+    top_label = f"{(10 ** ymax if logy else ymax):.4g}"
+    bot_label = f"{(10 ** ymin if logy else ymin):.4g}"
+    pad = max(len(top_label), len(bot_label))
+    lines = []
+    if title:
+        lines.append(title)
+    for r, row in enumerate(grid):
+        if r == 0:
+            label = top_label.rjust(pad)
+        elif r == height - 1:
+            label = bot_label.rjust(pad)
+        else:
+            label = " " * pad
+        lines.append(f"{label} |{''.join(row)}|")
+    left = f"{(10 ** xmin if logx else xmin):.4g}"
+    right = f"{(10 ** xmax if logx else xmax):.4g}"
+    axis = " " * pad + " +" + "-" * width + "+"
+    xline = " " * pad + "  " + left + " " * max(1, width - len(left) - len(right)) + right
+    lines.append(axis)
+    lines.append(xline)
+    scale = []
+    if logx:
+        scale.append("log-x")
+    if logy:
+        scale.append("log-y")
+    suffix = f" [{', '.join(scale)}]" if scale else ""
+    legend = "   ".join(f"{_GLYPHS[i % len(_GLYPHS)]} {s.name}" for i, s in enumerate(series))
+    lines.append(f"x: {xlabel}   y: {ylabel}{suffix}")
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines)
+
+
+def histogram(
+    values: Sequence[float],
+    *,
+    bins: int = 12,
+    title: str = "",
+    width: int = 50,
+) -> str:
+    """Render a horizontal-bar histogram of ``values``."""
+    if len(values) == 0:
+        return f"{title}\n(no data)"
+    vmin, vmax = min(values), max(values)
+    if vmax == vmin:
+        vmax = vmin + 1.0
+    counts = [0] * bins
+    for v in values:
+        b = min(bins - 1, int((v - vmin) / (vmax - vmin) * bins))
+        counts[b] = counts[b] + 1
+    peak = max(counts)
+    lines = [title] if title else []
+    for b, c in enumerate(counts):
+        lo = vmin + (vmax - vmin) * b / bins
+        hi = vmin + (vmax - vmin) * (b + 1) / bins
+        bar = "#" * (0 if peak == 0 else int(round(c / peak * width)))
+        lines.append(f"[{lo:8.3g}, {hi:8.3g}) {bar} {c}")
+    return "\n".join(lines)

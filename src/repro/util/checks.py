@@ -1,0 +1,75 @@
+"""Argument validation helpers with uniform error messages.
+
+The public API validates eagerly so misuse fails at the call site with an
+actionable message instead of deep inside a protocol round.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+__all__ = [
+    "require",
+    "check_positive_int",
+    "check_nonneg_int",
+    "check_epsilon",
+    "check_k",
+    "check_finite",
+]
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ValueError` with ``message`` unless ``condition``."""
+    if not condition:
+        raise ValueError(message)
+
+
+def check_positive_int(value: Any, name: str) -> int:
+    """Validate that ``value`` is an integer ``>= 1`` and return it."""
+    if not isinstance(value, (int,)) or isinstance(value, bool):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    if value < 1:
+        raise ValueError(f"{name} must be >= 1, got {value}")
+    return int(value)
+
+
+def check_nonneg_int(value: Any, name: str) -> int:
+    """Validate that ``value`` is an integer ``>= 0`` and return it."""
+    if not isinstance(value, (int,)) or isinstance(value, bool):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value}")
+    return int(value)
+
+
+def check_epsilon(value: Any, name: str = "eps", *, allow_zero: bool = False) -> float:
+    """Validate an approximation error ``eps``.
+
+    The paper restricts the online error to ``(0, 1/2]`` for Section 4 and
+    ``(0, 1)`` in general; we accept ``(0, 1)`` everywhere (and optionally
+    ``0`` for the exact problem) and let algorithms impose tighter ranges.
+    """
+    value = float(value)
+    if allow_zero and value == 0.0:
+        return 0.0
+    if not (0.0 < value < 1.0):
+        bound = "[0, 1)" if allow_zero else "(0, 1)"
+        raise ValueError(f"{name} must be in {bound}, got {value}")
+    return value
+
+
+def check_k(k: Any, n: int) -> int:
+    """Validate the top-``k`` parameter against the number of nodes."""
+    k = check_positive_int(k, "k")
+    if k >= n:
+        raise ValueError(f"k must be < n (monitoring all {n} nodes is trivial), got k={k}")
+    return k
+
+
+def check_finite(value: float, name: str) -> float:
+    """Validate that ``value`` is a finite float and return it."""
+    value = float(value)
+    if not math.isfinite(value):
+        raise ValueError(f"{name} must be finite, got {value}")
+    return value

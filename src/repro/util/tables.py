@@ -1,0 +1,123 @@
+"""A light tabular container used by every experiment.
+
+We deliberately avoid a pandas dependency: experiments produce small tables
+(tens of rows) where all we need is column ordering, row append, markdown
+and CSV rendering, and simple selection.  Keeping this tiny also keeps the
+benchmark harness dependency-free.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
+
+__all__ = ["Table"]
+
+
+def _fmt(value: Any) -> str:
+    """Render a cell: floats get 4 significant digits, the rest ``str``."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+        return f"{value:.4g}"
+    return str(value)
+
+
+@dataclass
+class Table:
+    """An ordered collection of uniform rows.
+
+    Parameters
+    ----------
+    columns:
+        Column names, fixed at construction.
+    title:
+        Optional human-readable caption (rendered above markdown output).
+    """
+
+    columns: Sequence[str]
+    title: str = ""
+    rows: list[tuple[Any, ...]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.columns = tuple(self.columns)
+        if len(set(self.columns)) != len(self.columns):
+            raise ValueError(f"duplicate column names in {self.columns}")
+
+    # ------------------------------------------------------------------ #
+    # Building
+    # ------------------------------------------------------------------ #
+    def add(self, *values: Any, **named: Any) -> None:
+        """Append one row, either positionally or by column name."""
+        if values and named:
+            raise TypeError("pass either positional values or named values, not both")
+        if named:
+            missing = set(self.columns) - set(named)
+            extra = set(named) - set(self.columns)
+            if missing or extra:
+                raise ValueError(f"row mismatch: missing={sorted(missing)} extra={sorted(extra)}")
+            values = tuple(named[c] for c in self.columns)
+        if len(values) != len(self.columns):
+            raise ValueError(f"expected {len(self.columns)} values, got {len(values)}")
+        self.rows.append(tuple(values))
+
+    def extend(self, rows: Iterable[Mapping[str, Any]]) -> None:
+        """Append many rows given as mappings."""
+        for row in rows:
+            self.add(**row)
+
+    # ------------------------------------------------------------------ #
+    # Access
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[dict[str, Any]]:
+        for row in self.rows:
+            yield dict(zip(self.columns, row))
+
+    def column(self, name: str) -> list[Any]:
+        """Return one column as a list."""
+        idx = self._col_index(name)
+        return [row[idx] for row in self.rows]
+
+    def where(self, predicate: Callable[[dict[str, Any]], bool]) -> "Table":
+        """Return a new table with the rows satisfying ``predicate``."""
+        out = Table(self.columns, title=self.title)
+        out.rows = [r for r in self.rows if predicate(dict(zip(self.columns, r)))]
+        return out
+
+    def _col_index(self, name: str) -> int:
+        try:
+            return self.columns.index(name)
+        except ValueError:
+            raise KeyError(f"no column {name!r}; have {list(self.columns)}") from None
+
+    # ------------------------------------------------------------------ #
+    # Rendering
+    # ------------------------------------------------------------------ #
+    def to_markdown(self) -> str:
+        """GitHub-flavoured markdown rendering."""
+        header = "| " + " | ".join(self.columns) + " |"
+        sep = "|" + "|".join("---" for _ in self.columns) + "|"
+        body = ["| " + " | ".join(_fmt(v) for v in row) + " |" for row in self.rows]
+        lines = ([f"**{self.title}**", ""] if self.title else []) + [header, sep, *body]
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        """CSV rendering (with header row)."""
+        buf = io.StringIO()
+        writer = csv.writer(buf, lineterminator="\n")
+        writer.writerow(self.columns)
+        for row in self.rows:
+            writer.writerow([_fmt(v) for v in row])
+        return buf.getvalue()
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.to_markdown()

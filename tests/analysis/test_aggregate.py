@@ -1,0 +1,49 @@
+"""Tests for :mod:`repro.analysis.aggregate` and competitive runner."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.aggregate import aggregate
+from repro.analysis.competitive import run_competitive
+from repro.core.exact_monitor import ExactTopKMonitor
+from repro.streams.synthetic import random_walk
+from repro.streams.transforms import make_distinct
+
+
+class TestAggregate:
+    def test_stats(self):
+        stats = aggregate(lambda s: float(s), [1, 2, 3, 4])
+        assert stats.mean == 2.5
+        assert stats.minimum == 1.0 and stats.maximum == 4.0
+        assert stats.count == 4
+        assert stats.std == pytest.approx(np.std([1, 2, 3, 4], ddof=1))
+        assert stats.sem == pytest.approx(stats.std / 2)
+
+    def test_single_seed(self):
+        stats = aggregate(lambda s: 7.0, [0])
+        assert stats.std == 0.0 and stats.sem == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate(lambda s: 1.0, [])
+
+    def test_format(self):
+        assert "±" in format(aggregate(lambda s: float(s), [1, 2]))
+
+
+class TestCompetitiveRunner:
+    def test_end_to_end(self):
+        trace = make_distinct(random_walk(100, 8, high=1024, step=64, rng=0))
+        run = run_competitive(
+            trace,
+            lambda: ExactTopKMonitor(2),
+            k=2,
+            eps_online=0.0,
+            eps_offline=0.0,
+            check=True,
+        )
+        assert run.online_messages > 0
+        assert run.online_phases >= 1
+        assert run.ratio >= 1.0  # online can't beat the offline bound here
+        assert run.ratio_vs_explicit > 0
+        assert run.algorithm == "exact-cor3.3"

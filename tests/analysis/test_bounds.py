@@ -1,0 +1,68 @@
+"""Tests for :mod:`repro.analysis.bounds`."""
+
+import pytest
+
+from repro.analysis.bounds import (
+    bound_cor33,
+    bound_cor59,
+    bound_dense,
+    bound_ipdps15,
+    bound_topk,
+    correlation,
+    fitted_slope,
+    lower_bound_ratio,
+    loglog_term,
+)
+
+
+class TestBoundFormulas:
+    def test_cor33_below_ipdps15(self):
+        for delta in (2**8, 2**16, 2**24):
+            assert bound_cor33(4, 64, delta) < bound_ipdps15(4, 64, delta)
+
+    def test_topk_flat_in_delta(self):
+        """log log Δ: doubling the exponent adds exactly 1."""
+        b1 = bound_topk(4, 64, 2.0**16, 0.1)
+        b2 = bound_topk(4, 64, 2.0**32, 0.1)
+        assert b2 - b1 == pytest.approx(1.0)
+
+    def test_topk_grows_as_eps_shrinks(self):
+        assert bound_topk(4, 64, 2**16, 0.01) > bound_topk(4, 64, 2**16, 0.2)
+
+    def test_dense_superlinear_in_sigma(self):
+        b8 = bound_dense(8, 10_000, 2**16, 0.1)
+        b16 = bound_dense(16, 10_000, 2**16, 0.1)
+        assert b16 > 2.5 * b8  # σ² term dominates
+
+    def test_cor59_linear_in_sigma(self):
+        b8 = bound_cor59(8, 4, 64, 2**16, 0.1)
+        b16 = bound_cor59(16, 4, 64, 2**16, 0.1)
+        assert b16 - b8 == pytest.approx(8.0)
+
+    def test_lower_bound_ratio(self):
+        assert lower_bound_ratio(20, 4) == pytest.approx(16 / 5)
+        assert lower_bound_ratio(4, 4) == 1.0  # clamped
+
+    def test_loglog_clamped(self):
+        assert loglog_term(2.0) == 1.0
+        assert loglog_term(2.0**16) == 4.0
+
+
+class TestFitting:
+    def test_slope_exact_line(self):
+        xs = [1.0, 2.0, 3.0, 4.0]
+        ys = [3.0, 5.0, 7.0, 9.0]
+        assert fitted_slope(xs, ys) == pytest.approx(2.0)
+
+    def test_correlation_perfect(self):
+        assert correlation([1, 2, 3], [2, 4, 6]) == pytest.approx(1.0)
+        assert correlation([1, 2, 3], [6, 4, 2]) == pytest.approx(-1.0)
+
+    def test_correlation_degenerate(self):
+        assert correlation([1, 2, 3], [5, 5, 5]) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fitted_slope([1.0], [2.0])
+        with pytest.raises(ValueError):
+            fitted_slope([1.0, 1.0], [2.0, 3.0])

@@ -1,0 +1,97 @@
+"""Tests for :mod:`repro.core.exact_monitor` (Cor. 3.3 and the [6] baseline)."""
+
+import numpy as np
+import pytest
+
+from repro.core.exact_monitor import ExactTopKMonitor
+from repro.model.engine import MonitoringEngine
+from repro.streams.adversarial import oscillation_trace
+from repro.streams.base import Trace
+from repro.streams.synthetic import random_walk
+from repro.streams.transforms import make_distinct
+
+
+def run(trace, k, *, use_existence=True, seed=0, check=True):
+    algo = ExactTopKMonitor(k, use_existence=use_existence)
+    engine = MonitoringEngine(trace, algo, k=k, eps=0.0, seed=seed, check=check)
+    return engine.run(), algo
+
+
+class TestCorrectness:
+    def test_tracks_exact_topk_on_walks(self):
+        trace = make_distinct(random_walk(200, 12, high=8192, step=64, rng=3))
+        result, _ = run(trace, 3)  # check=True verifies every step
+        assert result.num_steps == 200
+
+    def test_works_for_k1(self):
+        trace = make_distinct(random_walk(100, 8, high=1024, step=32, rng=4))
+        run(trace, 1)
+
+    def test_works_for_large_k(self):
+        trace = make_distinct(random_walk(100, 8, high=1024, step=32, rng=5))
+        run(trace, 7)
+
+    def test_handles_rank_swap(self):
+        """A hand-built crossing must flip the output set."""
+        data = np.array(
+            [
+                [100.0, 50.0, 10.0, 5.0],
+                [100.0, 50.0, 10.0, 5.0],
+                [40.0, 50.0, 10.0, 5.0],  # node 0 drops below node 1
+            ]
+        )
+        trace = make_distinct(Trace(data))
+        result, _ = run(trace, 1)
+        assert result.outputs[0] == {0}
+        assert result.outputs[-1] == {1}
+
+    def test_valid_even_with_ties(self):
+        """Without make_distinct the ε=0 validity definition still holds."""
+        data = np.tile(np.array([7.0, 7.0, 7.0, 1.0]), (5, 1))
+        run(Trace(data), 2)
+
+
+class TestCosts:
+    def test_silence_costs_nothing_after_setup(self):
+        trace = oscillation_trace(200, 10, 3, amplitude=100.0, gap=10_000.0, rng=1)
+        result, algo = run(trace, 3)
+        assert algo.phases == 1
+        # Setup probe + one filter broadcast; then silence.
+        assert result.messages < 80
+        assert sum(result.ledger.per_step[1:]) == 0
+
+    def test_existence_beats_baseline_on_walks(self):
+        """Corollary 3.3 never loses; its excess is the boundary re-probe."""
+        trace = make_distinct(random_walk(300, 64, high=2**16, step=256, rng=6))
+        res_new, _ = run(trace, 4, use_existence=True, check=False)
+        res_old, _ = run(trace, 4, use_existence=False, check=False)
+        assert res_old.messages > res_new.messages
+        assert res_old.ledger.by_scope().get("boundary_reprobe", 0) > 0
+        assert "boundary_reprobe" not in res_new.ledger.by_scope()
+
+    def test_existence_gap_large_under_chaser(self):
+        """Violation-heavy adversary: the Θ(log n) factor dominates."""
+        from repro.model.engine import MonitoringEngine
+        from repro.streams.adversarial import PivotChaser
+
+        msgs = {}
+        for use_existence in (True, False):
+            source = PivotChaser(300, n=32, k=3, high=float(2**20))
+            algo = ExactTopKMonitor(3, use_existence=use_existence)
+            res = MonitoringEngine(source, algo, k=3, eps=0.0, seed=1,
+                                   record_outputs=False).run()
+            msgs[use_existence] = res.messages
+        assert msgs[False] > 1.4 * msgs[True]
+
+    def test_phase_count_independent_of_detection(self):
+        trace = make_distinct(random_walk(150, 16, high=4096, step=64, rng=7))
+        _, algo_new = run(trace, 3, use_existence=True, check=False)
+        _, algo_old = run(trace, 3, use_existence=False, check=False)
+        # Phases are driven by L emptying, not by how violators are found.
+        assert algo_old.phases == pytest.approx(algo_new.phases, abs=max(2, algo_new.phases))
+
+
+class TestNames:
+    def test_names_distinguish_variants(self):
+        assert ExactTopKMonitor(2).name == "exact-cor3.3"
+        assert ExactTopKMonitor(2, use_existence=False).name == "exact-ipdps15"

@@ -1,0 +1,64 @@
+"""Tests for :mod:`repro.core.halfeps` (Corollary 5.9)."""
+
+import numpy as np
+
+from repro.core.halfeps import HalfEpsMonitor
+from repro.model.engine import MonitoringEngine
+from repro.offline.opt import offline_opt
+from repro.streams.base import Trace
+from repro.streams.workloads import sensor_field
+
+
+def run(trace, k, eps, *, seed=0, check=True):
+    algo = HalfEpsMonitor(k, eps)
+    engine = MonitoringEngine(trace, algo, k=k, eps=eps, seed=seed, check=check)
+    return engine.run(), algo
+
+
+class TestCorrectness:
+    def test_valid_on_sensor_field(self):
+        trace = sensor_field(250, 20, 4, eps=0.1, band=10, rng=1)
+        result, algo = run(trace, 4, 0.1)
+        assert algo.dense_phases >= 1
+
+    def test_valid_on_separated_values(self):
+        data = np.tile(np.array([1000.0, 900.0, 100.0, 90.0]), (30, 1))
+        _, algo = run(Trace(data), 2, 0.1)
+        assert algo.topk_phases == 1
+
+    def test_frozen_dense_values_are_silent(self):
+        row = np.array([100.0, 99.0, 98.0, 97.0, 50.0, 40.0])
+        trace = Trace(np.tile(row, (60, 1)))
+        result, algo = run(trace, 3, 0.2)
+        assert sum(result.ledger.per_step[1:]) == 0
+
+
+class TestCheapPhases:
+    def test_phase_cost_linear_in_sigma(self):
+        """Cor. 5.9: O(σ + k log n) per phase — no σ·log² blowup."""
+        trace = sensor_field(300, 40, 4, eps=0.2, band=20, wobble=0.9, rng=2)
+        result, algo = run(trace, 4, 0.2, check=False)
+        sigma = trace.sigma_max(4, 0.2)
+        per_phase = result.messages / max(1, algo.phases)
+        # σ + k log n + slack ≈ 20 + 4*5.3 + … : allow a 6x constant.
+        assert per_phase <= 6 * (sigma + 4 * np.log2(40) + 10)
+
+    def test_cheaper_than_full_dense_on_hot_band(self):
+        from repro.core.approx_monitor import ApproxTopKMonitor
+
+        trace = sensor_field(400, 32, 4, eps=0.2, band=16, wobble=1.0, rng=3)
+        halfeps_res, _ = run(trace, 4, 0.2, check=False)
+        dense = ApproxTopKMonitor(4, 0.2)
+        dense_res = MonitoringEngine(trace, dense, k=4, eps=0.2, seed=0).run()
+        assert halfeps_res.messages < dense_res.messages
+
+
+class TestCompetitiveAgainstHalfEpsOpt:
+    def test_ratio_vs_restricted_adversary(self):
+        trace = sensor_field(300, 24, 4, eps=0.2, band=12, wobble=0.8, rng=4)
+        result, algo = run(trace, 4, 0.2, check=False)
+        opt = offline_opt(trace, 4, 0.1)  # ε' = ε/2
+        ratio = result.messages / opt.ratio_denominator
+        sigma = trace.sigma_max(4, 0.2)
+        bound = sigma + 4 * np.log2(24) + 20
+        assert ratio < 20 * bound, f"ratio {ratio} >> Cor 5.9 bound {bound}"

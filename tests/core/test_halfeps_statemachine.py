@@ -1,0 +1,123 @@
+"""State-machine tests for the Corollary 5.9 one-round-dense core."""
+
+import numpy as np
+import pytest
+
+from repro.core.halfeps import OneRoundDenseCore
+from repro.core.phased import PhaseOutcome
+from repro.core.primitives import detect_violation_existence
+from repro.model.channel import Channel
+from repro.model.ledger import CostLedger
+from repro.model.node import NodeArray
+
+# k=2, eps=0.2, z=100 → ℓ₀ = 90, u₀ = 112.5.
+K = 2
+EPS = 0.2
+BASE = np.array([100.0, 100.0, 95.0, 111.0, 30.0, 20.0])
+PROBE = [(0, 100.0), (1, 100.0), (2, 95.0)]
+
+
+@pytest.fixture
+def world():
+    nodes = NodeArray(6)
+    nodes.deliver(BASE)
+    channel = Channel(nodes, CostLedger(), 3)
+    core = OneRoundDenseCore(channel, K, EPS, PROBE)
+    core.start()
+    return core, nodes, channel
+
+
+def settle(core, channel, max_iter=200):
+    for _ in range(max_iter):
+        violation = detect_violation_existence(channel)
+        if violation is None:
+            return None
+        outcome = core.handle(violation)
+        if outcome is not None:
+            return outcome
+    raise AssertionError("no settlement")
+
+
+class TestClassification:
+    def test_thresholds(self, world):
+        core, _, _ = world
+        assert core.l0 == pytest.approx(90.0)
+        assert core.u0 == pytest.approx(112.5)
+
+    def test_partition(self, world):
+        core, _, _ = world
+        assert core.V1 == set()  # nobody above 112.5
+        assert core.V2 == {0, 1, 2, 3}
+        assert core.V3 == {4, 5}
+
+    def test_start_is_silent(self, world):
+        core, nodes, _ = world
+        assert not nodes.violating_mask().any()
+
+    def test_output_filled_from_v2(self, world):
+        core, _, _ = world
+        out = core.output()
+        assert len(out) == K and out <= core.V2
+
+
+class TestPromotions:
+    def test_v2_rises_to_v1(self, world):
+        core, nodes, channel = world
+        row = BASE.copy()
+        row[3] = 120.0  # above u₀
+        nodes.deliver(row)
+        assert settle(core, channel) is None
+        assert 3 in core.V1 and 3 not in core.V2
+        assert 3 in core.output()  # V1 is mandatory
+        assert core.moves == 1
+
+    def test_v2_falls_to_v3(self, world):
+        core, nodes, channel = world
+        row = BASE.copy()
+        row[2] = 50.0  # below ℓ₀
+        nodes.deliver(row)
+        assert settle(core, channel) is None
+        assert 2 in core.V3 and 2 not in core.V2
+
+    def test_moves_are_single_unicast_each(self, world):
+        core, nodes, channel = world
+        before = channel.ledger.messages
+        row = BASE.copy()
+        row[3] = 120.0
+        nodes.deliver(row)
+        settle(core, channel)
+        # detection (existence, O(1)) + one unicast filter: tiny.
+        assert channel.ledger.messages - before <= 8
+
+
+class TestTermination:
+    def test_v1_violation_ends_phase(self, world):
+        core, nodes, channel = world
+        row = BASE.copy()
+        row[3] = 120.0
+        nodes.deliver(row)
+        settle(core, channel)  # 3 → V1
+        row[3] = 70.0  # V1 node collapses below ℓ₀
+        nodes.deliver(row)
+        assert settle(core, channel) is PhaseOutcome.RESTART
+
+    def test_v3_violation_ends_phase(self, world):
+        core, nodes, channel = world
+        row = BASE.copy()
+        row[4] = 120.0  # a V3 node erupts above u₀
+        nodes.deliver(row)
+        assert settle(core, channel) is PhaseOutcome.RESTART
+
+    def test_v1_overflow_ends_phase(self, world):
+        core, nodes, channel = world
+        row = BASE.copy()
+        row[[0, 1, 2]] = 130.0  # three nodes (> k) rise above u₀
+        nodes.deliver(row)
+        assert settle(core, channel) is PhaseOutcome.RESTART
+
+    def test_starvation_ends_phase(self, world):
+        core, nodes, channel = world
+        row = BASE.copy()
+        row[[0, 1, 2]] = 50.0  # V2 drains below k remaining candidates
+        nodes.deliver(row)
+        assert settle(core, channel) is PhaseOutcome.RESTART

@@ -1,0 +1,38 @@
+"""Tests for :mod:`repro.core.naive`."""
+
+import numpy as np
+
+from repro.core.naive import SendAlwaysMonitor, SendOnChangeMonitor
+from repro.model.engine import MonitoringEngine
+from repro.streams.base import Trace
+from repro.streams.synthetic import random_walk
+from repro.streams.transforms import make_distinct
+
+
+class TestSendAlways:
+    def test_cost_is_n_plus_query_per_step(self):
+        data = np.tile(np.arange(6, dtype=float), (10, 1))
+        res = MonitoringEngine(Trace(data), SendAlwaysMonitor(2), k=2, check=True).run()
+        assert res.messages == 10 * (6 + 1)  # n replies + 1 query broadcast
+
+    def test_output_exact(self):
+        trace = make_distinct(random_walk(40, 8, rng=0))
+        res = MonitoringEngine(trace, SendAlwaysMonitor(3), k=3, eps=0.0, check=True).run()
+        assert res.num_steps == 40
+
+
+class TestSendOnChange:
+    def test_frozen_trace_costs_only_setup(self):
+        data = np.tile(np.arange(6, dtype=float), (20, 1))
+        res = MonitoringEngine(Trace(data), SendOnChangeMonitor(2), k=2, check=True).run()
+        assert res.messages == 6 + 1 + 1  # initial collect + freeze broadcast
+
+    def test_every_change_costs(self):
+        trace = make_distinct(random_walk(50, 8, step=16, lazy=0.0, rng=1))
+        res = MonitoringEngine(trace, SendOnChangeMonitor(3), k=3, eps=0.0, check=True).run()
+        changes = int((np.diff(trace.data, axis=0) != 0).sum())
+        assert res.messages >= changes  # at least one message per change
+
+    def test_output_tracks_exact_topk(self):
+        trace = make_distinct(random_walk(60, 8, step=64, rng=2))
+        MonitoringEngine(trace, SendOnChangeMonitor(3), k=3, eps=0.0, check=True).run()

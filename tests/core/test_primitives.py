@@ -1,0 +1,205 @@
+"""Unit tests for :mod:`repro.core.primitives` (Lemma 2.6 / Cor. 3.2)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.primitives import (
+    detect_violation_bisection,
+    detect_violation_direct,
+    detect_violation_existence,
+    max_protocol,
+    min_protocol,
+    top_m_probe,
+)
+from repro.model.channel import Channel
+from repro.model.ledger import CostLedger
+from repro.model.node import NodeArray
+from repro.util.intervals import Interval
+
+
+def make_channel(values, seed=0):
+    nodes = NodeArray(len(values))
+    nodes.deliver(np.asarray(values, dtype=float))
+    led = CostLedger()
+    return Channel(nodes, led, seed), nodes, led
+
+
+class TestMaxProtocol:
+    def test_finds_max(self):
+        rng = np.random.default_rng(0)
+        for trial in range(30):
+            values = rng.permutation(64).astype(float)
+            ch, _, _ = make_channel(values, seed=trial)
+            node, value = max_protocol(ch)
+            assert value == values.max()
+            assert values[node] == value
+
+    def test_none_when_empty(self):
+        ch, _, _ = make_channel([1.0, 2.0])
+        assert max_protocol(ch, above=10.0) is None
+
+    def test_threshold_respected(self):
+        ch, _, _ = make_channel([1.0, 5.0, 9.0])
+        node, value = max_protocol(ch, above=4.0)
+        assert value == 9.0
+
+    def test_exclusion(self):
+        ch, _, _ = make_channel([1.0, 5.0, 9.0])
+        node, value = max_protocol(ch, exclude=np.array([2]))
+        assert (node, value) == (1, 5.0)
+
+    def test_expected_messages_logarithmic(self):
+        """Lemma 2.6: O(log n) messages on expectation."""
+        rng = np.random.default_rng(7)
+        for n in (32, 256, 1024):
+            total = 0
+            trials = 40
+            for _ in range(trials):
+                values = rng.permutation(n).astype(float)
+                ch, _, led = make_channel(values, seed=rng)
+                max_protocol(ch)
+                total += led.messages
+            mean = total / trials
+            # Each of ~log2(n) expected iterations costs 1 broadcast plus
+            # O(1) expected replies; allow a generous constant.
+            assert mean <= 10 * math.log2(n) + 10, f"n={n}: mean={mean}"
+
+    def test_ties_resolved_to_max_value(self):
+        ch, _, _ = make_channel([5.0, 9.0, 9.0, 1.0])
+        node, value = max_protocol(ch)
+        assert value == 9.0 and node in (1, 2)
+
+
+class TestTopMProbe:
+    def test_exact_top_values(self):
+        rng = np.random.default_rng(1)
+        for trial in range(20):
+            values = rng.permutation(40).astype(float)
+            ch, _, _ = make_channel(values, seed=trial)
+            probe = top_m_probe(ch, 5)
+            got = [v for _, v in probe]
+            assert got == sorted(values, reverse=True)[:5]
+            assert all(values[i] == v for i, v in probe)
+
+    def test_handles_ties(self):
+        ch, _, _ = make_channel([7.0, 7.0, 3.0, 1.0])
+        probe = top_m_probe(ch, 3)
+        assert [v for _, v in probe] == [7.0, 7.0, 3.0]
+        assert {i for i, _ in probe[:2]} == {0, 1}
+
+    def test_m_validation(self):
+        ch, _, _ = make_channel([1.0, 2.0])
+        with pytest.raises(ValueError):
+            top_m_probe(ch, 0)
+        with pytest.raises(ValueError):
+            top_m_probe(ch, 3)
+
+    def test_cost_scales_with_m(self):
+        values = np.arange(128, dtype=float)
+        costs = []
+        for m in (1, 4, 8):
+            ch, _, led = make_channel(values, seed=2)
+            top_m_probe(ch, m)
+            costs.append(led.messages)
+        assert costs[0] < costs[1] < costs[2]
+
+    def test_scope_attribution(self):
+        ch, _, led = make_channel([3.0, 1.0, 2.0])
+        top_m_probe(ch, 2)
+        by = led.by_scope()
+        assert by.get("max_protocol", 0) > 0
+        assert by.get("top_m_probe", 0) > 0  # the stand-down notifies
+
+
+class TestMinProtocol:
+    def test_finds_min(self):
+        rng = np.random.default_rng(5)
+        for trial in range(20):
+            values = rng.permutation(48).astype(float) + 3.0
+            ch, _, _ = make_channel(values, seed=trial)
+            node, value = min_protocol(ch)
+            assert value == values.min() and values[node] == value
+
+    def test_exclusion_and_threshold(self):
+        ch, _, _ = make_channel([9.0, 5.0, 1.0])
+        assert min_protocol(ch, exclude=np.array([2])) == (1, 5.0)
+        assert min_protocol(ch, below=1.0) is None
+
+    def test_logarithmic_cost(self):
+        rng = np.random.default_rng(8)
+        total = 0.0
+        trials = 40
+        for _ in range(trials):
+            values = rng.permutation(512).astype(float)
+            ch, _, led = make_channel(values, seed=rng)
+            min_protocol(ch)
+            total += led.messages
+        assert total / trials <= 10 * math.log2(512) + 10
+
+
+class TestDirectDetection:
+    def test_silent_zero_cost(self):
+        ch, _, led = make_channel([1.0] * 8)
+        assert detect_violation_direct(ch) is None
+        assert led.messages == 0
+
+    def test_every_violator_charged(self):
+        ch, nodes, led = make_channel([10.0] * 8)
+        nodes.set_filters_bulk(np.arange(4), 0.0, 5.0)  # 4 violators
+        rep = detect_violation_direct(ch)
+        assert rep is not None and rep.node == 0  # lowest id acted upon
+        assert led.node_to_server == 4  # all four reports were sent
+
+
+class TestExistenceDetection:
+    def test_silent_zero_cost(self):
+        ch, _, led = make_channel([1.0, 2.0])
+        assert detect_violation_existence(ch) is None
+        assert led.messages == 0
+
+    def test_detects(self):
+        ch, nodes, _ = make_channel([10.0, 20.0])
+        nodes.set_filter(1, Interval(0.0, 15.0))
+        rep = detect_violation_existence(ch)
+        assert rep is not None and rep.node == 1 and rep.from_below
+
+
+class TestBisectionDetection:
+    def test_silent_cost_is_one_query(self):
+        ch, _, led = make_channel([1.0] * 16)
+        assert detect_violation_bisection(ch) is None
+        assert led.messages == 1  # the root range query (no reply)
+
+    def test_finds_lowest_id_violator(self):
+        ch, nodes, _ = make_channel([10.0] * 16)
+        nodes.set_filter(5, Interval(0.0, 5.0))
+        nodes.set_filter(11, Interval(0.0, 5.0))
+        rep = detect_violation_bisection(ch)
+        assert rep is not None and rep.node == 5
+
+    def test_cost_is_theta_log_n(self):
+        n = 256
+        ch, nodes, led = make_channel([10.0] * n)
+        nodes.set_filter(200, Interval(0.0, 5.0))
+        rep = detect_violation_bisection(ch)
+        assert rep is not None and rep.node == 200
+        # 1 root + log2(n) bisection queries (1-2 msgs each) + final fetch.
+        assert led.messages >= math.log2(n)
+        assert led.messages <= 3 * math.log2(n) + 4
+
+    def test_more_expensive_than_existence(self):
+        """The whole point of Lemma 3.1."""
+        n = 512
+        cost_exist, cost_bisect = 0, 0
+        for seed in range(20):
+            ch, nodes, led = make_channel([10.0] * n, seed=seed)
+            nodes.set_filter(99, Interval(0.0, 5.0))
+            detect_violation_existence(ch)
+            cost_exist += led.messages
+            ch2, nodes2, led2 = make_channel([10.0] * n, seed=seed)
+            nodes2.set_filter(99, Interval(0.0, 5.0))
+            detect_violation_bisection(ch2)
+            cost_bisect += led2.messages
+        assert cost_bisect > 3 * cost_exist

@@ -1,0 +1,133 @@
+"""State-machine tests for the Section-4 strategy ladder (A1 → A2 → A3 → P4).
+
+Drives a :class:`TopKCore` with crafted violations and asserts that each
+property regime uses the pivot rule Lemmas 4.1–4.3 prescribe, that the
+guess interval's invariant updates are exact, and that the phase ends
+exactly when ``L`` empties.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.phased import PhaseOutcome
+from repro.core.primitives import detect_violation_existence
+from repro.core.topk_protocol import TopKCore
+from repro.model.channel import Channel, Violation
+from repro.model.ledger import CostLedger
+from repro.model.node import NodeArray, VIOLATION_ABOVE, VIOLATION_BELOW
+
+
+def make_core(values, k=2, eps=0.25, seed=0):
+    nodes = NodeArray(len(values))
+    nodes.deliver(np.asarray(values, dtype=float))
+    channel = Channel(nodes, CostLedger(), seed)
+    order = np.argsort(values)[::-1]
+    probe = [(int(i), float(values[i])) for i in order[: k + 1]]
+    core = TopKCore(channel, k, eps, probe)
+    core.start()
+    return core, nodes, channel
+
+
+def settle(core, channel, max_iter=300):
+    for _ in range(max_iter):
+        violation = detect_violation_existence(channel)
+        if violation is None:
+            return None
+        outcome = core.handle(violation)
+        if outcome is not None:
+            return outcome
+    raise AssertionError("no settlement")
+
+
+class TestLadderWalk:
+    def test_full_descent_a1_to_p4(self):
+        """Chasing violations walk the ladder down without skipping."""
+        values = [2.0**40, 2.0**39, 8.0, 2.0]  # L = [8, 2^39]: (P1)
+        core, nodes, channel = make_core(values)
+        seen = [core.mode]
+        # Ride the pivot from below until the phase ends.
+        for _ in range(200):
+            pivot = nodes.filter_hi[2]  # node 2's F2 filter ends at the pivot
+            if not np.isfinite(pivot):
+                break
+            target = pivot + 1.0
+            if target >= values[1]:  # would cross the top plateau
+                break
+            row = nodes.values.copy()
+            row[2] = target
+            nodes.deliver(row)
+            if settle(core, channel) is not None:
+                break
+            if core.mode != seen[-1]:
+                seen.append(core.mode)
+        assert seen[0] == "A1"
+        assert seen == [m for m in ["A1", "A2", "A3", "P4"] if m in seen]  # ordered
+        assert "P4" in seen  # the overlap phase is reached
+
+    def test_a1_needs_only_loglog_violations(self):
+        values = [2.0**40, 2.0**39, 8.0, 2.0]
+        core, nodes, channel = make_core(values)
+        count = 0
+        while core.mode == "A1" and count < 50:
+            pivot = nodes.filter_hi[2]
+            row = nodes.values.copy()
+            row[2] = pivot + 1.0
+            nodes.deliver(row)
+            settle(core, channel)
+            count += 1
+        # log log 2^39 ≈ 5.3: the doubly-exponential sweep is short.
+        assert count <= 10
+
+
+class TestInvariantUpdates:
+    def test_from_below_raises_lo(self):
+        values = [1000.0, 900.0, 300.0, 3.0]
+        core, _, _ = make_core(values)  # A3: pivot 600
+        outcome = core.handle(Violation(2, 700.0, VIOLATION_BELOW))
+        assert outcome is None
+        assert core.lo == 700.0 and core.hi == 900.0
+
+    def test_from_above_lowers_hi(self):
+        values = [1000.0, 900.0, 300.0, 3.0]
+        core, _, _ = make_core(values)
+        outcome = core.handle(Violation(1, 450.0, VIOLATION_ABOVE))
+        assert outcome is None
+        assert core.hi == 450.0 and core.lo == 300.0
+
+    def test_crossing_updates_empty_l_and_restart(self):
+        values = [1000.0, 900.0, 300.0, 3.0]
+        core, _, _ = make_core(values)
+        core.handle(Violation(2, 700.0, VIOLATION_BELOW))
+        outcome = core.handle(Violation(1, 650.0, VIOLATION_ABOVE))
+        assert outcome is PhaseOutcome.RESTART  # hi=650 < lo=700: L = ∅
+
+    def test_p4_single_violation_ends_phase(self):
+        values = [1000.0, 900.0, 890.0, 3.0]
+        core, _, _ = make_core(values, eps=0.25)
+        assert core.mode == "P4"
+        assert core.handle(Violation(3, 950.0, VIOLATION_BELOW)) is PhaseOutcome.RESTART
+
+    def test_output_fixed_for_whole_phase(self):
+        values = [1000.0, 900.0, 300.0, 3.0]
+        core, _, _ = make_core(values)
+        before = core.output()
+        core.handle(Violation(2, 700.0, VIOLATION_BELOW))
+        assert core.output() == before == frozenset({0, 1})
+
+
+class TestFiltersAlwaysRecover:
+    @pytest.mark.parametrize(
+        "values",
+        [
+            [2.0**40, 2.0**39, 8.0, 2.0],  # P1 regime
+            [2.0**40, 2.0**39, 2.0**30, 2.0],  # P2 regime
+            [1000.0, 900.0, 300.0, 3.0],  # P3 regime
+            [1000.0, 900.0, 890.0, 3.0],  # P4 regime
+            [5.0, 4.0, 3.0, 2.0],  # tiny values
+            [2.0, 1.0, 0.0, 0.0],  # degenerate tiny values with ties
+        ],
+    )
+    def test_start_is_silent(self, values):
+        """Phase-start filters always contain the probe-time values."""
+        core, nodes, _ = make_core(values)
+        assert not nodes.violating_mask().any(), (values, core.mode)

@@ -1,0 +1,122 @@
+"""Tests for :mod:`repro.core.topk_protocol` (Section 4)."""
+
+import numpy as np
+
+from repro.core.topk_protocol import TopKCore, TopKMonitor
+from repro.model.engine import MonitoringEngine
+from repro.offline.opt import offline_opt
+from repro.streams.base import Trace
+from repro.streams.synthetic import random_walk
+from repro.streams.transforms import make_distinct
+
+
+def run(trace, k, eps, *, seed=0, check=True):
+    algo = TopKMonitor(k, eps)
+    engine = MonitoringEngine(trace, algo, k=k, eps=eps, seed=seed, check=check)
+    return engine.run(), algo
+
+
+class TestCorrectness:
+    def test_valid_on_walks(self):
+        trace = make_distinct(random_walk(200, 12, high=2**14, step=128, rng=1))
+        run(trace, 3, 0.25)  # engine checks validity per step
+
+    def test_valid_on_small_eps(self):
+        trace = make_distinct(random_walk(150, 10, high=2**12, step=64, rng=2))
+        run(trace, 2, 0.01)
+
+    def test_huge_delta(self):
+        """Large Δ exercises the doubly-exponential A1 strategy."""
+        trace = make_distinct(random_walk(100, 8, high=2**40, step=2**30, rng=3))
+        result, algo = run(trace, 2, 0.1)
+        assert result.num_steps == 100
+
+
+class TestPhaseStrategies:
+    def _core(self, values, k=2, eps=0.25):
+        """Build a TopKCore directly on a static value set."""
+        from repro.model.channel import Channel
+        from repro.model.ledger import CostLedger
+        from repro.model.node import NodeArray
+
+        nodes = NodeArray(len(values))
+        nodes.deliver(np.asarray(values, dtype=float))
+        ch = Channel(nodes, CostLedger(), 0)
+        order = np.argsort(values)[::-1]
+        probe = [(int(i), float(values[i])) for i in order[: k + 1]]
+        core = TopKCore(ch, k, eps, probe)
+        core.start()
+        return core, nodes, ch
+
+    def test_a1_armed_for_doubly_exponential_gap(self):
+        values = [2.0**40, 2.0**39, 4.0, 3.0]
+        core, _, _ = self._core(values)  # L = [4, 2^39]
+        assert core.mode == "A1"
+
+    def test_a2_armed_for_polynomial_gap(self):
+        values = [2.0**40, 2.0**39, 2.0**30, 3.0]
+        core, _, _ = self._core(values)  # L = [2^30, 2^39]: loglog gap < 1
+        assert core.mode == "A2"
+
+    def test_a3_armed_for_constant_factor_gap(self):
+        values = [1000.0, 900.0, 300.0, 3.0]
+        core, _, _ = self._core(values)  # u = 900 <= 4*300, eps-wide
+        assert core.mode == "A3"
+
+    def test_p4_armed_inside_eps_overlap(self):
+        values = [1000.0, 900.0, 890.0, 3.0]
+        core, _, _ = self._core(values, eps=0.25)  # 900*(0.75) = 675 <= 890
+        assert core.mode == "P4"
+
+    def test_pivot_between_filters(self):
+        values = [1000.0, 900.0, 300.0, 3.0]
+        core, nodes, _ = self._core(values)
+        # All values must be inside the assigned filters at phase start.
+        assert not nodes.violating_mask().any()
+
+    def test_p4_violation_ends_phase(self):
+        from repro.core.phased import PhaseOutcome
+        from repro.model.channel import Violation
+        from repro.model.node import VIOLATION_BELOW
+
+        values = [1000.0, 900.0, 890.0, 3.0]
+        core, _, _ = self._core(values, eps=0.25)
+        outcome = core.handle(Violation(3, 950.0, VIOLATION_BELOW))
+        assert outcome is PhaseOutcome.RESTART
+
+    def test_violation_narrows_interval(self):
+        from repro.model.channel import Violation
+        from repro.model.node import VIOLATION_BELOW
+
+        values = [1000.0, 900.0, 300.0, 3.0]
+        core, nodes, _ = self._core(values)
+        before = core.hi - core.lo
+        nodes.deliver(np.array([1000.0, 900.0, 620.0, 3.0]))
+        outcome = core.handle(Violation(2, 620.0, VIOLATION_BELOW))
+        assert outcome is None
+        assert core.lo == 620.0
+        assert (core.hi - core.lo) < before
+
+    def test_mode_entry_stats_recorded(self):
+        values = [2.0**40, 2.0**39, 4.0, 3.0]
+        core, _, _ = self._core(values)
+        assert core.mode_entries["A1"] == 1
+
+
+class TestCompetitiveness:
+    def test_ratio_against_exact_opt_is_moderate(self):
+        """Thm 4.5: O(k log n + log log Δ + log 1/ε) per OPT message."""
+        trace = make_distinct(random_walk(400, 16, high=2**16, step=512, rng=4))
+        result, algo = run(trace, 3, 0.2, check=False)
+        opt = offline_opt(trace, 3, 0.0)  # the exact adversary
+        ratio = result.messages / opt.ratio_denominator
+        # k log n + loglog Δ + log 1/ε ≈ 3*4 + 4.5 + 2.3 ≈ 19; allow 20x.
+        assert ratio < 400, f"ratio {ratio} out of line with Thm 4.5"
+
+    def test_phases_track_opt(self):
+        trace = make_distinct(random_walk(300, 12, high=2**14, step=256, rng=5))
+        _, algo = run(trace, 3, 0.2, check=False)
+        opt = offline_opt(trace, 3, 0.0)
+        # Every finished phase forces >= 1 OPT message (Thm 4.5);
+        # the running phase may be unfinished, hence the +1.
+        assert algo.phases <= opt.message_lb + 1

@@ -1,0 +1,30 @@
+"""Tests for the ``python -m repro.experiments`` command line."""
+
+import pytest
+
+from repro.experiments.__main__ import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "T1" in out and "Lemma 3.1" in out
+
+    def test_run_single_experiment(self, tmp_path, capsys):
+        assert main(["run", "T2", "--outdir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "[T2] done" in out
+        assert (tmp_path / "T2" / "report.md").exists()
+        assert (tmp_path / "T2" / "max_protocol.csv").exists()
+
+    def test_unknown_id_fails(self, tmp_path, capsys):
+        assert main(["run", "T99", "--outdir", str(tmp_path)]) == 2
+        assert "unknown experiment ids" in capsys.readouterr().err
+
+    def test_seed_flag_respected(self, tmp_path):
+        main(["run", "T2", "--outdir", str(tmp_path / "a"), "--seed", "5"])
+        main(["run", "T2", "--outdir", str(tmp_path / "b"), "--seed", "5"])
+        a = (tmp_path / "a" / "T2" / "max_protocol.csv").read_text()
+        b = (tmp_path / "b" / "T2" / "max_protocol.csv").read_text()
+        assert a == b

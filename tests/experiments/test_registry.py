@@ -1,0 +1,55 @@
+"""Tests for the experiment registry and result infrastructure."""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, run_experiment
+from repro.experiments.common import ExperimentResult
+from repro.util.tables import Table
+
+
+EXPECTED_IDS = {"T1", "T2", "T3", "T4", "T5", "T6", "T7", "T8", "T9", "T10", "T12", "T13"}
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        assert set(EXPERIMENTS) == EXPECTED_IDS
+
+    def test_specs_are_complete(self):
+        for spec in EXPERIMENTS.values():
+            assert spec.title
+            assert spec.validates
+            assert callable(spec.run)
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            run_experiment("T99")
+
+
+class TestExperimentResult:
+    def test_duplicate_table_rejected(self):
+        res = ExperimentResult("X", "x")
+        res.add_table("t", Table(["a"]))
+        with pytest.raises(ValueError, match="duplicate"):
+            res.add_table("t", Table(["a"]))
+
+    def test_markdown_contains_everything(self):
+        res = ExperimentResult("X", "demo title")
+        t = Table(["a"], title="tab")
+        t.add(1)
+        res.add_table("t", t)
+        res.add_figure("f", "ASCII ART")
+        res.note("a finding")
+        md = res.to_markdown()
+        assert "demo title" in md and "tab" in md
+        assert "ASCII ART" in md and "a finding" in md
+
+    def test_write_creates_files(self, tmp_path):
+        res = ExperimentResult("X", "demo")
+        t = Table(["a"])
+        t.add(1)
+        res.add_table("t", t)
+        res.add_figure("f", "art")
+        outdir = res.write(tmp_path)
+        assert (outdir / "report.md").exists()
+        assert (outdir / "t.csv").read_text().startswith("a\n")
+        assert (outdir / "f.txt").read_text() == "art"

@@ -1,0 +1,54 @@
+"""Smoke tests: every experiment runs in quick mode and yields its tables.
+
+The benchmark harness asserts the *claims*; these only assert structure,
+so a broken sweep fails fast in the unit suite with a clear message.
+"""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, run_experiment
+
+#: Tables each experiment must produce (DESIGN.md §3's deliverables).
+REQUIRED_TABLES = {
+    "T1": {"messages"},
+    "T2": {"max_protocol", "top_m_probe"},
+    "T3": {"exact_sweep", "chaser_sweep"},
+    "T4": {"delta_sweep", "eps_sweep"},
+    "T5": {"lower_bound"},
+    "T6": {"sigma_sweep", "eps_sweep"},
+    "T7": {"halfeps_sweep"},
+    "T8": {"totals"},
+    "T9": {"dispatch"},
+    "T10": {"pivot_ablation", "existence_ablation"},
+    "T12": {"opt_phases", "ratio_grid"},
+    "T13": {"broadcast_pricing", "existence_base"},
+}
+
+
+@pytest.fixture(scope="module")
+def results():
+    return {exp_id: run_experiment(exp_id, quick=True, seed=1) for exp_id in EXPERIMENTS}
+
+
+@pytest.mark.parametrize("exp_id", sorted(REQUIRED_TABLES))
+def test_experiment_produces_required_tables(exp_id, results):
+    result = results[exp_id]
+    assert result.exp_id == exp_id
+    missing = REQUIRED_TABLES[exp_id] - set(result.tables)
+    assert not missing, f"{exp_id} missing tables {missing}"
+    for name, table in result.tables.items():
+        assert len(table) > 0, f"{exp_id}/{name} is empty"
+
+
+@pytest.mark.parametrize("exp_id", sorted(REQUIRED_TABLES))
+def test_experiment_has_notes_and_renders(exp_id, results):
+    result = results[exp_id]
+    assert result.notes, f"{exp_id} reports no findings"
+    md = result.to_markdown()
+    assert exp_id in md
+
+
+def test_quick_runs_are_deterministic():
+    a = run_experiment("T2", quick=True, seed=3)
+    b = run_experiment("T2", quick=True, seed=3)
+    assert a.tables["max_protocol"].rows == b.tables["max_protocol"].rows

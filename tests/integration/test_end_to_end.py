@@ -1,0 +1,85 @@
+"""Integration: every algorithm × every workload, laws enforced per step."""
+
+import numpy as np
+import pytest
+
+from repro.core.approx_monitor import ApproxTopKMonitor
+from repro.core.exact_monitor import ExactTopKMonitor
+from repro.core.halfeps import HalfEpsMonitor
+from repro.core.naive import SendAlwaysMonitor, SendOnChangeMonitor
+from repro.core.topk_protocol import TopKMonitor
+from repro.model.engine import MonitoringEngine
+from repro.streams.adversarial import oscillation_trace
+from repro.streams.synthetic import iid_uniform, random_walk, sine_drift, step_levels
+from repro.streams.transforms import make_distinct
+from repro.streams.workloads import cluster_load, sensor_field
+
+K = 3
+N = 12
+T = 120
+EPS = 0.15
+
+
+def workloads():
+    return {
+        "walk": make_distinct(random_walk(T, N, high=4096, step=64, rng=10)),
+        "iid": make_distinct(iid_uniform(T, N, high=4096, rng=11)),
+        "sine": make_distinct(sine_drift(T, N, rng=12)),
+        "levels": make_distinct(step_levels(T, N, rng=13)),
+        "cluster": make_distinct(cluster_load(T, N, rng=14)),
+        "sensor": sensor_field(T, N, K, eps=EPS, band=7, rng=15),
+        "oscillation": oscillation_trace(T, N, K, rng=16),
+    }
+
+
+ALGORITHMS = {
+    "exact-cor3.3": (lambda: ExactTopKMonitor(K), 0.0),
+    "exact-ipdps15": (lambda: ExactTopKMonitor(K, use_existence=False), 0.0),
+    "topk-protocol": (lambda: TopKMonitor(K, EPS), EPS),
+    "approx-monitor": (lambda: ApproxTopKMonitor(K, EPS), EPS),
+    "halfeps-monitor": (lambda: HalfEpsMonitor(K, EPS), EPS),
+    "send-always": (lambda: SendAlwaysMonitor(K), 0.0),
+    "send-on-change": (lambda: SendOnChangeMonitor(K), 0.0),
+}
+
+
+@pytest.mark.parametrize("workload", sorted(workloads()))
+@pytest.mark.parametrize("algo_name", sorted(ALGORITHMS))
+def test_all_pairs_stay_valid(algo_name, workload):
+    """The model's three laws hold at every time step for every pair."""
+    factory, eps = ALGORITHMS[algo_name]
+    trace = workloads()[workload]
+    engine = MonitoringEngine(trace, factory(), k=K, eps=eps, seed=1, check=True)
+    result = engine.run()
+    assert result.num_steps == T
+    assert len(result.ledger.per_step) == T
+
+
+def test_rounds_stay_polylog():
+    """The model allows polylog rounds between steps; audit the worst case."""
+    trace = make_distinct(cluster_load(200, 32, rng=17))
+    for factory, eps in (ALGORITHMS["exact-cor3.3"], ALGORITHMS["approx-monitor"]):
+        engine = MonitoringEngine(trace, factory(), k=K, eps=eps, seed=1)
+        result = engine.run()
+        # Generous polylog budget: c * log^3(n * Delta).
+        budget = 30 * np.log2(32 * trace.delta) ** 2
+        assert result.ledger.max_rounds_per_step < budget
+
+
+def test_deterministic_given_seed():
+    trace = make_distinct(random_walk(100, 10, high=2048, step=64, rng=3))
+    runs = [
+        MonitoringEngine(trace, ApproxTopKMonitor(K, EPS), k=K, eps=EPS, seed=5).run().messages
+        for _ in range(2)
+    ]
+    assert runs[0] == runs[1]
+
+
+def test_different_seeds_vary_only_in_randomized_cost():
+    trace = make_distinct(random_walk(100, 10, high=2048, step=64, rng=3))
+    msgs = {
+        MonitoringEngine(trace, ApproxTopKMonitor(K, EPS), k=K, eps=EPS, seed=s).run().messages
+        for s in range(4)
+    }
+    # Costs differ across seeds (Las Vegas) but within a sane band.
+    assert max(msgs) < 3 * min(msgs)

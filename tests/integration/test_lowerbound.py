@@ -1,0 +1,49 @@
+"""Integration: the Theorem 5.1 lower bound bites every filter-based monitor."""
+
+import pytest
+
+from repro.core.approx_monitor import ApproxTopKMonitor
+from repro.core.halfeps import HalfEpsMonitor
+from repro.model.engine import MonitoringEngine
+from repro.offline.opt import offline_opt
+from repro.streams.adversarial import LowerBoundAdversary
+
+N, K, SIGMA, EPS = 24, 3, 16, 0.2
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [lambda: ApproxTopKMonitor(K, EPS), lambda: HalfEpsMonitor(K, EPS)],
+    ids=["approx", "halfeps"],
+)
+def test_online_pays_sigma_minus_k_per_epoch(factory):
+    adv = LowerBoundAdversary(N, K, SIGMA, eps=EPS, epochs=3, rng=1)
+    engine = MonitoringEngine(adv, factory(), k=K, eps=EPS, seed=0, check=True)
+    result = engine.run()
+    # Every forced drop violated a filter => at least one message each.
+    assert adv.forced_drops >= 3 * (SIGMA - K) - SIGMA  # allow slack on epoch 1
+    assert result.messages >= adv.forced_drops
+
+
+def test_ratio_grows_with_sigma():
+    """The measured ratio versus the explicit offline player is Ω(σ/k)."""
+    ratios = []
+    for sigma in (8, 16, 24):
+        adv = LowerBoundAdversary(32, K, sigma, eps=EPS, epochs=3, rng=2)
+        engine = MonitoringEngine(adv, ApproxTopKMonitor(K, EPS), k=K, eps=EPS, seed=0)
+        result = engine.run()
+        ratios.append(result.messages / adv.offline_reference_cost())
+    assert ratios[0] < ratios[-1]
+    # And each ratio is at least the theoretical floor (σ-k)/(k+1).
+    for sigma, ratio in zip((8, 16, 24), ratios):
+        assert ratio >= (sigma - K) / (K + 1) * 0.9
+
+
+def test_offline_opt_on_played_trace_is_cheap():
+    """The adversary's instance really is easy for an offline player."""
+    adv = LowerBoundAdversary(N, K, SIGMA, eps=EPS, epochs=4, rng=3)
+    engine = MonitoringEngine(adv, ApproxTopKMonitor(K, EPS), k=K, eps=EPS, seed=0)
+    engine.run()
+    opt = offline_opt(adv.trace, K, EPS)
+    # One window per epoch (plus slack for the boundary steps).
+    assert opt.phases <= 2 * adv.epochs + 1

@@ -1,0 +1,169 @@
+"""Unit tests for :mod:`repro.model.engine`."""
+
+import numpy as np
+import pytest
+
+from repro.model.engine import MonitoringEngine
+from repro.model.invariants import InvariantViolation
+from repro.model.protocol import MonitoringAlgorithm
+from repro.streams.base import Trace
+from repro.util.intervals import Interval
+
+
+class FixedOutputAlgorithm(MonitoringAlgorithm):
+    """Claims nodes {0} forever and sets honest filters once."""
+
+    name = "fixed"
+
+    def __init__(self, k: int = 1):
+        super().__init__()
+        self.k = k
+
+    def on_start(self) -> None:
+        n = self.channel.n
+        self.channel.broadcast_filters(
+            [
+                (np.arange(1, n), Interval.at_most(100.0)),
+                (np.array([0]), Interval.at_least(100.0)),
+            ]
+        )
+
+    def on_step(self) -> None:
+        pass
+
+    def output(self) -> frozenset[int]:
+        return frozenset({0})
+
+
+def stable_trace(T=5, n=3):
+    data = np.tile(np.array([200.0, 50.0, 10.0]), (T, 1))
+    return Trace(data[:, :n])
+
+
+class TestEngineBasics:
+    def test_runs_and_counts(self):
+        tr = stable_trace()
+        eng = MonitoringEngine(tr, FixedOutputAlgorithm(), k=1, check=True)
+        res = eng.run()
+        assert res.num_steps == 5
+        assert res.messages == 1  # the single startup broadcast
+        assert len(res.ledger.per_step) == 5
+        assert res.outputs == [frozenset({0})] * 5
+        assert res.output_changes == 0
+
+    def test_cumulative_messages(self):
+        tr = stable_trace()
+        res = MonitoringEngine(tr, FixedOutputAlgorithm(), k=1).run()
+        assert res.cumulative_messages.tolist() == [1, 1, 1, 1, 1]
+
+    def test_record_outputs_toggle(self):
+        tr = stable_trace()
+        res = MonitoringEngine(tr, FixedOutputAlgorithm(), k=1, record_outputs=False).run()
+        assert res.outputs == []
+
+    def test_source_type_checked(self):
+        with pytest.raises(TypeError, match="ValueSource"):
+            MonitoringEngine(object(), FixedOutputAlgorithm(), k=1)
+
+
+class TestVerification:
+    def test_catches_invalid_output(self):
+        # Values make node 0 NOT the top-1 → fixed output invalid.
+        data = np.tile(np.array([10.0, 50.0, 200.0]), (3, 1))
+        eng = MonitoringEngine(Trace(data), FixedOutputAlgorithm(), k=1, check=True)
+        with pytest.raises(InvariantViolation, match="invalid output"):
+            eng.run()
+
+    def test_catches_unsettled_filters(self):
+        class NeverSettles(FixedOutputAlgorithm):
+            def on_start(self) -> None:
+                n = self.channel.n
+                # Filters that exclude the actual values of node 1+.
+                self.channel.broadcast_filters(
+                    [
+                        (np.arange(1, n), Interval(0.0, 1.0)),
+                        (np.array([0]), Interval.at_least(1.0)),
+                    ]
+                )
+
+        eng = MonitoringEngine(stable_trace(), NeverSettles(), k=1, check=True)
+        with pytest.raises(InvariantViolation, match="did not settle"):
+            eng.run()
+
+    def test_non_filter_based_skips_filter_laws(self):
+        class NoFilters(FixedOutputAlgorithm):
+            filter_based = False
+
+            def on_start(self) -> None:
+                pass  # never assigns filters
+
+        res = MonitoringEngine(stable_trace(), NoFilters(), k=1, check=True).run()
+        assert res.messages == 0
+
+
+class TestModelKnobs:
+    def test_broadcast_cost_weighting(self):
+        tr = stable_trace()
+        unit = MonitoringEngine(tr, FixedOutputAlgorithm(), k=1).run()
+        priced = MonitoringEngine(
+            tr, FixedOutputAlgorithm(), k=1, broadcast_cost=tr.n
+        ).run()
+        # The single startup broadcast costs n in the plain model.
+        assert unit.messages == 1
+        assert priced.messages == tr.n
+
+    def test_existence_base_plumbing(self):
+        tr = stable_trace()
+        engine = MonitoringEngine(tr, FixedOutputAlgorithm(), k=1, existence_base=4.0)
+        assert engine.channel.existence_base == 4.0
+        engine.run()
+
+    def test_bad_existence_base_rejected(self):
+        import numpy as np
+
+        from repro.model.channel import Channel
+        from repro.model.node import NodeArray
+
+        nodes = NodeArray(4)
+        nodes.deliver(np.zeros(4))
+        with pytest.raises(ValueError, match="existence_base"):
+            Channel(nodes, existence_base=1.0)
+
+    def test_bad_broadcast_cost_rejected(self):
+        from repro.model.ledger import CostLedger
+
+        with pytest.raises(ValueError, match="broadcast_cost"):
+            CostLedger(broadcast_cost=0)
+
+
+class TestAlgorithmLifecycle:
+    def test_double_bind_rejected(self):
+        algo = FixedOutputAlgorithm()
+        MonitoringEngine(stable_trace(), algo, k=1).run()
+        with pytest.raises(RuntimeError, match="already bound"):
+            MonitoringEngine(stable_trace(), algo, k=1).run()
+
+    def test_channel_before_bind_rejected(self):
+        with pytest.raises(RuntimeError, match="not bound"):
+            _ = FixedOutputAlgorithm().channel
+
+    def test_output_changes_counted(self):
+        class Flapper(FixedOutputAlgorithm):
+            filter_based = False
+
+            def __init__(self):
+                super().__init__()
+                self._t = 0
+
+            def on_start(self) -> None:
+                pass
+
+            def on_step(self) -> None:
+                self._t += 1
+
+            def output(self) -> frozenset[int]:
+                return frozenset({self._t % 2})
+
+        data = np.tile(np.array([5.0, 5.0, 1.0]), (4, 1))
+        res = MonitoringEngine(Trace(data), Flapper(), k=1).run()
+        assert res.output_changes == 3

@@ -1,0 +1,135 @@
+"""Unit tests for :mod:`repro.model.invariants` (the Section-2 semantics)."""
+
+import numpy as np
+import pytest
+
+from repro.model.invariants import (
+    eps_sets,
+    exact_topk_set,
+    filters_form_valid_set,
+    kth_largest,
+    output_valid,
+    sigma,
+    values_within_filters,
+)
+
+
+class TestKthLargest:
+    def test_basic(self):
+        v = np.array([5.0, 1.0, 9.0, 7.0])
+        assert kth_largest(v, 1) == 9.0
+        assert kth_largest(v, 2) == 7.0
+        assert kth_largest(v, 4) == 1.0
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            kth_largest(np.array([1.0, 2.0]), 3)
+
+
+class TestExactTopK:
+    def test_basic(self):
+        v = np.array([5.0, 1.0, 9.0, 7.0])
+        assert exact_topk_set(v, 2) == {2, 3}
+
+    def test_tie_break_lower_id_wins(self):
+        v = np.array([5.0, 9.0, 9.0, 5.0])
+        assert exact_topk_set(v, 1) == {1}
+        assert exact_topk_set(v, 3) == {0, 1, 2}
+
+
+class TestEpsSets:
+    def test_definition(self):
+        # k=2, vk=100, eps=0.2: E = (125, inf], A = [80, 125].
+        v = np.array([130.0, 100.0, 124.0, 81.0, 50.0])
+        s = eps_sets(v, 2, 0.2)
+        assert s.vk == 124.0  # second largest
+        assert s.hi == pytest.approx(155.0)
+        assert s.lo == pytest.approx(99.2)
+        assert s.clearly_larger == set()  # 130 < 155
+        assert s.neighborhood == {1, 0, 2}
+
+    def test_clearly_larger(self):
+        v = np.array([1000.0, 100.0, 10.0])
+        s = eps_sets(v, 2, 0.1)
+        assert s.vk == 100.0
+        assert s.clearly_larger == {0}
+
+    def test_eps_zero_degenerates_to_exact(self):
+        v = np.array([5.0, 9.0, 7.0])
+        s = eps_sets(v, 2, 0.0)
+        assert s.clearly_larger == {1}  # strictly above vk=7
+        assert s.neighborhood == {2}  # exactly vk
+
+    def test_sigma(self):
+        v = np.array([100.0, 101.0, 99.0, 10.0])
+        assert sigma(v, 2, 0.1) == 3
+        assert sigma(v, 2, 0.001) == 1
+
+
+class TestOutputValid:
+    def test_valid_exact(self):
+        v = np.array([5.0, 9.0, 7.0, 1.0])
+        ok, why = output_valid(v, 2, 0.0, frozenset({1, 2}))
+        assert ok, why
+
+    def test_wrong_size(self):
+        v = np.array([5.0, 9.0, 7.0])
+        ok, why = output_valid(v, 2, 0.0, frozenset({1}))
+        assert not ok and "|F|" in why
+
+    def test_missing_clearly_larger(self):
+        v = np.array([1000.0, 100.0, 99.0, 1.0])
+        ok, why = output_valid(v, 2, 0.1, frozenset({1, 2}))
+        assert not ok and "clearly larger" in why
+
+    def test_stray_low_node(self):
+        v = np.array([100.0, 99.0, 98.0, 1.0])
+        ok, why = output_valid(v, 2, 0.05, frozenset({0, 3}))
+        assert not ok and "outside" in why
+
+    def test_neighborhood_swap_is_legal(self):
+        """Inside the ε-band any k-completion is acceptable."""
+        v = np.array([100.0, 99.0, 98.0, 1.0])
+        for pick in ({0, 1}, {0, 2}, {1, 2}):
+            ok, why = output_valid(v, 2, 0.05, frozenset(pick))
+            assert ok, why
+
+    def test_invalid_node_id(self):
+        v = np.array([1.0, 2.0])
+        ok, why = output_valid(v, 1, 0.0, frozenset({5}))
+        assert not ok and "invalid node id" in why
+
+
+class TestFilterSetValidity:
+    def test_observation_2_2(self):
+        lo = np.array([50.0, 0.0, 0.0])
+        hi = np.array([np.inf, 55.0, 40.0])
+        # min lower over F={0} is 50; max upper over rest is 55.
+        assert filters_form_valid_set(lo, hi, frozenset({0}), eps=0.1)[0]  # 50 >= 49.5
+        ok, why = filters_form_valid_set(lo, hi, frozenset({0}), eps=0.01)
+        assert not ok and "overlap" in why
+
+    def test_exact_needs_disjoint(self):
+        lo = np.array([50.0, 0.0])
+        hi = np.array([np.inf, 50.0])
+        assert filters_form_valid_set(lo, hi, frozenset({0}), eps=0.0)[0]
+
+    def test_degenerate_all_or_none(self):
+        lo = np.array([0.0, 0.0])
+        hi = np.array([1.0, 1.0])
+        assert filters_form_valid_set(lo, hi, frozenset({0, 1}), eps=0.0)[0]
+        assert filters_form_valid_set(lo, hi, frozenset(), eps=0.0)[0]
+
+
+class TestValuesWithinFilters:
+    def test_ok(self):
+        ok, _ = values_within_filters(
+            np.array([5.0, 6.0]), np.array([0.0, 0.0]), np.array([10.0, 10.0])
+        )
+        assert ok
+
+    def test_breach_reported(self):
+        ok, why = values_within_filters(
+            np.array([5.0, 60.0]), np.array([0.0, 0.0]), np.array([10.0, 10.0])
+        )
+        assert not ok and "node 1" in why

@@ -1,0 +1,94 @@
+"""Unit tests for :mod:`repro.model.ledger`."""
+
+import pytest
+
+from repro.model.ledger import CostLedger
+
+
+class TestCharging:
+    def test_unit_costs(self):
+        led = CostLedger()
+        led.charge_up(3)
+        led.charge_down(2)
+        led.charge_broadcast()
+        assert led.node_to_server == 3
+        assert led.server_to_node == 2
+        assert led.broadcasts == 1
+        assert led.messages == 6
+
+    def test_rounds_are_not_messages(self):
+        led = CostLedger()
+        led.charge_rounds(5)
+        assert led.rounds == 5
+        assert led.messages == 0
+
+    @pytest.mark.parametrize("method", ["charge_up", "charge_down", "charge_broadcast", "charge_rounds"])
+    def test_negative_rejected(self, method):
+        led = CostLedger()
+        with pytest.raises(ValueError):
+            getattr(led, method)(-1)
+
+
+class TestSnapshots:
+    def test_delta(self):
+        led = CostLedger()
+        led.charge_up(2)
+        before = led.snapshot()
+        led.charge_up(3)
+        led.charge_broadcast()
+        delta = led.snapshot() - before
+        assert delta.node_to_server == 3
+        assert delta.broadcasts == 1
+        assert delta.messages == 4
+
+
+class TestPerStep:
+    def test_series(self):
+        led = CostLedger()
+        led.begin_step()
+        led.charge_up(4)
+        led.end_step()
+        led.begin_step()
+        led.end_step()
+        led.begin_step()
+        led.charge_broadcast()
+        led.end_step()
+        assert led.per_step == [4, 0, 1]
+
+    def test_max_rounds_per_step(self):
+        led = CostLedger()
+        led.begin_step()
+        led.charge_rounds(7)
+        led.end_step()
+        led.begin_step()
+        led.charge_rounds(3)
+        led.end_step()
+        assert led.max_rounds_per_step == 7
+
+
+class TestScopes:
+    def test_attribution(self):
+        led = CostLedger()
+        with led.scope("alpha"):
+            led.charge_up(2)
+            with led.scope("beta"):
+                led.charge_broadcast()
+        led.charge_down()  # unscoped
+        by = led.by_scope()
+        assert by["alpha"] == 3  # includes the nested beta charge
+        assert by["beta"] == 1
+        assert led.messages == 4
+
+    def test_hierarchical_attribution(self):
+        led = CostLedger()
+        with led.scope("outer"):
+            with led.scope("inner"):
+                led.charge_up(5)
+        assert led.by_scope() == {"inner": 5, "outer": 5}
+
+    def test_same_name_nesting_counts_once(self):
+        led = CostLedger()
+        with led.scope("a"):
+            with led.scope("a"):
+                led.charge_up(3)
+        assert led.by_scope() == {"a": 3}

@@ -1,0 +1,83 @@
+"""Unit tests for :mod:`repro.model.node`."""
+
+import numpy as np
+import pytest
+
+from repro.model.node import (
+    NodeArray,
+    VIOLATION_ABOVE,
+    VIOLATION_BELOW,
+    VIOLATION_NONE,
+)
+from repro.util.intervals import Interval
+
+
+@pytest.fixture
+def nodes() -> NodeArray:
+    arr = NodeArray(4)
+    arr.deliver(np.array([10.0, 20.0, 30.0, 40.0]))
+    return arr
+
+
+class TestConstruction:
+    def test_needs_two_nodes(self):
+        with pytest.raises(ValueError):
+            NodeArray(1)
+
+    def test_initial_filters_are_everything(self, nodes):
+        assert not nodes.violating_mask().any()
+
+
+class TestDeliver:
+    def test_shape_checked(self, nodes):
+        with pytest.raises(ValueError, match="shape"):
+            nodes.deliver(np.zeros(3))
+
+    def test_finiteness_checked(self, nodes):
+        with pytest.raises(ValueError, match="finite"):
+            nodes.deliver(np.array([1.0, np.inf, 3.0, 4.0]))
+
+
+class TestFilters:
+    def test_set_get_roundtrip(self, nodes):
+        nodes.set_filter(1, Interval(5.0, 25.0))
+        assert nodes.get_filter(1) == Interval(5.0, 25.0)
+
+    def test_bulk(self, nodes):
+        nodes.set_filters_bulk(np.array([0, 2]), 0.0, 15.0)
+        assert nodes.get_filter(0) == Interval(0.0, 15.0)
+        assert nodes.get_filter(2) == Interval(0.0, 15.0)
+        assert nodes.get_filter(1).hi == np.inf
+
+
+class TestViolations:
+    def test_kinds(self, nodes):
+        # node 0 (v=10): filter [15, inf] -> violates from above
+        # node 1 (v=20): filter [0, 15]   -> violates from below
+        # node 2 (v=30): filter [0, 100]  -> fine
+        nodes.set_filter(0, Interval.at_least(15.0))
+        nodes.set_filter(1, Interval(0.0, 15.0))
+        nodes.set_filter(2, Interval(0.0, 100.0))
+        kind = nodes.violation_kind()
+        assert kind[0] == VIOLATION_ABOVE
+        assert kind[1] == VIOLATION_BELOW
+        assert kind[2] == VIOLATION_NONE
+
+    def test_paper_naming(self, nodes):
+        """'Violates from below' = value LARGER than the filter's top."""
+        nodes.set_filter(3, Interval(0.0, 35.0))  # v=40 > 35
+        assert nodes.violation_kind()[3] == VIOLATION_BELOW
+
+    def test_boundary_values_are_inside(self, nodes):
+        nodes.set_filter(0, Interval(10.0, 10.0))
+        assert nodes.violation_kind()[0] == VIOLATION_NONE
+
+
+class TestMasks:
+    def test_mask_above_strictness(self, nodes):
+        assert nodes.mask_above(20.0).tolist() == [False, False, True, True]
+        assert nodes.mask_above(20.0, strict=False).tolist() == [False, True, True, True]
+
+    def test_mask_below_strictness(self, nodes):
+        assert nodes.mask_below(20.0).tolist() == [True, False, False, False]
+        assert nodes.mask_below(20.0, strict=False).tolist() == [True, True, False, False]

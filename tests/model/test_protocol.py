@@ -1,0 +1,48 @@
+"""Unit tests for :mod:`repro.model.protocol`."""
+
+import numpy as np
+import pytest
+
+from repro.model.channel import Channel
+from repro.model.node import NodeArray
+from repro.model.protocol import ProtocolError, drain_violations
+from repro.util.intervals import Interval
+
+
+def make_channel(values):
+    nodes = NodeArray(len(values))
+    nodes.deliver(np.asarray(values, dtype=float))
+    return Channel(nodes, rng=0), nodes
+
+
+class TestDrainViolations:
+    def test_silent_system_returns_zero(self):
+        ch, _ = make_channel([1.0, 2.0])
+        assert drain_violations(ch, lambda v: None) == 0
+
+    def test_processes_until_silent(self):
+        ch, nodes = make_channel([10.0, 20.0, 30.0])
+        nodes.set_filters_bulk(np.arange(3), 0.0, 15.0)  # nodes 1, 2 violate
+
+        def widen(violation):
+            ch.unicast_filter(violation.node, Interval(0.0, 100.0))
+
+        handled = drain_violations(ch, widen)
+        assert handled == 2
+        assert not nodes.violating_mask().any()
+
+    def test_stale_reports_ignored(self):
+        """A handler that fixes everyone at once leaves nothing to re-handle."""
+        ch, nodes = make_channel([10.0, 20.0, 30.0])
+        nodes.set_filters_bulk(np.arange(3), 0.0, 5.0)  # all violate
+
+        def fix_all(violation):
+            ch.broadcast_filters([(np.arange(3), Interval(0.0, 100.0))])
+
+        assert drain_violations(ch, fix_all) == 1
+
+    def test_non_progress_raises(self):
+        ch, nodes = make_channel([10.0, 20.0])
+        nodes.set_filters_bulk(np.arange(2), 0.0, 5.0)
+        with pytest.raises(ProtocolError, match="progress"):
+            drain_violations(ch, lambda v: None, max_iterations=25)

@@ -1,0 +1,101 @@
+"""Tests for :mod:`repro.offline.feasibility`, incl. brute-force cross-check."""
+
+from itertools import combinations
+
+import numpy as np
+import pytest
+
+from repro.offline.feasibility import window_feasible, witness_set
+
+
+def brute_force_feasible(a, b, k, eps):
+    """Literal ∃S check over all k-subsets (the definition)."""
+    n = len(a)
+    for subset in combinations(range(n), k):
+        s = set(subset)
+        min_s = min(a[i] for i in s)
+        max_rest = max(b[j] for j in range(n) if j not in s)
+        if min_s >= (1 - eps) * max_rest:
+            return True
+    return False
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("eps", [0.0, 0.1, 0.3])
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_random_instances(self, k, eps):
+        rng = np.random.default_rng(42 + k)
+        for _ in range(200):
+            n = int(rng.integers(k + 1, 7))
+            b = rng.integers(1, 50, size=n).astype(float)
+            a = b - rng.integers(0, 20, size=n)
+            a = np.maximum(a, 0.0)
+            expected = brute_force_feasible(a, b, k, eps)
+            assert window_feasible(a, b, k, eps) == expected, (a, b, k, eps)
+
+    @pytest.mark.parametrize("eps", [0.0, 0.2])
+    def test_witness_is_valid(self, eps):
+        rng = np.random.default_rng(7)
+        for _ in range(200):
+            n = int(rng.integers(3, 8))
+            k = int(rng.integers(1, n))
+            b = rng.integers(1, 40, size=n).astype(float)
+            a = np.maximum(b - rng.integers(0, 15, size=n), 0.0)
+            s = witness_set(a, b, k, eps)
+            if s is None:
+                assert not brute_force_feasible(a, b, k, eps)
+            else:
+                assert len(s) == k
+                rest = [j for j in range(n) if j not in set(s.tolist())]
+                assert a[s].min() >= (1 - eps) * b[rest].max() - 1e-9
+
+
+class TestKnownCases:
+    def test_single_step_always_feasible(self):
+        v = np.array([10.0, 7.0, 3.0])
+        assert window_feasible(v, v, 1, 0.0)
+        assert window_feasible(v, v, 2, 0.0)
+
+    def test_crossing_window_infeasible_exactly(self):
+        # Nodes swap: a = elementwise min over time, b = max.
+        a = np.array([5.0, 5.0])  # both dipped to 5
+        b = np.array([9.0, 9.0])  # both peaked at 9
+        assert not window_feasible(a, b, 1, 0.0)
+        # With enough slack the overlap is tolerable: 5 >= (1-e)*9.
+        assert window_feasible(a, b, 1, 0.5)
+
+    def test_eps_monotonicity(self):
+        a = np.array([80.0, 70.0, 10.0])
+        b = np.array([100.0, 90.0, 20.0])
+        feas = [window_feasible(a, b, 1, e) for e in (0.0, 0.1, 0.2, 0.3)]
+        # Once feasible, stays feasible as eps grows.
+        assert feas == sorted(feas)
+
+    def test_mandatory_member_blocks(self):
+        """A high-b node with a low a poisons every candidate S."""
+        a = np.array([1.0, 50.0, 40.0])
+        b = np.array([100.0, 55.0, 45.0])  # node 0 must be in S (b=100)
+        assert not window_feasible(a, b, 1, 0.1)
+
+    def test_example_from_design_doc(self):
+        """Largest-a selection is NOT optimal; θ-scan finds the right S."""
+        a = np.array([5.0, 6.0])
+        b = np.array([100.0, 6.0])
+        # S={1} (larger a) fails: 6 < (1-.5)*100; S={0} works: 5 >= .5*6.
+        assert window_feasible(a, b, 1, 0.5)
+        s = witness_set(a, b, 1, 0.5)
+        assert s.tolist() == [0]
+
+
+class TestValidation:
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            window_feasible(np.ones(3), np.ones(4), 1, 0.0)
+
+    def test_k_range(self):
+        with pytest.raises(ValueError):
+            window_feasible(np.ones(3), np.ones(3), 3, 0.0)
+
+    def test_a_above_b_rejected(self):
+        with pytest.raises(ValueError, match="swapped"):
+            window_feasible(np.array([5.0, 1.0]), np.array([4.0, 2.0]), 1, 0.0)

@@ -1,0 +1,41 @@
+"""Tests for :mod:`repro.offline.opt`."""
+
+import numpy as np
+
+from repro.offline.opt import offline_opt
+from repro.streams.base import Trace
+
+
+def swap_trace(swaps: int) -> Trace:
+    """A trace with `swaps` clean rank crossings."""
+    rows = []
+    for block in range(swaps + 1):
+        row = [9.0, 5.0] if block % 2 == 0 else [5.0, 9.0]
+        rows.extend([row] * 3)
+    return Trace(np.array(rows))
+
+
+class TestOfflineResult:
+    def test_phase_accounting(self):
+        res = offline_opt(swap_trace(4), 1, 0.0)
+        assert res.phases == 5
+        assert res.message_lb == 4
+        assert res.ratio_denominator == 4
+        assert res.explicit_cost == (1 + 1) * 5
+        assert res.phase_starts[0] == 0
+
+    def test_quiet_trace(self):
+        res = offline_opt(Trace(np.tile([7.0, 3.0], (10, 1))), 1, 0.0)
+        assert res.phases == 1
+        assert res.message_lb == 0
+        assert res.ratio_denominator == 1  # guarded denominator
+
+    def test_eps_reduces_cost(self):
+        rows = []
+        for t in range(20):
+            rows.append([100.0, 97.0] if t % 2 == 0 else [97.0, 100.0])
+        trace = Trace(np.array(rows))
+        exact = offline_opt(trace, 1, 0.0)
+        approx = offline_opt(trace, 1, 0.1)
+        assert approx.phases < exact.phases
+        assert approx.phases == 1

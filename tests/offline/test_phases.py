@@ -1,0 +1,69 @@
+"""Tests for :mod:`repro.offline.phases`."""
+
+import numpy as np
+import pytest
+
+from repro.offline.feasibility import window_feasible
+from repro.offline.phases import greedy_phases
+from repro.streams.base import Trace
+from repro.streams.synthetic import random_walk
+from repro.streams.transforms import make_distinct
+
+
+class TestKnownDecompositions:
+    def test_frozen_trace_is_one_phase(self):
+        data = np.tile(np.array([9.0, 5.0, 1.0]), (30, 1))
+        assert greedy_phases(Trace(data), 1, 0.0) == [0]
+
+    def test_single_swap_is_two_phases(self):
+        data = np.array(
+            [
+                [9.0, 5.0, 1.0],
+                [9.0, 5.0, 1.0],
+                [4.0, 5.0, 1.0],  # rank swap
+                [4.0, 5.0, 1.0],
+            ]
+        )
+        starts = greedy_phases(Trace(data), 1, 0.0)
+        assert starts == [0, 2]
+
+    def test_alternating_swaps(self):
+        rows = []
+        for t in range(10):
+            rows.append([9.0, 5.0] if t % 2 == 0 else [5.0, 9.0])
+        starts = greedy_phases(Trace(np.array(rows)), 1, 0.0)
+        assert len(starts) == 10  # every step crosses
+
+    def test_eps_absorbs_small_swaps(self):
+        rows = []
+        for t in range(10):
+            rows.append([100.0, 98.0] if t % 2 == 0 else [98.0, 100.0])
+        tr = Trace(np.array(rows))
+        assert len(greedy_phases(tr, 1, 0.0)) == 10
+        assert len(greedy_phases(tr, 1, 0.1)) == 1  # 98 >= 0.9*100
+
+
+class TestStructuralProperties:
+    def test_each_window_feasible_and_maximal(self):
+        trace = make_distinct(random_walk(120, 6, high=512, step=32, rng=0))
+        k, eps = 2, 0.05
+        starts = greedy_phases(trace, k, eps)
+        bounds = starts + [trace.num_steps]
+        for w, start in enumerate(starts):
+            stop = bounds[w + 1]
+            window = trace.data[start:stop]
+            a, b = window.min(axis=0), window.max(axis=0)
+            assert window_feasible(a, b, k, eps)
+            if stop < trace.num_steps:  # maximality
+                ext = trace.data[start : stop + 1]
+                assert not window_feasible(ext.min(axis=0), ext.max(axis=0), k, eps)
+
+    def test_eps_monotone_phase_count(self):
+        trace = make_distinct(random_walk(150, 8, high=1024, step=64, rng=1))
+        counts = [len(greedy_phases(trace, 2, e)) for e in (0.0, 0.05, 0.1, 0.2, 0.4)]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_k_validated(self):
+        trace = Trace(np.ones((3, 2)))
+        with pytest.raises(ValueError):
+            greedy_phases(trace, 2, 0.0)

@@ -1,0 +1,71 @@
+"""Tests for the executable offline schedule (Prop. 2.4 realized)."""
+
+import numpy as np
+import pytest
+
+from repro.model.engine import MonitoringEngine
+from repro.offline.opt import offline_opt
+from repro.offline.schedule import OfflinePlayer, build_schedule
+from repro.streams.base import Trace
+from repro.streams.synthetic import random_walk
+from repro.streams.transforms import make_distinct
+from repro.streams.workloads import cluster_load, sensor_field
+
+
+class TestBuildSchedule:
+    def test_windows_tile_the_trace(self):
+        trace = make_distinct(random_walk(120, 8, high=2048, step=64, rng=0))
+        schedule = build_schedule(trace, 2, 0.1)
+        assert schedule.windows[0].start == 0
+        assert schedule.windows[-1].stop == trace.num_steps
+        for w1, w2 in zip(schedule.windows, schedule.windows[1:]):
+            assert w1.stop == w2.start
+
+    def test_window_count_matches_opt(self):
+        trace = make_distinct(random_walk(150, 8, high=2048, step=64, rng=1))
+        schedule = build_schedule(trace, 2, 0.05)
+        opt = offline_opt(trace, 2, 0.05)
+        assert schedule.reconfigurations == opt.phases
+
+    def test_filters_have_valid_overlap(self):
+        trace = sensor_field(100, 16, 3, eps=0.2, band=8, rng=2)
+        schedule = build_schedule(trace, 3, 0.2)
+        for window in schedule.windows:
+            assert window.lower >= (1 - 0.2) * window.upper - 1e-9
+            assert len(window.output) == 3
+
+    def test_quiet_trace_single_window(self):
+        data = np.tile([9.0, 5.0, 1.0], (20, 1))
+        schedule = build_schedule(Trace(data), 1, 0.0)
+        assert schedule.reconfigurations == 1
+        assert schedule.windows[0].output == (0,)
+
+
+class TestOfflinePlayer:
+    @pytest.mark.parametrize("eps", [0.0, 0.1])
+    def test_replay_is_lawful_and_silent(self, eps):
+        """The replayed plan passes the engine's three laws every step."""
+        trace = make_distinct(random_walk(150, 10, high=4096, step=128, rng=3))
+        schedule = build_schedule(trace, 3, eps)
+        player = OfflinePlayer(schedule)
+        result = MonitoringEngine(trace, player, k=3, eps=eps, check=True).run()
+        # Cost is exactly (k+1) per window — nothing else ever happens.
+        assert result.messages == (3 + 1) * schedule.reconfigurations
+
+    def test_player_cost_matches_explicit_formula(self):
+        trace = cluster_load(200, 16, rng=4)
+        schedule = build_schedule(trace, 4, 0.1)
+        player = OfflinePlayer(schedule)
+        result = MonitoringEngine(trace, player, k=4, eps=0.1).run()
+        assert result.messages == offline_opt(trace, 4, 0.1).explicit_cost
+
+    def test_player_beats_every_online_algorithm(self):
+        from repro.core.approx_monitor import ApproxTopKMonitor
+
+        trace = cluster_load(300, 24, rng=5)
+        schedule = build_schedule(trace, 4, 0.1)
+        offline_cost = MonitoringEngine(trace, OfflinePlayer(schedule), k=4, eps=0.1).run().messages
+        online_cost = MonitoringEngine(
+            trace, ApproxTopKMonitor(4, 0.1), k=4, eps=0.1, seed=0
+        ).run().messages
+        assert offline_cost < online_cost

@@ -1,0 +1,147 @@
+"""Property-based tests (hypothesis) for core invariants.
+
+Strategy design note: protocol runs are comparatively slow, so stream
+sizes are kept small; the *space* of shapes (values, k, ε) is what
+hypothesis explores.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.approx_monitor import ApproxTopKMonitor
+from repro.core.exact_monitor import ExactTopKMonitor
+from repro.model.engine import MonitoringEngine
+from repro.model.invariants import eps_sets, output_valid, sigma
+from repro.offline.feasibility import window_feasible, witness_set
+from repro.offline.phases import greedy_phases
+from repro.streams.base import Trace
+from repro.streams.transforms import make_distinct
+from repro.util.intervals import Interval
+
+# ----------------------------------------------------------------------- #
+# Strategies
+# ----------------------------------------------------------------------- #
+
+small_trace = st.integers(3, 7).flatmap(
+    lambda n: arrays(
+        dtype=np.float64,
+        shape=st.tuples(st.integers(2, 12), st.just(n)),
+        elements=st.integers(0, 400).map(float),
+    )
+)
+
+values_array = st.integers(3, 9).flatmap(
+    lambda n: arrays(np.float64, n, elements=st.integers(0, 1000).map(float))
+)
+
+
+# ----------------------------------------------------------------------- #
+# Section-2 semantics
+# ----------------------------------------------------------------------- #
+
+
+@given(values=values_array, k=st.integers(1, 3), eps=st.floats(0.01, 0.5))
+def test_eps_sets_are_consistent(values, k, eps):
+    k = min(k, len(values) - 1)
+    s = eps_sets(values, k, eps)
+    # E and K are disjoint; |E| < k always (at most k-1 strictly above vk).
+    assert not (s.clearly_larger & s.neighborhood)
+    assert len(s.clearly_larger) < k + 1
+    assert s.lo <= s.vk <= s.hi
+    assert sigma(values, k, eps) == len(s.neighborhood)
+
+
+@given(values=values_array, k=st.integers(1, 3), eps=st.floats(0.01, 0.5))
+def test_some_valid_output_always_exists(values, k, eps):
+    """E plus a completion from K is always a valid output."""
+    k = min(k, len(values) - 1)
+    s = eps_sets(values, k, eps)
+    completion = sorted(s.neighborhood - s.clearly_larger)
+    out = set(s.clearly_larger) | set(completion[: k - len(s.clearly_larger)])
+    ok, why = output_valid(values, k, eps, frozenset(out))
+    assert ok, why
+
+
+# ----------------------------------------------------------------------- #
+# Feasibility / greedy phases
+# ----------------------------------------------------------------------- #
+
+
+@given(trace=small_trace, k=st.integers(1, 3), eps=st.floats(0.0, 0.5))
+def test_greedy_windows_are_feasible(trace, k, eps):
+    tr = Trace(trace)
+    k = min(k, tr.n - 1)
+    starts = greedy_phases(tr, k, eps)
+    bounds = starts + [tr.num_steps]
+    assert starts[0] == 0
+    assert all(b > a for a, b in zip(bounds, bounds[1:]))
+    for a, b in zip(starts, bounds[1:]):
+        window = tr.data[a:b]
+        assert window_feasible(window.min(axis=0), window.max(axis=0), k, eps)
+
+
+@given(values=values_array, k=st.integers(1, 3), eps=st.floats(0.0, 0.5))
+def test_witness_matches_feasibility(values, k, eps):
+    k = min(k, len(values) - 1)
+    a = values
+    b = values + 10.0
+    assert window_feasible(a, b, k, eps) == (witness_set(a, b, k, eps) is not None)
+
+
+# ----------------------------------------------------------------------- #
+# Intervals
+# ----------------------------------------------------------------------- #
+
+
+@given(lo=st.floats(-1e6, 1e6), width=st.floats(0, 1e6))
+def test_halves_partition_width(lo, width):
+    itv = Interval(lo, lo + width)
+    lower, upper = itv.lower_half(), itv.upper_half()
+    if itv.width == 0:  # includes float-absorbed tiny widths
+        assert lower.is_empty and upper.is_empty
+    else:
+        assert lower.width <= itv.width / 2 + 1e-6
+        assert upper.width <= itv.width / 2 + 1e-6
+        assert lower.hi == upper.lo  # meet at the midpoint
+
+
+@given(
+    a=st.tuples(st.floats(-100, 100), st.floats(-100, 100)),
+    b=st.tuples(st.floats(-100, 100), st.floats(-100, 100)),
+)
+def test_intersection_is_largest_common_subset(a, b):
+    ia = Interval(min(a), max(a))
+    ib = Interval(min(b), max(b))
+    inter = ia.intersect(ib)
+    if not inter.is_empty:
+        assert ia.contains_interval(inter) and ib.contains_interval(inter)
+
+
+# ----------------------------------------------------------------------- #
+# Whole-protocol law checking on random small traces (the big one)
+# ----------------------------------------------------------------------- #
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(trace=small_trace, k=st.integers(1, 3), seed=st.integers(0, 100))
+def test_exact_monitor_laws_on_random_traces(trace, k, seed):
+    tr = make_distinct(Trace(trace))
+    k = min(k, tr.n - 1)
+    algo = ExactTopKMonitor(k)
+    MonitoringEngine(tr, algo, k=k, eps=0.0, seed=seed, check=True).run()
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    trace=small_trace,
+    k=st.integers(1, 3),
+    eps=st.sampled_from([0.05, 0.15, 0.35]),
+    seed=st.integers(0, 100),
+)
+def test_approx_monitor_laws_on_random_traces(trace, k, eps, seed):
+    tr = Trace(trace + 1.0)  # strictly positive values
+    k = min(k, tr.n - 1)
+    algo = ApproxTopKMonitor(k, eps)
+    MonitoringEngine(tr, algo, k=k, eps=eps, seed=seed, check=True).run()

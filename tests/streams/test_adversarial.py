@@ -1,0 +1,116 @@
+"""Unit tests for :mod:`repro.streams.adversarial`."""
+
+import numpy as np
+import pytest
+
+from repro.model.invariants import exact_topk_set
+from repro.model.node import NodeArray
+from repro.streams.adversarial import LowerBoundAdversary, oscillation_trace
+
+
+class TestLowerBoundAdversary:
+    def test_num_steps_formula(self):
+        adv = LowerBoundAdversary(16, 3, 10, eps=0.2, epochs=2)
+        # 1 setup + 2 * ((10-3) drops + 1 reset)
+        assert adv.num_steps == 1 + 2 * 8
+
+    def test_sigma_validation(self):
+        with pytest.raises(ValueError, match="sigma"):
+            LowerBoundAdversary(16, 3, 3, eps=0.2)
+        with pytest.raises(ValueError, match="sigma"):
+            LowerBoundAdversary(16, 3, 17, eps=0.2)
+
+    def test_tiny_y0_rejected(self):
+        with pytest.raises(ValueError, match="too small"):
+            LowerBoundAdversary(8, 2, 4, eps=0.2, y0=2)
+
+    def test_initial_layout(self):
+        adv = LowerBoundAdversary(8, 2, 5, eps=0.25, epochs=1, y0=1000)
+        nodes = NodeArray(8)
+        row = adv.values(0, nodes)
+        assert (row[:5] == 1000).all()
+        assert (row[5:] < 0.75 * 1000).all()
+
+    def test_drops_target_protected_nodes(self):
+        """With valid filters, every drop violates one (forced_drops counts)."""
+        adv = LowerBoundAdversary(8, 2, 5, eps=0.25, epochs=1, y0=1000, rng=0)
+        nodes = NodeArray(8)
+        nodes.deliver(adv.values(0, nodes))
+        # Server-style filters: top-2 (ids 0,1) get [y0, inf], rest [0, y0].
+        nodes.filter_lo[:] = -np.inf
+        nodes.filter_hi[:] = 1000.0
+        nodes.filter_lo[[0, 1]] = 1000.0
+        nodes.filter_hi[[0, 1]] = np.inf
+        row = adv.values(1, nodes)
+        dropped = np.flatnonzero(row != nodes.values)
+        assert dropped.size == 1 and dropped[0] in (0, 1)
+        assert adv.forced_drops == 1
+
+    def test_epoch_reset_restores_band(self):
+        adv = LowerBoundAdversary(8, 2, 4, eps=0.25, epochs=2, y0=1000, rng=0)
+        nodes = NodeArray(8)
+        values = adv.values(0, nodes)
+        for t in range(1, adv.num_steps):
+            nodes.deliver(values)
+            values = adv.values(t, nodes)
+        # After the final reset all band nodes are back at y0.
+        assert (adv.trace.data[-1, :4] == 1000.0).all()
+
+    def test_trace_requires_steps(self):
+        adv = LowerBoundAdversary(8, 2, 4, eps=0.25)
+        with pytest.raises(RuntimeError):
+            _ = adv.trace
+
+    def test_offline_reference_cost(self):
+        adv = LowerBoundAdversary(8, 2, 4, eps=0.25, epochs=3)
+        assert adv.offline_reference_cost() == 3 * 3
+
+
+class TestPivotChaser:
+    def test_needs_enough_nodes(self):
+        from repro.streams.adversarial import PivotChaser
+
+        with pytest.raises(ValueError, match="k\\+2"):
+            PivotChaser(10, n=4, k=3, high=1000.0)
+
+    def test_chaser_rides_filter_bound(self):
+        from repro.streams.adversarial import PivotChaser
+
+        src = PivotChaser(10, n=6, k=2, high=1000.0)
+        nodes = NodeArray(6)
+        row = src.values(0, nodes)
+        assert row[2] == 4.0  # chaser starts at the bottom
+        nodes.deliver(row)
+        nodes.filter_hi[2] = 500.0  # assign a finite bound
+        row = src.values(1, nodes)
+        assert row[2] == 501.0  # rides just above it
+
+    def test_spike_and_reset_cycle(self):
+        from repro.streams.adversarial import PivotChaser
+
+        src = PivotChaser(10, n=6, k=2, high=1000.0)
+        nodes = NodeArray(6)
+        nodes.deliver(src.values(0, nodes))
+        nodes.filter_hi[2] = 999.0  # next ride would touch the plateau
+        row = src.values(1, nodes)
+        assert row[2] > 1000.0  # spike above the plateau
+        nodes.deliver(row)
+        row = src.values(2, nodes)
+        assert row[2] == 4.0  # back to the bottom
+        assert src.resets == 1
+
+
+class TestOscillationTrace:
+    def test_ranks_never_change(self):
+        tr = oscillation_trace(100, 12, 4, rng=0)
+        expected = exact_topk_set(tr.data[0], 4)
+        for t in range(tr.num_steps):
+            assert exact_topk_set(tr.data[t], 4) == expected
+
+    def test_values_do_oscillate(self):
+        tr = oscillation_trace(100, 12, 4, rng=0)
+        assert (np.diff(tr.data, axis=0) != 0).any()
+
+    def test_amplitude_guard(self):
+        with pytest.raises(ValueError, match="amplitude"):
+            oscillation_trace(10, 8, 2, gap=100.0, amplitude=60.0)

@@ -1,0 +1,82 @@
+"""Unit tests for :mod:`repro.streams.base`."""
+
+import numpy as np
+import pytest
+
+from repro.model.node import NodeArray
+from repro.streams.base import Trace
+
+
+@pytest.fixture
+def trace() -> Trace:
+    data = np.array(
+        [
+            [10.0, 20.0, 30.0],
+            [15.0, 18.0, 29.0],
+            [40.0, 5.0, 28.0],
+        ]
+    )
+    return Trace(data)
+
+
+class TestConstruction:
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match="2-D"):
+            Trace(np.zeros(5))
+        with pytest.raises(ValueError, match="n >= 2"):
+            Trace(np.zeros((3, 1)))
+
+    def test_finiteness(self):
+        with pytest.raises(ValueError, match="finite"):
+            Trace(np.array([[1.0, np.nan]]))
+
+    def test_immutability(self, trace):
+        with pytest.raises(ValueError):
+            trace.data[0, 0] = 99.0
+
+    def test_copy_on_construction(self):
+        src = np.ones((2, 2))
+        tr = Trace(src)
+        src[0, 0] = 7.0
+        assert tr.data[0, 0] == 1.0
+
+
+class TestValueSource:
+    def test_dimensions(self, trace):
+        assert trace.n == 3 and trace.num_steps == 3
+
+    def test_values_ignores_nodes(self, trace):
+        nodes = NodeArray(3)
+        assert trace.values(1, nodes).tolist() == [15.0, 18.0, 29.0]
+
+
+class TestGroundTruth:
+    def test_delta(self, trace):
+        assert trace.delta == 40.0
+        assert trace.min_value == 5.0
+
+    def test_kth_largest_series(self, trace):
+        assert trace.kth_largest_series(1).tolist() == [30.0, 29.0, 40.0]
+        assert trace.kth_largest_series(2).tolist() == [20.0, 18.0, 28.0]
+
+    def test_kth_largest_at(self, trace):
+        assert trace.kth_largest_at(2, 3) == 5.0
+
+    def test_sigma_series(self):
+        data = np.array([[100.0, 99.0, 98.0, 10.0], [100.0, 99.0, 50.0, 10.0]])
+        tr = Trace(data)
+        assert tr.sigma_series(2, 0.05).tolist() == [3, 2]
+        assert tr.sigma_max(2, 0.05) == 3
+
+    def test_slice_steps(self, trace):
+        sub = trace.slice_steps(1, 3)
+        assert sub.num_steps == 2
+        assert sub.data[0, 0] == 15.0
+
+    def test_is_integral(self, trace):
+        assert trace.is_integral()
+        assert not Trace(np.array([[1.5, 2.0]])).is_integral()
+
+    def test_has_distinct_columns(self):
+        assert Trace(np.array([[1.0, 2.0]])).has_distinct_columns()
+        assert not Trace(np.array([[1.0, 1.0]])).has_distinct_columns()

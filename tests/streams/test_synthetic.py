@@ -1,0 +1,74 @@
+"""Unit tests for :mod:`repro.streams.synthetic`."""
+
+import numpy as np
+import pytest
+
+from repro.streams.synthetic import iid_uniform, random_walk, sine_drift, step_levels
+
+
+class TestRandomWalk:
+    def test_dimensions_and_range(self):
+        tr = random_walk(50, 8, low=0, high=1000, step=10, rng=0)
+        assert tr.num_steps == 50 and tr.n == 8
+        assert tr.min_value >= 0 and tr.delta <= 1000
+
+    def test_integral(self):
+        assert random_walk(20, 4, rng=0).is_integral()
+
+    def test_step_bound(self):
+        tr = random_walk(100, 4, low=0, high=10**6, step=5, rng=1)
+        diffs = np.abs(np.diff(tr.data, axis=0))
+        assert diffs.max() <= 10  # reflection can double a boundary step
+
+    def test_deterministic(self):
+        a = random_walk(30, 4, rng=11)
+        b = random_walk(30, 4, rng=11)
+        assert np.array_equal(a.data, b.data)
+
+    def test_lazy_freezes_nodes(self):
+        tr = random_walk(50, 16, lazy=1.0, rng=0)
+        assert np.all(tr.data == tr.data[0])
+
+    def test_init_values(self):
+        init = np.arange(4, dtype=float) * 100
+        tr = random_walk(5, 4, init=init, rng=0)
+        assert tr.data[0].tolist() == init.tolist()
+
+    def test_bad_bounds(self):
+        with pytest.raises(ValueError):
+            random_walk(5, 4, low=10, high=10)
+
+    def test_bad_lazy(self):
+        with pytest.raises(ValueError):
+            random_walk(5, 4, lazy=1.5)
+
+
+class TestIIDUniform:
+    def test_range(self):
+        tr = iid_uniform(50, 8, low=10, high=20, rng=0)
+        assert tr.min_value >= 10 and tr.delta <= 20
+
+    def test_high_churn(self):
+        tr = iid_uniform(50, 8, rng=0)
+        assert not np.array_equal(tr.data[0], tr.data[1])
+
+
+class TestSineDrift:
+    def test_nonnegative_integral(self):
+        tr = sine_drift(60, 8, rng=0)
+        assert tr.min_value >= 0 and tr.is_integral()
+
+    def test_oscillates(self):
+        tr = sine_drift(300, 4, noise=0, rng=0)
+        assert tr.data[:, 0].std() > 10
+
+
+class TestStepLevels:
+    def test_levels_respected(self):
+        tr = step_levels(50, 8, levels=4, spread=100, noise=0, switch_prob=0.0, rng=0)
+        unique = np.unique(tr.data)
+        assert unique.size <= 4
+
+    def test_switches_happen(self):
+        tr = step_levels(200, 8, switch_prob=0.2, noise=0, rng=0)
+        assert (np.diff(tr.data, axis=0) != 0).any()

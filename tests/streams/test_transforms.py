@@ -1,0 +1,57 @@
+"""Unit tests for :mod:`repro.streams.transforms`."""
+
+import numpy as np
+import pytest
+
+from repro.model.invariants import exact_topk_set
+from repro.streams.base import Trace
+from repro.streams.transforms import clip_trace, make_distinct, quantize
+
+
+class TestMakeDistinct:
+    def test_all_distinct(self):
+        tr = Trace(np.array([[5.0, 5.0, 5.0], [1.0, 2.0, 1.0]]))
+        out = make_distinct(tr)
+        assert out.has_distinct_columns()
+
+    def test_order_preserving(self):
+        tr = Trace(np.array([[1.0, 3.0, 2.0]]))
+        out = make_distinct(tr)
+        assert np.argsort(out.data[0]).tolist() == np.argsort(tr.data[0]).tolist()
+
+    def test_tie_break_lower_id_wins(self):
+        tr = Trace(np.array([[7.0, 7.0, 7.0]]))
+        out = make_distinct(tr)
+        assert exact_topk_set(out.data[0], 1) == {0}
+        assert exact_topk_set(out.data[0], 2) == {0, 1}
+
+    def test_rejects_float_traces(self):
+        with pytest.raises(ValueError, match="integer"):
+            make_distinct(Trace(np.array([[1.5, 2.0]])))
+
+    def test_delta_scales_by_n(self):
+        tr = Trace(np.array([[4.0, 1.0, 0.0]]))
+        out = make_distinct(tr)
+        assert out.delta == 4.0 * 3 + 2  # v*n + (n-1-i) for i=0
+
+
+class TestClip:
+    def test_clip(self):
+        tr = Trace(np.array([[1.0, 50.0], [100.0, 3.0]]))
+        out = clip_trace(tr, 2.0, 60.0)
+        assert out.data.min() == 2.0 and out.data.max() == 60.0
+
+    def test_bad_bounds(self):
+        with pytest.raises(ValueError):
+            clip_trace(Trace(np.ones((1, 2))), 5.0, 5.0)
+
+
+class TestQuantize:
+    def test_grid(self):
+        tr = Trace(np.array([[1.2, 7.7]]))
+        out = quantize(tr, 0.5)
+        assert out.data.tolist() == [[1.0, 7.5]]
+
+    def test_bad_grid(self):
+        with pytest.raises(ValueError):
+            quantize(Trace(np.ones((1, 2))), 0.0)

@@ -1,0 +1,58 @@
+"""Unit tests for :mod:`repro.streams.workloads`."""
+
+import numpy as np
+import pytest
+
+from repro.streams.workloads import cluster_load, sensor_field
+
+
+class TestClusterLoad:
+    def test_shape_and_domain(self):
+        tr = cluster_load(100, 16, rng=0)
+        assert tr.num_steps == 100 and tr.n == 16
+        assert tr.min_value >= 0 and tr.is_integral()
+
+    def test_bursts_create_spikes(self):
+        quiet = cluster_load(400, 8, burst_prob=0.0, rng=5)
+        bursty = cluster_load(400, 8, burst_prob=0.01, burst_height=50_000, rng=5)
+        assert bursty.delta > quiet.delta + 10_000
+
+    def test_deterministic(self):
+        a = cluster_load(50, 8, rng=3)
+        b = cluster_load(50, 8, rng=3)
+        assert np.array_equal(a.data, b.data)
+
+    def test_ar_coeff_validated(self):
+        with pytest.raises(ValueError):
+            cluster_load(10, 4, ar_coeff=1.0)
+
+
+class TestSensorField:
+    def test_sigma_tracks_band(self):
+        """The band parameter directly controls the paper's σ."""
+        for band in (6, 12):
+            tr = sensor_field(80, 24, 4, eps=0.1, band=band, rng=1)
+            sig = tr.sigma_max(4, 0.1)
+            assert band - 1 <= sig <= band + 2, f"band={band} gave sigma={sig}"
+
+    def test_low_nodes_stay_clear(self):
+        tr = sensor_field(80, 24, 4, eps=0.1, band=8, rng=1)
+        vk = tr.kth_largest_series(4)
+        low_max = tr.data[:, 8:].max()
+        assert low_max < 0.9 * (1 - 0.1) * vk.min()
+
+    def test_band_validation(self):
+        with pytest.raises(ValueError, match="band"):
+            sensor_field(10, 24, 4, band=4)  # band must exceed k
+        with pytest.raises(ValueError, match="band"):
+            sensor_field(10, 24, 4, band=25)
+
+    def test_default_band_is_2k(self):
+        tr = sensor_field(40, 32, 5, eps=0.1, rng=0)
+        assert 8 <= tr.sigma_max(5, 0.1) <= 12
+
+    def test_integral_and_deterministic(self):
+        a = sensor_field(30, 16, 3, rng=9)
+        b = sensor_field(30, 16, 3, rng=9)
+        assert a.is_integral()
+        assert np.array_equal(a.data, b.data)

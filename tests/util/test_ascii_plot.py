@@ -1,0 +1,72 @@
+"""Unit tests for :mod:`repro.util.ascii_plot`."""
+
+import pytest
+
+from repro.util.ascii_plot import Series, histogram, line_plot
+
+
+class TestSeries:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="len"):
+            Series("s", [1, 2], [1])
+
+
+class TestLinePlot:
+    def test_contains_legend_and_axes(self):
+        out = line_plot(
+            [Series("alpha", [1, 2, 3], [1, 4, 9])],
+            title="squares",
+            xlabel="x",
+            ylabel="y",
+        )
+        assert "squares" in out
+        assert "legend: * alpha" in out
+        assert "x: x   y: y" in out
+
+    def test_multiple_series_get_distinct_glyphs(self):
+        out = line_plot(
+            [Series("a", [1, 2], [1, 2]), Series("b", [1, 2], [2, 1])],
+        )
+        assert "* a" in out and "o b" in out
+
+    def test_log_scale_label(self):
+        out = line_plot(
+            [Series("a", [1, 10, 100], [1, 2, 3])],
+            logx=True,
+        )
+        assert "log-x" in out
+
+    def test_log_scale_rejects_nonpositive(self):
+        with pytest.raises(ValueError, match="positive"):
+            line_plot([Series("a", [0, 1], [1, 2])], logx=True)
+
+    def test_empty_series_handled(self):
+        out = line_plot([Series("a", [], [])], title="t")
+        assert "no data" in out
+
+    def test_constant_series_does_not_crash(self):
+        out = line_plot([Series("a", [1, 2, 3], [5, 5, 5])])
+        assert "legend" in out
+
+    def test_grid_dimensions(self):
+        out = line_plot([Series("a", [0, 1], [0, 1])], width=40, height=10)
+        grid_rows = [l for l in out.splitlines() if l.rstrip().endswith("|")]
+        assert len(grid_rows) == 10
+
+
+class TestHistogram:
+    def test_counts_sum(self):
+        out = histogram([1, 1, 2, 3, 3, 3], bins=3)
+        # Counts appear at line ends.
+        counts = [int(line.rsplit(" ", 1)[1]) for line in out.splitlines()]
+        assert sum(counts) == 6
+
+    def test_title(self):
+        assert histogram([1, 2], title="msgs").startswith("msgs")
+
+    def test_empty(self):
+        assert "no data" in histogram([])
+
+    def test_constant_values(self):
+        out = histogram([5, 5, 5], bins=4)
+        assert "3" in out

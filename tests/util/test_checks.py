@@ -1,0 +1,79 @@
+"""Unit tests for :mod:`repro.util.checks`."""
+
+import math
+
+import pytest
+
+from repro.util.checks import (
+    check_epsilon,
+    check_finite,
+    check_k,
+    check_nonneg_int,
+    check_positive_int,
+    require,
+)
+
+
+class TestRequire:
+    def test_pass(self):
+        require(True, "never")
+
+    def test_fail(self):
+        with pytest.raises(ValueError, match="boom"):
+            require(False, "boom")
+
+
+class TestIntChecks:
+    def test_positive_ok(self):
+        assert check_positive_int(3, "x") == 3
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_positive_rejects_small(self, bad):
+        with pytest.raises(ValueError):
+            check_positive_int(bad, "x")
+
+    @pytest.mark.parametrize("bad", [1.5, "3", True])
+    def test_positive_rejects_non_int(self, bad):
+        with pytest.raises(TypeError):
+            check_positive_int(bad, "x")
+
+    def test_nonneg_accepts_zero(self):
+        assert check_nonneg_int(0, "x") == 0
+
+    def test_nonneg_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_nonneg_int(-1, "x")
+
+
+class TestEpsilon:
+    def test_open_interval(self):
+        assert check_epsilon(0.25) == 0.25
+
+    @pytest.mark.parametrize("bad", [0.0, 1.0, -0.1, 1.1])
+    def test_rejects_boundary(self, bad):
+        with pytest.raises(ValueError):
+            check_epsilon(bad)
+
+    def test_allow_zero(self):
+        assert check_epsilon(0.0, allow_zero=True) == 0.0
+        with pytest.raises(ValueError):
+            check_epsilon(1.0, allow_zero=True)
+
+
+class TestK:
+    def test_ok(self):
+        assert check_k(3, 10) == 3
+
+    def test_k_equal_n_rejected(self):
+        with pytest.raises(ValueError, match="trivial"):
+            check_k(10, 10)
+
+
+class TestFinite:
+    def test_ok(self):
+        assert check_finite(1.5, "x") == 1.5
+
+    @pytest.mark.parametrize("bad", [math.inf, -math.inf, math.nan])
+    def test_rejects_nonfinite(self, bad):
+        with pytest.raises(ValueError):
+            check_finite(bad, "x")

@@ -1,0 +1,124 @@
+"""Unit tests for :mod:`repro.util.intervals`."""
+
+import math
+
+import pytest
+
+from repro.util.intervals import EMPTY, Interval
+
+
+class TestConstruction:
+    def test_point(self):
+        p = Interval.point(5.0)
+        assert p.lo == p.hi == 5.0
+        assert not p.is_empty
+
+    def test_at_least_is_upward_closed(self):
+        f = Interval.at_least(3.0)
+        assert 3.0 in f
+        assert math.inf in f
+        assert 2.999 not in f
+
+    def test_at_most_is_downward_closed(self):
+        f = Interval.at_most(3.0)
+        assert 3.0 in f
+        assert -math.inf in f
+        assert 3.001 not in f
+
+    def test_everything_contains_all(self):
+        assert 0.0 in Interval.everything()
+        assert 1e300 in Interval.everything()
+
+    def test_empty_is_empty(self):
+        assert EMPTY.is_empty
+        assert Interval.empty().is_empty
+        assert 0.0 not in EMPTY
+
+
+class TestPredicates:
+    def test_membership_is_closed(self):
+        itv = Interval(1.0, 2.0)
+        assert 1.0 in itv and 2.0 in itv
+        assert 0.999 not in itv and 2.001 not in itv
+
+    def test_contains_interval(self):
+        assert Interval(0, 10).contains_interval(Interval(2, 3))
+        assert not Interval(0, 10).contains_interval(Interval(2, 11))
+
+    def test_empty_subset_of_everything(self):
+        assert Interval(5, 6).contains_interval(EMPTY)
+
+    def test_overlaps(self):
+        assert Interval(0, 2).overlaps(Interval(2, 4))  # closed: share 2
+        assert not Interval(0, 2).overlaps(Interval(3, 4))
+        assert not EMPTY.overlaps(Interval(0, 1))
+
+
+class TestMeasures:
+    def test_width(self):
+        assert Interval(1, 4).width == 3.0
+        assert EMPTY.width == 0.0
+
+    def test_midpoint(self):
+        assert Interval(2, 4).midpoint == 3.0
+
+    def test_midpoint_of_empty_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            _ = EMPTY.midpoint
+
+    def test_midpoint_of_unbounded_raises(self):
+        with pytest.raises(ValueError, match="unbounded"):
+            _ = Interval.at_least(0.0).midpoint
+
+
+class TestCombinators:
+    def test_intersect(self):
+        assert Interval(0, 5).intersect(Interval(3, 9)) == Interval(3, 5)
+
+    def test_intersect_disjoint_is_empty(self):
+        assert Interval(0, 1).intersect(Interval(2, 3)).is_empty
+
+    def test_clamp_above_models_violation_from_below(self):
+        # A node outside F rose to 7: the separator must be >= 7.
+        assert Interval(0, 10).clamp_above(7.0) == Interval(7, 10)
+
+    def test_clamp_below_models_violation_from_above(self):
+        assert Interval(0, 10).clamp_below(7.0) == Interval(0, 7)
+
+    def test_clamp_can_empty(self):
+        assert Interval(0, 5).clamp_above(6.0).is_empty
+
+    def test_halves_cover_and_meet_at_midpoint(self):
+        itv = Interval(0, 8)
+        assert itv.lower_half() == Interval(0, 4)
+        assert itv.upper_half() == Interval(4, 8)
+
+    def test_half_of_point_is_empty(self):
+        assert Interval.point(3.0).lower_half().is_empty
+        assert Interval.point(3.0).upper_half().is_empty
+
+    def test_repeated_halving_reaches_resolution(self):
+        itv = Interval(0, 1024)
+        count = 0
+        while not itv.is_degenerate(1.0):
+            itv = itv.lower_half()
+            count += 1
+        # log2(1024) halvings reach width == 1, one more takes it below.
+        assert count == 11
+
+    def test_is_degenerate_empty(self):
+        assert EMPTY.is_degenerate(1e-12)
+
+    def test_is_degenerate_by_width(self):
+        assert Interval(0, 0.5).is_degenerate(1.0)
+        assert not Interval(0, 1.5).is_degenerate(1.0)
+
+
+class TestDunder:
+    def test_iter_unpacks(self):
+        lo, hi = Interval(1, 2)
+        assert (lo, hi) == (1.0, 2.0)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            Interval(0, 1).lo = 5  # type: ignore[misc]

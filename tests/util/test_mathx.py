@@ -1,0 +1,119 @@
+"""Unit tests for :mod:`repro.util.mathx` (the Sect. 4 phase predicates)."""
+
+import math
+
+import pytest
+
+from repro.util.mathx import (
+    ceil_log2,
+    double_exp,
+    geometric_midpoint,
+    log2,
+    loglog2,
+    phase_p1,
+    phase_p2,
+    phase_p3,
+    phase_p4,
+)
+
+
+class TestLogs:
+    def test_log2_total(self):
+        assert log2(8.0) == 3.0
+        assert log2(0.0) == -math.inf
+        assert log2(-1.0) == -math.inf
+
+    def test_loglog2_large(self):
+        assert loglog2(16.0) == 2.0  # log2(log2(16)) = log2(4)
+        assert loglog2(2.0**16) == 4.0
+
+    def test_loglog2_small_domain_maps_to_minus_inf(self):
+        # Everything <= 2 maps to -inf (keeps A1 out of degenerate gaps).
+        assert loglog2(2.0) == -math.inf
+        assert loglog2(1.5) == -math.inf
+        assert loglog2(0.0) == -math.inf
+
+    def test_loglog2_monotone_above_two(self):
+        xs = [2.1, 3.0, 10.0, 100.0, 1e6]
+        ys = [loglog2(x) for x in xs]
+        assert ys == sorted(ys)
+
+
+class TestPhasePredicates:
+    def test_p1_huge_gap(self):
+        # l = 2^4, u = 2^64: loglog u = 6 > loglog l + 1 = 3.
+        assert phase_p1(16.0, 2.0**64)
+
+    def test_p1_fails_same_magnitude(self):
+        assert not phase_p1(2.0**30, 2.0**40)  # loglog gap < 1
+
+    def test_p1_fails_for_tiny_upper(self):
+        # u <= 2 never arms the doubly-exponential search.
+        assert not phase_p1(0.0, 2.0)
+        assert not phase_p1(0.0, 1.5)
+
+    def test_p2_requires_not_p1_and_quad_gap(self):
+        assert phase_p2(2.0**30, 2.0**40)
+        assert not phase_p2(16.0, 2.0**64)  # P1 holds there
+        assert not phase_p2(100.0, 300.0)  # u < 4l
+
+    def test_p3_band(self):
+        # u <= 4l but still wider than the eps overlap.
+        assert phase_p3(100.0, 300.0, eps=0.1)
+        assert not phase_p3(100.0, 500.0, eps=0.1)  # u > 4l
+        assert not phase_p3(100.0, 105.0, eps=0.1)  # already in P4
+
+    def test_p4_overlap(self):
+        assert phase_p4(100.0, 105.0, eps=0.1)  # 105*(0.9) = 94.5 <= 100
+        assert not phase_p4(100.0, 300.0, eps=0.1)
+
+    @pytest.mark.parametrize(
+        "lo,hi",
+        [(0.0, 1.0), (0.0, 2.0), (1.0, 1.0), (5.0, 5.0), (16.0, 2.0**64),
+         (2.0**30, 2.0**40), (100.0, 300.0), (100.0, 105.0), (0.0, 2.0**40)],
+    )
+    def test_ordered_dispatch_is_total(self, lo, hi):
+        """Every valid [lo, hi] lands in exactly one ordered branch."""
+        eps = 0.25
+        branches = [
+            phase_p1(lo, hi),
+            (not phase_p1(lo, hi)) and hi > 4 * lo,
+            hi <= 4 * lo and hi * (1 - eps) > lo,
+            hi * (1 - eps) <= lo,
+        ]
+        assert any(branches)
+
+
+class TestHelpers:
+    def test_ceil_log2(self):
+        assert ceil_log2(1) == 0
+        assert ceil_log2(2) == 1
+        assert ceil_log2(3) == 2
+        assert ceil_log2(1024) == 10
+        assert ceil_log2(1025) == 11
+
+    def test_geometric_midpoint_in_range(self):
+        m = geometric_midpoint(4.0, 64.0)
+        assert m == pytest.approx(16.0)
+        assert 4.0 <= m <= 64.0
+
+    def test_geometric_midpoint_is_log_midpoint(self):
+        lo, hi = 3.0, 1000.0
+        m = geometric_midpoint(lo, hi)
+        assert math.log2(m) == pytest.approx((math.log2(lo) + math.log2(hi)) / 2)
+
+    def test_geometric_midpoint_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_midpoint(0.0, 8.0)
+
+    def test_double_exp_values(self):
+        assert double_exp(0) == 2.0
+        assert double_exp(1) == 4.0
+        assert double_exp(3) == 256.0
+
+    def test_double_exp_overflow_clamps_to_inf(self):
+        assert double_exp(11) == math.inf
+
+    def test_double_exp_rejects_negative(self):
+        with pytest.raises(ValueError):
+            double_exp(-1)

@@ -1,0 +1,52 @@
+"""Unit tests for :mod:`repro.util.rngtools`."""
+
+import numpy as np
+
+from repro.util.rngtools import make_rng, rng_stream, spawn
+
+
+class TestMakeRng:
+    def test_int_seed_deterministic(self):
+        a = make_rng(42).integers(0, 1 << 30, 10)
+        b = make_rng(42).integers(0, 1 << 30, 10)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(0)
+        assert make_rng(g) is g
+
+    def test_none_gives_generator(self):
+        assert isinstance(make_rng(None), np.random.Generator)
+
+
+class TestSpawn:
+    def test_children_are_independent_and_deterministic(self):
+        kids_a = spawn(make_rng(7), 3)
+        kids_b = spawn(make_rng(7), 3)
+        for ka, kb in zip(kids_a, kids_b):
+            assert np.array_equal(ka.integers(0, 1 << 30, 5), kb.integers(0, 1 << 30, 5))
+
+    def test_children_differ_from_each_other(self):
+        kids = spawn(make_rng(7), 2)
+        assert not np.array_equal(
+            kids[0].integers(0, 1 << 30, 10), kids[1].integers(0, 1 << 30, 10)
+        )
+
+    def test_spawn_from_passthrough_generator(self):
+        # A generator without a fresh SeedSequence still spawns children.
+        g = np.random.default_rng(1)
+        g.random()  # advance state
+        kids = spawn(g, 2)
+        assert len(kids) == 2
+
+
+class TestRngStream:
+    def test_labels_and_determinism(self):
+        s1 = dict(rng_stream(5, ["a", "b"]))
+        s2 = dict(rng_stream(5, ["a", "b"]))
+        assert set(s1) == {"a", "b"}
+        assert np.array_equal(s1["a"].integers(0, 100, 5), s2["a"].integers(0, 100, 5))
+
+    def test_different_labels_different_streams(self):
+        s = dict(rng_stream(5, ["a", "b"]))
+        assert not np.array_equal(s["a"].integers(0, 100, 10), s["b"].integers(0, 100, 10))

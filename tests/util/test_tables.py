@@ -1,0 +1,89 @@
+"""Unit tests for :mod:`repro.util.tables`."""
+
+import pytest
+
+from repro.util.tables import Table
+
+
+@pytest.fixture
+def table() -> Table:
+    t = Table(["n", "messages", "ratio"], title="demo")
+    t.add(16, 120, 1.5)
+    t.add(32, 240, 1.75)
+    return t
+
+
+class TestBuilding:
+    def test_positional_add(self, table):
+        assert len(table) == 2
+
+    def test_named_add(self, table):
+        table.add(n=64, messages=480, ratio=2.0)
+        assert table.rows[-1] == (64, 480, 2.0)
+
+    def test_mixed_add_rejected(self, table):
+        with pytest.raises(TypeError):
+            table.add(1, messages=2)
+
+    def test_wrong_arity_rejected(self, table):
+        with pytest.raises(ValueError):
+            table.add(1, 2)
+
+    def test_named_mismatch_rejected(self, table):
+        with pytest.raises(ValueError, match="missing"):
+            table.add(n=1, messages=2)
+
+    def test_extend(self, table):
+        table.extend([{"n": 64, "messages": 1, "ratio": 0.5}])
+        assert len(table) == 3
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Table(["a", "a"])
+
+
+class TestAccess:
+    def test_column(self, table):
+        assert table.column("n") == [16, 32]
+
+    def test_unknown_column(self, table):
+        with pytest.raises(KeyError):
+            table.column("nope")
+
+    def test_iter_yields_dicts(self, table):
+        rows = list(table)
+        assert rows[0] == {"n": 16, "messages": 120, "ratio": 1.5}
+
+    def test_where(self, table):
+        small = table.where(lambda r: r["n"] < 20)
+        assert len(small) == 1 and small.rows[0][0] == 16
+
+
+class TestRendering:
+    def test_markdown_structure(self, table):
+        md = table.to_markdown()
+        lines = md.splitlines()
+        assert lines[0] == "**demo**"
+        assert lines[2] == "| n | messages | ratio |"
+        assert lines[3].startswith("|---")
+        assert "| 16 | 120 | 1.5 |" in md
+
+    def test_csv(self, table):
+        csv = table.to_csv().splitlines()
+        assert csv[0] == "n,messages,ratio"
+        assert csv[1] == "16,120,1.5"
+
+    def test_float_formatting(self):
+        t = Table(["x"])
+        t.add(1.23456789)
+        assert "1.235" in t.to_markdown()
+
+    def test_integral_float_rendered_as_int(self):
+        t = Table(["x"])
+        t.add(4.0)
+        assert "| 4 |" in t.to_markdown()
+
+    def test_nan_rendered(self):
+        t = Table(["x"])
+        t.add(float("nan"))
+        assert "nan" in t.to_csv()
