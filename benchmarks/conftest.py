@@ -9,12 +9,10 @@ the same artifacts as ``python -m repro.experiments``.
 
 from __future__ import annotations
 
-from pathlib import Path
-
 import pytest
 
 from repro.experiments import run_experiment
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, default_results_dir
 
 
 @pytest.fixture
@@ -29,9 +27,10 @@ def run_experiment_benchmarked(benchmark):
             rounds=1,
             iterations=1,
         )
-        # Quick-sweep artifacts go to their own tree so a benchmark run
-        # never clobbers the full-sweep results/ used by EXPERIMENTS.md.
-        outdir = result.write(Path("results_quick"))
+        # Quick-sweep artifacts go to their own subtree so a benchmark
+        # run never clobbers the full-sweep results/ of EXPERIMENTS.md
+        # (exp ids are T*, so results/quick/ cannot collide with them).
+        outdir = result.write(default_results_dir() / "quick")
         benchmark.extra_info["results_dir"] = str(outdir)
         for note in result.notes:
             benchmark.extra_info.setdefault("notes", []).append(note)

@@ -29,7 +29,7 @@ See DESIGN.md for the architecture and EXPERIMENTS.md for measured
 results versus the paper's bounds.
 """
 
-from repro import analysis, core, model, offline, streams, util
+from repro import analysis, core, model, offline, runner, streams, util
 from repro.core import (
     ApproxTopKMonitor,
     ExactTopKMonitor,
@@ -58,6 +58,7 @@ __all__ = [
     "model",
     "offline",
     "offline_opt",
+    "runner",
     "streams",
     "util",
     "__version__",

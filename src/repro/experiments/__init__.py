@@ -1,9 +1,14 @@
 """The experiment registry — every table/figure of EXPERIMENTS.md.
 
 Each entry maps an experiment id to a module exposing
-``run(quick=True, seed=0) -> ExperimentResult``; run them all with
-``python -m repro.experiments`` (see ``--help``).  DESIGN.md §3 holds the
-index mapping experiments to the paper's theorems.
+``run(quick=True, seed=0, runner=None) -> ExperimentResult``; run them
+all with ``python -m repro.experiments`` (see ``--help``).  DESIGN.md §3
+holds the index mapping experiments to the paper's theorems, and
+EXPERIMENTS.md records the full-sweep results.
+
+Experiments are addressable by id (``T3``) or by slug (``exact`` — the
+``exp_<slug>`` module name), e.g. ``python -m repro.experiments --only
+exact``.
 """
 
 from __future__ import annotations
@@ -26,8 +31,15 @@ from repro.experiments import (
     exp_topk,
 )
 from repro.experiments.common import ExperimentResult
+from repro.runner import RunnerConfig
 
-__all__ = ["EXPERIMENTS", "ExperimentResult", "ExperimentSpec", "run_experiment"]
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "ExperimentSpec",
+    "resolve_ids",
+    "run_experiment",
+]
 
 
 @dataclass(frozen=True)
@@ -38,6 +50,7 @@ class ExperimentSpec:
     title: str
     run: Callable[..., ExperimentResult]
     validates: str
+    slug: str = ""
 
 
 _MODULES = [
@@ -56,16 +69,50 @@ _MODULES = [
 ]
 
 EXPERIMENTS: dict[str, ExperimentSpec] = {
-    module.EXP_ID: ExperimentSpec(module.EXP_ID, module.TITLE, module.run, validates)
+    module.EXP_ID: ExperimentSpec(
+        module.EXP_ID,
+        module.TITLE,
+        module.run,
+        validates,
+        slug=module.__name__.rsplit(".", 1)[-1].removeprefix("exp_"),
+    )
     for module, validates in _MODULES
 }
 
+_BY_SLUG: dict[str, str] = {spec.slug: spec.exp_id for spec in EXPERIMENTS.values()}
 
-def run_experiment(exp_id: str, *, quick: bool = True, seed: int = 0) -> ExperimentResult:
-    """Run one experiment by id (raises ``KeyError`` for unknown ids)."""
+
+def resolve_ids(tokens: list[str]) -> tuple[list[str], list[str]]:
+    """Map ids/slugs (case-insensitive) to experiment ids.
+
+    Returns ``(resolved, unknown)`` preserving order and deduplicating.
+    """
+    resolved: list[str] = []
+    unknown: list[str] = []
+    for token in tokens:
+        exp_id = token.upper() if token.upper() in EXPERIMENTS else _BY_SLUG.get(token.lower())
+        if exp_id is None:
+            unknown.append(token)
+        elif exp_id not in resolved:
+            resolved.append(exp_id)
+    return resolved, unknown
+
+
+def run_experiment(
+    exp_id: str,
+    *,
+    quick: bool = True,
+    seed: int = 0,
+    runner: RunnerConfig | None = None,
+) -> ExperimentResult:
+    """Run one experiment by id (raises ``KeyError`` for unknown ids).
+
+    ``runner`` selects parallel/cached sweep evaluation; ``None`` (the
+    default) evaluates serially without touching the cache.
+    """
     try:
         spec = EXPERIMENTS[exp_id]
     except KeyError:
         known = ", ".join(sorted(EXPERIMENTS))
         raise KeyError(f"unknown experiment {exp_id!r}; known: {known}") from None
-    return spec.run(quick=quick, seed=seed)
+    return spec.run(quick=quick, seed=seed, runner=runner)

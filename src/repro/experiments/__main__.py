@@ -2,20 +2,33 @@
 
 Usage::
 
-    python -m repro.experiments                # run all, quick sweeps
-    python -m repro.experiments --full         # full sweeps (EXPERIMENTS.md)
-    python -m repro.experiments run T5 T6      # a subset
-    python -m repro.experiments list           # what exists
+    python -m repro.experiments                   # run all, quick sweeps
+    python -m repro.experiments --full            # full sweeps (EXPERIMENTS.md)
+    python -m repro.experiments run T5 T6         # a subset by id
+    python -m repro.experiments --only exact      # a subset by slug
+    python -m repro.experiments --jobs 4          # parallel sweep cells
+    python -m repro.experiments --no-cache        # force recomputation
+    python -m repro.experiments list              # what exists
+
+Sweep cells are cached under ``results/.cache`` keyed by content hash
+(cell params + seed + a digest of the ``repro`` source tree), so
+re-runs on unchanged code skip completed cells; ``--no-cache``
+bypasses the cache entirely.  By the runner's
+determinism law, ``--jobs N`` and the cache change wall-clock only —
+the tables are byte-identical to a serial, uncached run.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from pathlib import Path
 
-from repro.experiments import EXPERIMENTS, run_experiment
+from repro.experiments import EXPERIMENTS, resolve_ids, run_experiment
+from repro.experiments.common import default_results_dir
+from repro.runner import RunnerConfig, default_jobs
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -24,30 +37,61 @@ def main(argv: list[str] | None = None) -> int:
         description="Regenerate the reproduction's tables and figures.",
     )
     parser.add_argument("command", nargs="?", default="run", choices=["run", "list"])
-    parser.add_argument("ids", nargs="*", help="experiment ids (default: all)")
-    parser.add_argument("--full", action="store_true", help="full sweeps (slower)")
+    parser.add_argument("ids", nargs="*", help="experiment ids or slugs (default: all)")
+    parser.add_argument(
+        "--only", action="append", default=[], metavar="ID",
+        help="run only this experiment (id like T3 or slug like exact; repeatable)",
+    )
+    mode = parser.add_mutually_exclusive_group()
+    mode.add_argument("--full", action="store_true", help="full sweeps (slower)")
+    mode.add_argument("--quick", action="store_true",
+                      help="quick sweeps (the default; explicit for CI scripts)")
     parser.add_argument("--seed", type=int, default=0)
-    parser.add_argument("--outdir", type=Path, default=Path("results"))
+    parser.add_argument("--outdir", type=Path, default=None,
+                        help="results root (default: <repo>/results, or $REPRO_RESULTS_DIR)")
+    parser.add_argument(
+        "--jobs", "-j", type=int, default=1, metavar="N",
+        help="evaluate sweep cells with N worker processes (0 = all CPUs)",
+    )
+    parser.add_argument("--no-cache", action="store_true",
+                        help="do not read or write the on-disk sweep cell cache")
+    parser.add_argument("--cache-dir", type=Path, default=None,
+                        help="cache root (default: <outdir>/.cache, or $REPRO_CACHE_DIR)")
     args = parser.parse_args(argv)
 
     if args.command == "list":
         for spec in EXPERIMENTS.values():
-            print(f"{spec.exp_id:>4}  {spec.title}  [{spec.validates}]")
+            print(f"{spec.exp_id:>4}  {spec.slug:<10} {spec.title}  [{spec.validates}]")
         return 0
 
-    ids = args.ids or list(EXPERIMENTS)
-    unknown = [i for i in ids if i not in EXPERIMENTS]
+    tokens = list(args.ids) + list(args.only)
+    ids, unknown = resolve_ids(tokens)
     if unknown:
         print(f"unknown experiment ids: {unknown}", file=sys.stderr)
         return 2
+    if not ids:
+        ids = list(EXPERIMENTS)
+
+    if args.jobs < 0:
+        parser.error(f"--jobs must be >= 0 (0 = all CPUs), got {args.jobs}")
+    jobs = args.jobs if args.jobs > 0 else default_jobs()
+    outdir = args.outdir if args.outdir is not None else default_results_dir()
+    # The cache follows the results tree: redirecting --outdir must not
+    # leave cache writes behind in the repository checkout.  An explicit
+    # $REPRO_CACHE_DIR (e.g. a shared cache) still wins over the derived
+    # location.
+    cache_dir = args.cache_dir
+    if cache_dir is None and args.outdir is not None and not os.environ.get("REPRO_CACHE_DIR"):
+        cache_dir = args.outdir / ".cache"
+    runner = RunnerConfig(jobs=jobs, cache=not args.no_cache, cache_dir=cache_dir)
 
     for exp_id in ids:
         start = time.perf_counter()
         print(f"[{exp_id}] {EXPERIMENTS[exp_id].title} ...", flush=True)
-        result = run_experiment(exp_id, quick=not args.full, seed=args.seed)
-        outdir = result.write(args.outdir)
+        result = run_experiment(exp_id, quick=not args.full, seed=args.seed, runner=runner)
+        exp_outdir = result.write(outdir)
         elapsed = time.perf_counter() - start
-        print(f"[{exp_id}] done in {elapsed:.1f}s -> {outdir}")
+        print(f"[{exp_id}] done in {elapsed:.1f}s -> {exp_outdir}")
         for note in result.notes:
             print(f"    note: {note}")
     return 0

@@ -1,25 +1,46 @@
 """Shared infrastructure of the experiment suite.
 
-Every experiment module exposes ``run(quick=True, seed=0) ->
-ExperimentResult``.  ``quick`` selects reduced sweeps (used by the test
-suite and as the pytest-benchmark payload); the CLI default runs the full
-sweeps recorded in EXPERIMENTS.md.  Results are plain tables plus ASCII
-figures, written under ``results/<exp_id>/``.
+Every experiment module exposes ``run(quick=True, seed=0, runner=None)
+-> ExperimentResult``.  ``quick`` selects reduced sweeps (used by the
+test suite, the pytest-benchmark payloads, and the CLI default); the
+CLI's ``--full`` mode runs the full sweeps recorded in EXPERIMENTS.md.  ``runner`` is an optional
+:class:`repro.runner.RunnerConfig` controlling parallelism and caching
+of the sweep cells (``None`` = serial, uncached); by the runner's
+determinism law it changes *how fast* tables appear, never their
+content.  Results are plain tables plus ASCII figures, written under
+``results/<exp_id>/``.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.util.tables import Table
 
-__all__ = ["ExperimentResult", "default_results_dir"]
+__all__ = ["ExperimentResult", "default_results_dir", "repo_root"]
+
+
+def repo_root() -> Path:
+    """The repository root (three levels above this file's package)."""
+    # .../src/repro/experiments/common.py -> parents[3] == repo root
+    return Path(__file__).resolve().parents[3]
 
 
 def default_results_dir() -> Path:
-    """``results/`` next to the repository root (created on demand)."""
-    return Path.cwd() / "results"
+    """``results/`` anchored at the repository root (created on demand).
+
+    Anchoring at the repo root — not ``Path.cwd()`` — keeps every
+    invocation (CLI, pytest, benchmarks, notebooks in subdirectories)
+    writing to the same tree.  Set ``REPRO_RESULTS_DIR`` to redirect all
+    result artifacts (and, unless ``REPRO_CACHE_DIR`` overrides it, the
+    sweep cache under ``results/.cache``) elsewhere.
+    """
+    env = os.environ.get("REPRO_RESULTS_DIR")
+    if env:
+        return Path(env)
+    return repo_root() / "results"
 
 
 @dataclass

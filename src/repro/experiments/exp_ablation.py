@@ -11,6 +11,9 @@ separation visible directly.
 **T11 (existence protocol).**  The Cor. 3.3 monitor with existence-based
 violation detection vs the identical monitor with deterministic bisection
 detection — the Lemma 3.1 mechanism in isolation (detection-scope costs).
+
+One sweep cell per Δ (T10) / per n (T11); each cell runs both variants
+against its own deterministic chaser.
 """
 
 from __future__ import annotations
@@ -22,6 +25,7 @@ from repro.core.phased import PhaseCore, PhasedMonitor
 from repro.core.topk_protocol import TopKMonitor
 from repro.experiments.common import ExperimentResult
 from repro.model.engine import MonitoringEngine
+from repro.runner import RunnerConfig, run_grid, sweep, zip_params
 from repro.streams.adversarial import PivotChaser
 from repro.util.ascii_plot import Series, line_plot
 from repro.util.tables import Table
@@ -50,13 +54,45 @@ def _chase(monitor_factory, high: float, T: int, seed: int) -> tuple[float, int]
     return res.messages / cycles, source.resets
 
 
-def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+def _pivot_cell(params: dict, seed: int) -> dict:  # noqa: ARG001 - seeds are explicit params
+    """Midpoint vs (P1)-(P4) ladder per chaser cycle at one Δ."""
+    high = float(2 ** params["log2_delta"])
+    T, eps, ch_seed = params["T"], params["eps"], params["channel_seed"]
+    mid_cost, cycles = _chase(lambda: MidpointApproxMonitor(3), high, T, ch_seed)
+    ladder_cost, _ = _chase(lambda: TopKMonitor(3, eps), high, T, ch_seed)
+    return {"mid_cost": mid_cost, "ladder_cost": ladder_cost, "cycles": cycles}
+
+
+def _existence_cell(params: dict, seed: int) -> dict:  # noqa: ARG001
+    """Cor. 3.3 vs [6]-style violation handling under the chaser at one n."""
+    n, T = params["n"], params["T"]
+    out = {}
+    for use_existence, label in ((True, "cor33"), (False, "ipdps15")):
+        source = PivotChaser(T, n=n, k=3, high=float(2**20))
+        algo = ExactTopKMonitor(3, use_existence=use_existence)
+        res = MonitoringEngine(
+            source, algo, k=3, eps=0.0, seed=params["channel_seed"], record_outputs=False
+        ).run()
+        out[f"msgs_{label}"] = res.messages
+        if not use_existence:
+            out["reprobe"] = res.ledger.by_scope().get("boundary_reprobe", 0)
+            out["reprobes"] = algo.stats.get("reprobes", 0)
+    return out
+
+
+def run(quick: bool = True, seed: int = 0, runner: RunnerConfig | None = None) -> ExperimentResult:
     result = ExperimentResult(EXP_ID, TITLE)
     T = 400 if quick else 1200
     eps = 0.1
 
     # --- T10: pivot strategies under the chasing adversary --------------- #
     log_deltas = [12, 20, 28] if quick else [10, 16, 22, 28, 34, 40]
+    pivot_cells = [
+        {"log2_delta": ld, "T": T, "eps": eps, "channel_seed": seed} for ld in log_deltas
+    ]
+    pivot_rows = zip_params(
+        pivot_cells, run_grid(sweep(EXP_ID, _pivot_cell, cells=pivot_cells, seed=seed), runner)
+    )
     table = Table(
         [
             "log2_delta", "midpoint_msgs_per_cycle", "ladder_msgs_per_cycle",
@@ -65,14 +101,12 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
         title="T10: per-cycle cost of midpoint vs (P1)-(P4) ladder",
     )
     xs, y_mid, y_ladder = [], [], []
-    for ld in log_deltas:
-        high = float(2**ld)
-        mid_cost, cycles = _chase(lambda: MidpointApproxMonitor(3), high, T, seed)
-        ladder_cost, _ = _chase(lambda: TopKMonitor(3, eps), high, T, seed)
-        table.add(ld, mid_cost, ladder_cost, mid_cost / max(1e-9, ladder_cost), cycles)
-        xs.append(float(ld))
-        y_mid.append(mid_cost)
-        y_ladder.append(ladder_cost)
+    for row in pivot_rows:
+        table.add(row["log2_delta"], row["mid_cost"], row["ladder_cost"],
+                  row["mid_cost"] / max(1e-9, row["ladder_cost"]), row["cycles"])
+        xs.append(float(row["log2_delta"]))
+        y_mid.append(row["mid_cost"])
+        y_ladder.append(row["ladder_cost"])
     result.add_table("pivot_ablation", table)
     result.note(
         "Midpoint pivots cost Θ(log Δ) per adversary cycle (slope "
@@ -94,6 +128,11 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
     # so the [6]-style boundary re-probe runs over the n−k staggered low
     # nodes each time and its Θ(log n) price is isolated from workload
     # noise (random walks mix cheap k-sided probes in, see git history).
+    ns = [8, 32, 128] if quick else [8, 16, 32, 64, 128, 256]
+    exist_cells = [{"n": n, "T": T, "channel_seed": seed} for n in ns]
+    exist_rows = zip_params(
+        exist_cells, run_grid(sweep(EXP_ID, _existence_cell, cells=exist_cells, seed=seed), runner)
+    )
     t11 = Table(
         [
             "n", "log2_n", "msgs_cor33", "msgs_ipdps15", "reprobe_msgs",
@@ -101,22 +140,10 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
         ],
         title="T11: violation-handling cost, Cor. 3.3 vs [6]-style (chaser)",
     )
-    ns = [8, 32, 128] if quick else [8, 16, 32, 64, 128, 256]
-    for n in ns:
-        msgs, reprobe, reprobes = {}, 0, 0
-        for use_existence in (True, False):
-            source = PivotChaser(T, n=n, k=3, high=float(2**20))
-            algo = ExactTopKMonitor(3, use_existence=use_existence)
-            res = MonitoringEngine(
-                source, algo, k=3, eps=0.0, seed=seed, record_outputs=False
-            ).run()
-            msgs[use_existence] = res.messages
-            if not use_existence:
-                reprobe = res.ledger.by_scope().get("boundary_reprobe", 0)
-                reprobes = algo.stats.get("reprobes", 0)
+    for row in exist_rows:
         t11.add(
-            n, float(np.log2(n)), msgs[True], msgs[False], reprobe,
-            reprobe / max(1, reprobes),
+            row["n"], float(np.log2(row["n"])), row["msgs_cor33"], row["msgs_ipdps15"],
+            row["reprobe"], row["reprobe"] / max(1, row["reprobes"]),
         )
     result.add_table("existence_ablation", t11)
     result.note(

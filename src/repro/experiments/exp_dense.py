@@ -3,7 +3,8 @@
 Sensor-field workloads put exactly ``band ≈ σ`` nodes inside the
 ε-neighborhood; the per-phase message cost of the Theorem 5.8 monitor is
 measured against σ (the bound is σ²·log(εv_k) + σ·log²(εv_k), so the
-log-log slope should land between 1 and 2) and against ε.
+log-log slope should land between 1 and 2) and against ε.  One sweep
+cell per band (σ sweep) and per ε (ε sweep).
 """
 
 from __future__ import annotations
@@ -15,6 +16,7 @@ from repro.core.approx_monitor import ApproxTopKMonitor
 from repro.experiments.common import ExperimentResult
 from repro.model.engine import MonitoringEngine
 from repro.offline.opt import offline_opt
+from repro.runner import RunnerConfig, run_grid, sweep, zip_params
 from repro.streams.workloads import sensor_field
 from repro.util.ascii_plot import Series, line_plot
 from repro.util.tables import Table
@@ -23,7 +25,31 @@ EXP_ID = "T6"
 TITLE = "DENSEPROTOCOL cost vs σ and ε (Thm 5.8)"
 
 
-def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+def _dense_cell(params: dict, seed: int) -> dict:  # noqa: ARG001 - seeds are explicit params
+    """Thm 5.8 monitor + OPT on one sensor-field trace."""
+    T, n, k = params["T"], params["n"], params["k"]
+    eps, band = params["eps"], params["band"]
+    trace = sensor_field(T, n, k, eps=eps, band=band, wobble=params["wobble"],
+                         rng=params["trace_seed"])
+    sigma = trace.sigma_max(k, eps)
+    algo = ApproxTopKMonitor(k, eps)
+    res = MonitoringEngine(
+        trace, algo, k=k, eps=eps, seed=params["channel_seed"], record_outputs=False
+    ).run()
+    opt = offline_opt(trace, k, eps)
+    vk = float(np.median(trace.kth_largest_series(k)))
+    return {
+        "sigma": int(sigma),
+        "online_msgs": res.messages,
+        "phases": algo.phases,
+        "msgs_per_phase": res.messages / max(1, algo.phases),
+        "opt_lb": opt.message_lb,
+        "ratio": res.messages / opt.ratio_denominator,
+        "thm58_bound": float(bound_dense(sigma, vk, trace.delta, eps)),
+    }
+
+
+def run(quick: bool = True, seed: int = 0, runner: RunnerConfig | None = None) -> ExperimentResult:
     result = ExperimentResult(EXP_ID, TITLE)
     k, n = 4, 64
     T = 300 if quick else 800
@@ -31,6 +57,14 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
 
     # --- σ sweep --------------------------------------------------------- #
     bands = [8, 16, 32] if quick else [6, 8, 12, 16, 24, 32, 48, 64]
+    sigma_cells = [
+        {"band": band, "T": T, "n": n, "k": k, "eps": eps, "wobble": 0.8,
+         "trace_seed": seed + band, "channel_seed": seed}
+        for band in bands
+    ]
+    sigma_rows = zip_params(
+        sigma_cells, run_grid(sweep(EXP_ID, _dense_cell, cells=sigma_cells, seed=seed), runner)
+    )
     sigma_table = Table(
         [
             "sigma", "online_msgs", "phases", "msgs_per_phase", "opt_lb",
@@ -39,20 +73,13 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
         title=f"T6a: DENSE cost vs σ (k={k}, n={n}, ε={eps})",
     )
     xs, ys = [], []
-    for band in bands:
-        trace = sensor_field(T, n, k, eps=eps, band=band, wobble=0.8, rng=seed + band)
-        sigma = trace.sigma_max(k, eps)
-        algo = ApproxTopKMonitor(k, eps)
-        res = MonitoringEngine(trace, algo, k=k, eps=eps, seed=seed, record_outputs=False).run()
-        opt = offline_opt(trace, k, eps)
-        per_phase = res.messages / max(1, algo.phases)
-        vk = float(np.median(trace.kth_largest_series(k)))
+    for row in sigma_rows:
         sigma_table.add(
-            sigma, res.messages, algo.phases, per_phase, opt.message_lb,
-            res.messages / opt.ratio_denominator, bound_dense(sigma, vk, trace.delta, eps),
+            row["sigma"], row["online_msgs"], row["phases"], row["msgs_per_phase"],
+            row["opt_lb"], row["ratio"], row["thm58_bound"],
         )
-        xs.append(float(sigma))
-        ys.append(per_phase)
+        xs.append(float(row["sigma"]))
+        ys.append(row["msgs_per_phase"])
     result.add_table("sigma_sweep", sigma_table)
     slope = fitted_slope([np.log2(x) for x in xs], [np.log2(y) for y in ys])
     result.note(
@@ -62,18 +89,22 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
 
     # --- ε sweep ---------------------------------------------------------- #
     eps_values = [0.3, 0.1, 0.03] if quick else [0.4, 0.2, 0.1, 0.05, 0.02]
+    eps_cells = [
+        {"band": 16, "T": T, "n": n, "k": k, "eps": eps_v, "wobble": 0.8,
+         "trace_seed": seed + 99, "channel_seed": seed}
+        for eps_v in eps_values
+    ]
+    eps_rows = zip_params(
+        eps_cells, run_grid(sweep(EXP_ID, _dense_cell, cells=eps_cells, seed=seed), runner)
+    )
     eps_table = Table(
         ["eps", "sigma", "online_msgs", "phases", "msgs_per_phase", "opt_lb"],
         title=f"T6b: DENSE cost vs ε (k={k}, n={n}, band=16)",
     )
-    for eps_v in eps_values:
-        trace = sensor_field(T, n, k, eps=eps_v, band=16, wobble=0.8, rng=seed + 99)
-        algo = ApproxTopKMonitor(k, eps_v)
-        res = MonitoringEngine(trace, algo, k=k, eps=eps_v, seed=seed, record_outputs=False).run()
-        opt = offline_opt(trace, k, eps_v)
+    for row in eps_rows:
         eps_table.add(
-            eps_v, trace.sigma_max(k, eps_v), res.messages, algo.phases,
-            res.messages / max(1, algo.phases), opt.message_lb,
+            row["eps"], row["sigma"], row["online_msgs"], row["phases"],
+            row["msgs_per_phase"], row["opt_lb"],
         )
     result.add_table("eps_sweep", eps_table)
 

@@ -4,7 +4,7 @@ A two-band workload with a controllable relative gap ``g`` between the
 top-k plateau and the runner-up plateau: ``v_{k+1} ≈ (1-g)·v_k``.  The
 dispatcher should choose TOP-K-PROTOCOL while ``g > ε`` (separated) and
 DENSEPROTOCOL while ``g < ε`` (dense); the measured fraction of dense
-phases flips exactly at ``g = ε``.
+phases flips exactly at ``g = ε``.  One sweep cell per gap.
 """
 
 from __future__ import annotations
@@ -14,6 +14,7 @@ import numpy as np
 from repro.core.approx_monitor import ApproxTopKMonitor
 from repro.experiments.common import ExperimentResult
 from repro.model.engine import MonitoringEngine
+from repro.runner import RunnerConfig, run_grid, sweep, zip_params
 from repro.streams.base import Trace
 from repro.util.ascii_plot import Series, line_plot
 from repro.util.rngtools import make_rng
@@ -34,7 +35,22 @@ def gap_workload(T: int, n: int, k: int, gap: float, *, level: float = 10_000.0,
     return Trace(np.round(np.maximum(centers[None, :] + wobble, 1.0)))
 
 
-def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+def _gap_cell(params: dict, seed: int) -> dict:  # noqa: ARG001 - seeds are explicit params
+    """Dispatcher phase mix at one gap value."""
+    T, n, k, eps = params["T"], params["n"], params["k"], params["eps"]
+    trace = gap_workload(T, n, k, params["gap"], rng=params["trace_seed"])
+    algo = ApproxTopKMonitor(k, eps)
+    res = MonitoringEngine(
+        trace, algo, k=k, eps=eps, seed=params["channel_seed"], record_outputs=False
+    ).run()
+    return {
+        "topk_phases": algo.topk_phases,
+        "dense_phases": algo.dense_phases,
+        "msgs": res.messages,
+    }
+
+
+def run(quick: bool = True, seed: int = 0, runner: RunnerConfig | None = None) -> ExperimentResult:
     result = ExperimentResult(EXP_ID, TITLE)
     k, n = 4, 32
     T = 200 if quick else 600
@@ -43,18 +59,23 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
         0.01, 0.03, 0.05, 0.07, 0.09, 0.11, 0.13, 0.16, 0.2, 0.3
     ]
 
+    cells = [
+        {"gap": gap, "T": T, "n": n, "k": k, "eps": eps,
+         "trace_seed": seed, "channel_seed": seed}
+        for gap in gaps
+    ]
+    rows = zip_params(cells, run_grid(sweep(EXP_ID, _gap_cell, cells=cells, seed=seed), runner))
+
     table = Table(
         ["gap", "gap_over_eps", "topk_phases", "dense_phases", "dense_fraction", "msgs"],
         title=f"T9: phase kinds vs relative gap (ε={eps})",
     )
     xs, ys = [], []
-    for gap in gaps:
-        trace = gap_workload(T, n, k, gap, rng=seed)
-        algo = ApproxTopKMonitor(k, eps)
-        res = MonitoringEngine(trace, algo, k=k, eps=eps, seed=seed, record_outputs=False).run()
-        total = max(1, algo.topk_phases + algo.dense_phases)
-        frac = algo.dense_phases / total
-        table.add(gap, gap / eps, algo.topk_phases, algo.dense_phases, frac, res.messages)
+    for row in rows:
+        gap = row["gap"]
+        total = max(1, row["topk_phases"] + row["dense_phases"])
+        frac = row["dense_phases"] / total
+        table.add(gap, gap / eps, row["topk_phases"], row["dense_phases"], frac, row["msgs"])
         xs.append(gap / eps)
         ys.append(frac)
     result.add_table("dispatch", table)

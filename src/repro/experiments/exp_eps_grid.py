@@ -9,14 +9,21 @@ On a fixed cluster-load workload:
   ε_offline ≤ ε_online (the comparisons the paper's Sections 4/5 make:
   the diagonal is Thm 5.8, the ε/2 column is Cor. 5.9 territory, and
   ε_offline = 0 is Thm 4.5's exact adversary).
+
+Two sweeps share the trace via the ``trace_seed`` param: one cell per
+ε_offline computes OPT, one cell per ε_online runs the monitor; the
+(ε_online, ε_offline) grid is their cross join.
 """
 
 from __future__ import annotations
+
+from functools import lru_cache
 
 from repro.core.approx_monitor import ApproxTopKMonitor
 from repro.experiments.common import ExperimentResult
 from repro.model.engine import MonitoringEngine
 from repro.offline.opt import offline_opt
+from repro.runner import RunnerConfig, run_grid, sweep, zip_params
 from repro.streams.workloads import cluster_load
 from repro.util.tables import Table
 
@@ -24,22 +31,53 @@ EXP_ID = "T12"
 TITLE = "ε-grid: online cost and OPT phases across error budgets"
 
 
-def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+@lru_cache(maxsize=4)
+def _shared_trace(T: int, n: int, trace_seed: int):
+    """The grid's common trace, built once per process."""
+    return cluster_load(T, n, rng=trace_seed)
+
+
+def _opt_cell(params: dict, seed: int) -> dict:  # noqa: ARG001 - trace seed is an explicit param
+    """OPT at one ε_offline on the shared trace."""
+    trace = _shared_trace(params["T"], params["n"], params["trace_seed"])
+    opt = offline_opt(trace, params["k"], params["eps_off"])
+    return {
+        "opt_phases": opt.phases,
+        "opt_message_lb": opt.message_lb,
+        "ratio_denominator": float(opt.ratio_denominator),
+    }
+
+
+def _online_cell(params: dict, seed: int) -> dict:  # noqa: ARG001
+    """The Thm 5.8 monitor at one ε_online on the shared trace."""
+    trace = _shared_trace(params["T"], params["n"], params["trace_seed"])
+    k, eps_on = params["k"], params["eps_on"]
+    algo = ApproxTopKMonitor(k, eps_on)
+    res = MonitoringEngine(
+        trace, algo, k=k, eps=eps_on, seed=params["channel_seed"], record_outputs=False
+    ).run()
+    return {"online_msgs": res.messages}
+
+
+def run(quick: bool = True, seed: int = 0, runner: RunnerConfig | None = None) -> ExperimentResult:
     result = ExperimentResult(EXP_ID, TITLE)
     k, n = 4, 32
     T = 300 if quick else 1000
-    trace = cluster_load(T, n, rng=seed)
     eps_values = [0.02, 0.05, 0.1, 0.2] if quick else [0.01, 0.02, 0.05, 0.1, 0.2, 0.4]
+    shared = {"T": T, "n": n, "k": k, "trace_seed": seed}
 
+    opt_cells = [{**shared, "eps_off": eps_off} for eps_off in [0.0] + eps_values]
+    opt_rows = zip_params(
+        opt_cells, run_grid(sweep(EXP_ID, _opt_cell, cells=opt_cells, seed=seed), runner)
+    )
     opt_table = Table(
         ["eps_offline", "opt_phases", "opt_message_lb"],
         title="T12a: OPT phases vs offline error",
     )
-    opt_cache = {}
-    for eps_off in [0.0] + eps_values:
-        opt = offline_opt(trace, k, eps_off)
-        opt_cache[eps_off] = opt
-        opt_table.add(eps_off, opt.phases, opt.message_lb)
+    opt_by_eps = {}
+    for row in opt_rows:
+        opt_table.add(row["eps_off"], row["opt_phases"], row["opt_message_lb"])
+        opt_by_eps[row["eps_off"]] = row
     result.add_table("opt_phases", opt_table)
     phases = opt_table.column("opt_phases")
     assert phases == sorted(phases, reverse=True), "OPT must be monotone in ε"
@@ -48,16 +86,18 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
         f"{eps_values[-1]}: the slack the online algorithms compete for."
     )
 
+    online_cells = [{**shared, "eps_on": eps_on, "channel_seed": seed} for eps_on in eps_values]
+    online_rows = zip_params(
+        online_cells, run_grid(sweep(EXP_ID, _online_cell, cells=online_cells, seed=seed), runner)
+    )
     grid = Table(
         ["eps_online", "online_msgs", "eps_offline", "ratio"],
         title="T12b: Thm 5.8 monitor vs OPT(ε_offline ≤ ε_online)",
     )
-    for eps_on in eps_values:
-        algo = ApproxTopKMonitor(k, eps_on)
-        res = MonitoringEngine(trace, algo, k=k, eps=eps_on, seed=seed, record_outputs=False).run()
+    for row in online_rows:
+        eps_on, msgs = row["eps_on"], row["online_msgs"]
         for eps_off in [0.0] + [e for e in eps_values if e <= eps_on]:
-            opt = opt_cache[eps_off]
-            grid.add(eps_on, res.messages, eps_off, res.messages / opt.ratio_denominator)
+            grid.add(eps_on, msgs, eps_off, msgs / opt_by_eps[eps_off]["ratio_denominator"])
     result.add_table("ratio_grid", grid)
     result.note(
         "Within one row (fixed online cost) the ratio grows as the "

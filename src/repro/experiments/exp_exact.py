@@ -6,6 +6,9 @@ detection with report-value updates (Cor. 3.3, O(k log n + log Δ)) versus
 direct reports plus an O(log n) boundary re-probe per violation
 ([6]-style, O(k log n + log Δ·log n)).  The table reports totals and the
 per-violation overhead, where the log n gap lives.
+
+One sweep cell per (n, Δ) runs *both* monitors on the same trace, so the
+pairing the comparison depends on survives parallel evaluation.
 """
 
 from __future__ import annotations
@@ -15,6 +18,7 @@ import numpy as np
 from repro.core.exact_monitor import ExactTopKMonitor
 from repro.experiments.common import ExperimentResult
 from repro.model.engine import MonitoringEngine
+from repro.runner import RunnerConfig, run_grid, sweep, zip_params
 from repro.streams.adversarial import PivotChaser
 from repro.streams.synthetic import random_walk
 from repro.streams.transforms import make_distinct
@@ -25,23 +29,55 @@ EXP_ID = "T3"
 TITLE = "Exact monitoring: Cor. 3.3 vs the [6] baseline (log Δ vs log Δ·log n)"
 
 
-def _run_pair(trace, k: int, seed: int) -> dict[str, tuple[int, int, int]]:
+def _pair_cell(params: dict, seed: int) -> dict:  # noqa: ARG001 - trace/channel seeds are explicit params
+    """Both exact monitors on one random-walk trace at (n, Δ)."""
+    n, delta, T, k = params["n"], params["delta"], params["T"], params["k"]
+    trace = make_distinct(
+        random_walk(T, n, high=delta, step=max(1, delta // 256), rng=params["trace_seed"])
+    )
     out = {}
-    for use_existence, label in ((True, "cor3.3"), (False, "ipdps15")):
+    for use_existence, label in ((True, "cor33"), (False, "ipdps15")):
         algo = ExactTopKMonitor(k, use_existence=use_existence)
-        engine = MonitoringEngine(trace, algo, k=k, eps=0.0, seed=seed, record_outputs=False)
+        engine = MonitoringEngine(
+            trace, algo, k=k, eps=0.0, seed=params["channel_seed"], record_outputs=False
+        )
         res = engine.run()
-        reprobe = res.ledger.by_scope().get("boundary_reprobe", 0)
-        out[label] = (res.messages, algo.phases, reprobe)
+        out[f"msgs_{label}"] = res.messages
+        if use_existence:
+            out["phases"] = algo.phases
+        else:
+            out["reprobe"] = res.ledger.by_scope().get("boundary_reprobe", 0)
     return out
 
 
-def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+def _chaser_cell(params: dict, seed: int) -> dict:  # noqa: ARG001
+    """Both exact monitors against the pivot-chasing adversary at one n."""
+    n, T, k = params["n"], params["T"], params["k"]
+    out = {}
+    for use_existence, label in ((True, "cor33"), (False, "ipdps15")):
+        source = PivotChaser(T, n=n, k=k, high=float(2**24))
+        algo = ExactTopKMonitor(k, use_existence=use_existence)
+        res = MonitoringEngine(
+            source, algo, k=k, eps=0.0, seed=params["channel_seed"], record_outputs=False
+        ).run()
+        out[f"msgs_{label}"] = res.messages
+    return out
+
+
+def run(quick: bool = True, seed: int = 0, runner: RunnerConfig | None = None) -> ExperimentResult:
     result = ExperimentResult(EXP_ID, TITLE)
     k = 4
     T = 300 if quick else 800
     ns = [16, 64] if quick else [16, 64, 256]
     deltas = [2**10, 2**14, 2**18] if quick else [2**8, 2**12, 2**16, 2**20, 2**24]
+
+    cells = [
+        {"n": n, "delta": delta, "T": T, "k": k,
+         "trace_seed": seed + n, "channel_seed": seed}
+        for n in ns
+        for delta in deltas
+    ]
+    rows = zip_params(cells, run_grid(sweep(EXP_ID, _pair_cell, cells=cells, seed=seed), runner))
 
     table = Table(
         [
@@ -53,19 +89,14 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
     fig_series: dict[str, Series] = {}
     for n in ns:
         xs, y_new, y_old = [], [], []
-        for delta in deltas:
-            trace = make_distinct(
-                random_walk(T, n, high=delta, step=max(1, delta // 256), rng=seed + n)
-            )
-            pair = _run_pair(trace, k, seed)
-            msgs_new, phases, _ = pair["cor3.3"]
-            msgs_old, _, reprobe = pair["ipdps15"]
+        for row in (r for r in rows if r["n"] == n):
+            msgs_new, msgs_old = row["msgs_cor33"], row["msgs_ipdps15"]
             table.add(
-                n, float(np.log2(delta)), msgs_new, msgs_old,
+                n, float(np.log2(row["delta"])), msgs_new, msgs_old,
                 msgs_old / max(1, msgs_new),
-                reprobe, reprobe / max(1, msgs_old), phases,
+                row["reprobe"], row["reprobe"] / max(1, msgs_old), row["phases"],
             )
-            xs.append(float(np.log2(delta)))
+            xs.append(float(np.log2(row["delta"])))
             y_new.append(msgs_new)
             y_old.append(msgs_old)
         fig_series[f"cor3.3 n={n}"] = Series(f"cor3.3 n={n}", xs, y_new)
@@ -82,23 +113,21 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
     # Adversarial view: the pivot chaser maximizes violations per phase,
     # so the per-violation Θ(log n) re-probe dominates and the gap tracks
     # log n — the worst case behind the [6] bound.
+    chaser_ns = [8, 32] if quick else [8, 16, 32, 64, 128]
+    chaser_cells = [
+        {"n": n, "T": T, "k": k, "channel_seed": seed} for n in chaser_ns
+    ]
+    chaser_rows = zip_params(
+        chaser_cells, run_grid(sweep(EXP_ID, _chaser_cell, cells=chaser_cells, seed=seed), runner)
+    )
     chaser_table = Table(
         ["n", "log2_n", "msgs_cor33", "msgs_ipdps15", "gap"],
         title="T3b: same monitors under the pivot-chasing adversary (Δ=2^24)",
     )
-    chaser_ns = [8, 32] if quick else [8, 16, 32, 64, 128]
-    for n in chaser_ns:
-        msgs = {}
-        for use_existence in (True, False):
-            source = PivotChaser(T, n=n, k=k, high=float(2**24))
-            algo = ExactTopKMonitor(k, use_existence=use_existence)
-            res = MonitoringEngine(
-                source, algo, k=k, eps=0.0, seed=seed, record_outputs=False
-            ).run()
-            msgs[use_existence] = res.messages
+    for row in chaser_rows:
         chaser_table.add(
-            n, float(np.log2(n)), msgs[True], msgs[False],
-            msgs[False] / max(1, msgs[True]),
+            row["n"], float(np.log2(row["n"])), row["msgs_cor33"], row["msgs_ipdps15"],
+            row["msgs_ipdps15"] / max(1, row["msgs_cor33"]),
         )
     result.add_table("chaser_sweep", chaser_table)
     chaser_gaps = chaser_table.column("gap")

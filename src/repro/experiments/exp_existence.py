@@ -5,6 +5,10 @@ Measures the expected message count of :meth:`Channel.existence_any` over
 ``E[X] ≤ 3 + 2/ln 2 ≈ 5.9`` for any ``n`` and ``b``; the table's claim is
 that the measured mean is flat in *both* parameters, and the measured
 round count stays ≤ ``log₂ n + 1``.
+
+Sweep cells are one ``(n, b)`` pair each (trials batched inside the
+cell); each cell draws from its own derived generator, so cells are
+independent and the grid parallelizes/caches freely.
 """
 
 from __future__ import annotations
@@ -15,6 +19,7 @@ from repro.experiments.common import ExperimentResult
 from repro.model.channel import Channel
 from repro.model.ledger import CostLedger
 from repro.model.node import NodeArray
+from repro.runner import RunnerConfig, run_grid, sweep, zip_params
 from repro.util.ascii_plot import Series, histogram, line_plot
 from repro.util.mathx import ceil_log2
 from repro.util.rngtools import make_rng
@@ -25,8 +30,10 @@ TITLE = "EXISTENCE protocol: O(1) expected messages (Lemma 3.1)"
 PAPER_BOUND = 3.0 + 2.0 / np.log(2.0)  # ≈ 5.885, from the Lemma 3.1 proof
 
 
-def _measure(n: int, b: int, trials: int, rng: np.random.Generator) -> tuple[list[int], int]:
-    """Message counts per trial and the max rounds seen."""
+def _measure_cell(params: dict, seed: int) -> dict:
+    """One (n, b) point: message stats over ``trials`` protocol runs."""
+    n, b, trials = params["n"], params["b"], params["trials"]
+    rng = make_rng(seed)
     nodes = NodeArray(n)
     nodes.deliver(np.zeros(n))
     mask = np.zeros(n, dtype=bool)
@@ -40,14 +47,25 @@ def _measure(n: int, b: int, trials: int, rng: np.random.Generator) -> tuple[lis
         assert fired == (b > 0)
         counts.append(ledger.messages)
         max_rounds = max(max_rounds, ledger.rounds)
-    return counts, max_rounds
+    return {
+        "mean_msgs": float(np.mean(counts)),
+        "max_msgs": int(max(counts)),
+        "max_rounds": int(max_rounds),
+        "counts": [int(c) for c in counts] if params["keep_counts"] else [],
+    }
 
 
-def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
-    rng = make_rng(seed)
+def run(quick: bool = True, seed: int = 0, runner: RunnerConfig | None = None) -> ExperimentResult:
     result = ExperimentResult(EXP_ID, TITLE)
     ns = [16, 256, 4096] if quick else [16, 64, 256, 1024, 4096, 16384]
     trials = 400 if quick else 2000
+
+    cells = [
+        {"n": n, "b": b, "trials": trials, "keep_counts": n == ns[-1] and b == n // 2}
+        for n in ns
+        for b in sorted({1, int(np.sqrt(n)), n // 2, n})
+    ]
+    rows = zip_params(cells, run_grid(sweep(EXP_ID, _measure_cell, cells=cells, seed=seed), runner))
 
     table = Table(
         ["n", "b", "mean_msgs", "max_msgs", "max_rounds", "round_budget", "paper_bound"],
@@ -55,15 +73,13 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
     )
     means_by_n: dict[int, list[tuple[int, float]]] = {}
     histogram_counts: list[int] = []
-    for n in ns:
-        bs = sorted({1, int(np.sqrt(n)), n // 2, n})
-        for b in bs:
-            counts, max_rounds = _measure(n, b, trials, rng)
-            mean = float(np.mean(counts))
-            table.add(n, b, mean, max(counts), max_rounds, ceil_log2(n) + 1, PAPER_BOUND)
-            means_by_n.setdefault(n, []).append((b, mean))
-            if n == ns[-1] and b == n // 2:
-                histogram_counts = counts
+    for row in rows:
+        n, b = row["n"], row["b"]
+        table.add(n, b, row["mean_msgs"], row["max_msgs"], row["max_rounds"],
+                  ceil_log2(n) + 1, PAPER_BOUND)
+        means_by_n.setdefault(n, []).append((b, row["mean_msgs"]))
+        if row["keep_counts"]:
+            histogram_counts = row["counts"]
     result.add_table("messages", table)
 
     worst = max(r["mean_msgs"] for r in table)

@@ -4,7 +4,8 @@ Same sensor-field workloads as T6, but the online algorithm is the
 one-round-dense HalfEps monitor and the adversary is restricted to error
 ε' = ε/2.  The per-phase cost should be *additively* linear in σ
 (slope ≈ 1 in the table), and the end-to-end comparison with the full
-DENSE machinery shows what the restriction buys.
+DENSE machinery shows what the restriction buys.  One sweep cell per
+band runs both monitors on the same trace.
 """
 
 from __future__ import annotations
@@ -17,6 +18,7 @@ from repro.core.halfeps import HalfEpsMonitor
 from repro.experiments.common import ExperimentResult
 from repro.model.engine import MonitoringEngine
 from repro.offline.opt import offline_opt
+from repro.runner import RunnerConfig, run_grid, sweep, zip_params
 from repro.streams.workloads import sensor_field
 from repro.util.ascii_plot import Series, line_plot
 from repro.util.tables import Table
@@ -25,13 +27,49 @@ EXP_ID = "T7"
 TITLE = "HalfEps monitor vs ε/2-restricted adversary (Cor. 5.9)"
 
 
-def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+def _pair_cell(params: dict, seed: int) -> dict:  # noqa: ARG001 - seeds are explicit params
+    """HalfEps and full DENSE on one sensor-field trace at one band."""
+    T, n, k = params["T"], params["n"], params["k"]
+    eps, band = params["eps"], params["band"]
+    trace = sensor_field(T, n, k, eps=eps, band=band, wobble=0.9,
+                         rng=params["trace_seed"])
+    sigma = trace.sigma_max(k, eps)
+
+    halfeps = HalfEpsMonitor(k, eps)
+    res_h = MonitoringEngine(
+        trace, halfeps, k=k, eps=eps, seed=params["channel_seed"], record_outputs=False
+    ).run()
+    dense = ApproxTopKMonitor(k, eps)
+    res_d = MonitoringEngine(
+        trace, dense, k=k, eps=eps, seed=params["channel_seed"], record_outputs=False
+    ).run()
+
+    opt = offline_opt(trace, k, eps / 2)  # the restricted adversary
+    return {
+        "sigma": int(sigma),
+        "halfeps_msgs": res_h.messages,
+        "halfeps_per_phase": res_h.messages / max(1, halfeps.phases),
+        "dense_msgs": res_d.messages,
+        "opt_halfeps_lb": opt.message_lb,
+        "ratio_vs_halfeps_opt": res_h.messages / opt.ratio_denominator,
+        "cor59_bound": float(bound_cor59(sigma, k, n, trace.delta, eps)),
+    }
+
+
+def run(quick: bool = True, seed: int = 0, runner: RunnerConfig | None = None) -> ExperimentResult:
     result = ExperimentResult(EXP_ID, TITLE)
     k, n = 4, 64
     T = 300 if quick else 800
     eps = 0.2
 
     bands = [8, 16, 32] if quick else [6, 8, 12, 16, 24, 32, 48, 64]
+    cells = [
+        {"band": band, "T": T, "n": n, "k": k, "eps": eps,
+         "trace_seed": seed + band, "channel_seed": seed}
+        for band in bands
+    ]
+    rows = zip_params(cells, run_grid(sweep(EXP_ID, _pair_cell, cells=cells, seed=seed), runner))
+
     table = Table(
         [
             "sigma", "halfeps_msgs", "halfeps_per_phase", "dense_msgs",
@@ -40,24 +78,14 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
         title=f"T7: HalfEps vs full DENSE across σ (k={k}, n={n}, ε={eps}, ε'={eps/2})",
     )
     xs, ys = [], []
-    for band in bands:
-        trace = sensor_field(T, n, k, eps=eps, band=band, wobble=0.9, rng=seed + band)
-        sigma = trace.sigma_max(k, eps)
-
-        halfeps = HalfEpsMonitor(k, eps)
-        res_h = MonitoringEngine(trace, halfeps, k=k, eps=eps, seed=seed, record_outputs=False).run()
-        dense = ApproxTopKMonitor(k, eps)
-        res_d = MonitoringEngine(trace, dense, k=k, eps=eps, seed=seed, record_outputs=False).run()
-
-        opt = offline_opt(trace, k, eps / 2)  # the restricted adversary
-        per_phase = res_h.messages / max(1, halfeps.phases)
+    for row in rows:
         table.add(
-            sigma, res_h.messages, per_phase, res_d.messages,
-            opt.message_lb, res_h.messages / opt.ratio_denominator,
-            bound_cor59(sigma, k, n, trace.delta, eps),
+            row["sigma"], row["halfeps_msgs"], row["halfeps_per_phase"],
+            row["dense_msgs"], row["opt_halfeps_lb"], row["ratio_vs_halfeps_opt"],
+            row["cor59_bound"],
         )
-        xs.append(float(sigma))
-        ys.append(per_phase)
+        xs.append(float(row["sigma"]))
+        ys.append(row["halfeps_per_phase"])
     result.add_table("halfeps_sweep", table)
 
     slope = fitted_slope([np.log2(x) for x in xs], [np.log2(max(y, 1e-9)) for y in ys])

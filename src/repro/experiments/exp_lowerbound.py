@@ -4,7 +4,7 @@ The adaptive adversary plays its drop-and-reset epochs against the
 Theorem 5.8 monitor; the ratio against the explicit offline strategy
 ((k+1) messages per epoch) must grow at least linearly in σ — for *every*
 online algorithm, which is the theorem's point.  The floor column is the
-theoretical (σ−k)/(k+1).
+theoretical (σ−k)/(k+1).  One sweep cell per (algorithm, k, σ).
 """
 
 from __future__ import annotations
@@ -15,6 +15,7 @@ from repro.core.halfeps import HalfEpsMonitor
 from repro.experiments.common import ExperimentResult
 from repro.model.engine import MonitoringEngine
 from repro.offline.opt import offline_opt
+from repro.runner import RunnerConfig, run_grid, sweep, zip_params
 from repro.streams.adversarial import LowerBoundAdversary
 from repro.util.ascii_plot import Series, line_plot
 from repro.util.tables import Table
@@ -24,24 +25,45 @@ TITLE = "Lower bound Ω(σ/k) against an approximate adversary (Thm 5.1)"
 
 EPS = 0.2
 
+#: Monitor factories by table label (module-level so cells stay picklable).
+FACTORIES = {
+    "approx-monitor": lambda k: ApproxTopKMonitor(k, EPS),
+    "halfeps-monitor": lambda k: HalfEpsMonitor(k, EPS),
+}
 
-def _play(n: int, k: int, sigma: int, factory, epochs: int, seed: int):
-    adv = LowerBoundAdversary(n, k, sigma, eps=EPS, epochs=epochs, rng=seed)
-    algo = factory(k)
-    res = MonitoringEngine(adv, algo, k=k, eps=EPS, seed=seed, record_outputs=False).run()
+
+def _play_cell(params: dict, seed: int) -> dict:  # noqa: ARG001 - seeds are explicit params
+    """One (algorithm, k, σ) bout against the Thm 5.1 adversary."""
+    n, k, sigma = params["n"], params["k"], params["sigma"]
+    adv = LowerBoundAdversary(n, k, sigma, eps=EPS, epochs=params["epochs"],
+                              rng=params["adv_seed"])
+    algo = FACTORIES[params["algorithm"]](k)
+    res = MonitoringEngine(
+        adv, algo, k=k, eps=EPS, seed=params["channel_seed"], record_outputs=False
+    ).run()
     opt = offline_opt(adv.trace, k, EPS)
-    return res.messages, adv, opt
+    return {
+        "online_msgs": res.messages,
+        "forced_drops": adv.forced_drops,
+        "offline_explicit": adv.offline_reference_cost(),
+        "opt_lb": opt.message_lb,
+    }
 
 
-def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+def run(quick: bool = True, seed: int = 0, runner: RunnerConfig | None = None) -> ExperimentResult:
     result = ExperimentResult(EXP_ID, TITLE)
     n = 48
     epochs = 3 if quick else 5
     ks = [2, 4] if quick else [1, 2, 4, 8]
-    factories = {
-        "approx-monitor": lambda k: ApproxTopKMonitor(k, EPS),
-        "halfeps-monitor": lambda k: HalfEpsMonitor(k, EPS),
-    }
+
+    cells = [
+        {"algorithm": name, "k": k, "sigma": sigma, "n": n, "epochs": epochs,
+         "adv_seed": seed, "channel_seed": seed}
+        for name in FACTORIES
+        for k in ks
+        for sigma in sorted({s for s in (k + 2, n // 4, n // 2, n) if s > k})
+    ]
+    rows = zip_params(cells, run_grid(sweep(EXP_ID, _play_cell, cells=cells, seed=seed), runner))
 
     table = Table(
         [
@@ -50,23 +72,18 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
         ],
         title="T5: measured ratio on the Thm 5.1 instance",
     )
-    fig_series = []
-    for name, factory in factories.items():
-        for k in ks:
-            sigmas = [s for s in (k + 2, n // 4, n // 2, n) if s > k]
-            xs, ys = [], []
-            for sigma in sorted(set(sigmas)):
-                msgs, adv, opt = _play(n, k, sigma, factory, epochs, seed)
-                ratio = msgs / adv.offline_reference_cost()
-                table.add(
-                    name, k, sigma, msgs, adv.forced_drops,
-                    adv.offline_reference_cost(), opt.message_lb,
-                    ratio, lower_bound_ratio(sigma, k),
-                )
-                xs.append(sigma)
-                ys.append(ratio)
-            if name == "approx-monitor":
-                fig_series.append(Series(f"k={k}", xs, ys))
+    fig_points: dict[int, tuple[list, list]] = {}
+    for row in rows:
+        ratio = row["online_msgs"] / row["offline_explicit"]
+        table.add(
+            row["algorithm"], row["k"], row["sigma"], row["online_msgs"],
+            row["forced_drops"], row["offline_explicit"], row["opt_lb"],
+            ratio, lower_bound_ratio(row["sigma"], row["k"]),
+        )
+        if row["algorithm"] == "approx-monitor":
+            xs, ys = fig_points.setdefault(row["k"], ([], []))
+            xs.append(row["sigma"])
+            ys.append(ratio)
     result.add_table("lower_bound", table)
 
     violations = [
@@ -78,7 +95,8 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
     )
     result.add_figure(
         "F4_ratio_vs_sigma",
-        line_plot(fig_series, title="competitive ratio vs σ (approx-monitor)",
+        line_plot([Series(f"k={k}", xs, ys) for k, (xs, ys) in fig_points.items()],
+                  title="competitive ratio vs σ (approx-monitor)",
                   xlabel="σ", ylabel="ratio vs explicit offline"),
     )
     return result

@@ -2,7 +2,8 @@
 
 Measures :func:`repro.core.primitives.max_protocol` over ``n`` and checks
 linearity of the mean message count in ``log₂ n`` (fitted slope and
-correlation reported in the table footer note).
+correlation reported in the table footer note).  One sweep cell per
+``n`` (and per probe width ``m``), each with its own derived generator.
 """
 
 from __future__ import annotations
@@ -15,6 +16,7 @@ from repro.experiments.common import ExperimentResult
 from repro.model.channel import Channel
 from repro.model.ledger import CostLedger
 from repro.model.node import NodeArray
+from repro.runner import RunnerConfig, run_grid, sweep, zip_params
 from repro.util.ascii_plot import Series, line_plot
 from repro.util.rngtools import make_rng
 from repro.util.tables import Table
@@ -23,7 +25,10 @@ EXP_ID = "T2"
 TITLE = "Max protocol: O(log n) expected messages (Lemma 2.6)"
 
 
-def _measure_max(n: int, trials: int, rng: np.random.Generator) -> float:
+def _max_cell(params: dict, seed: int) -> dict:
+    """Mean max-protocol cost at one ``n``."""
+    n, trials = params["n"], params["trials"]
+    rng = make_rng(seed)
     total = 0
     for _ in range(trials):
         values = rng.permutation(n).astype(float)
@@ -34,10 +39,13 @@ def _measure_max(n: int, trials: int, rng: np.random.Generator) -> float:
         node, value = max_protocol(channel)
         assert value == n - 1 and values[node] == value
         total += ledger.messages
-    return total / trials
+    return {"mean_msgs": total / trials}
 
 
-def _measure_probe(n: int, m: int, trials: int, rng: np.random.Generator) -> float:
+def _probe_cell(params: dict, seed: int) -> dict:
+    """Mean top-(m) probe cost at one ``(n, m)``."""
+    n, m, trials = params["n"], params["m"], params["trials"]
+    rng = make_rng(seed)
     total = 0
     for _ in range(trials):
         values = rng.permutation(n).astype(float)
@@ -48,22 +56,24 @@ def _measure_probe(n: int, m: int, trials: int, rng: np.random.Generator) -> flo
         probe = top_m_probe(channel, m)
         assert [v for _, v in probe] == list(range(n - 1, n - 1 - m, -1))
         total += ledger.messages
-    return total / trials
+    return {"mean_msgs": total / trials}
 
 
-def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
-    rng = make_rng(seed)
+def run(quick: bool = True, seed: int = 0, runner: RunnerConfig | None = None) -> ExperimentResult:
     result = ExperimentResult(EXP_ID, TITLE)
     ns = [16, 64, 256, 1024] if quick else [16, 64, 256, 1024, 4096, 16384]
     trials = 60 if quick else 300
+
+    max_spec = sweep(EXP_ID, _max_cell, {"n": ns, "trials": [trials]}, seed=seed)
+    max_rows = zip_params((c.as_dict() for c in max_spec.cells), run_grid(max_spec, runner))
 
     table = Table(
         ["n", "log2_n", "mean_msgs", "msgs_per_log_n"],
         title="T2: max protocol messages vs n",
     )
     logs, means = [], []
-    for n in ns:
-        mean = _measure_max(n, trials, rng)
+    for row in max_rows:
+        n, mean = row["n"], row["mean_msgs"]
         table.add(n, float(np.log2(n)), mean, mean / np.log2(n))
         logs.append(float(np.log2(n)))
         means.append(mean)
@@ -76,13 +86,19 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
         f"r = {corr:.3f} — the Lemma 2.6 logarithmic scaling."
     )
 
+    probe_spec = sweep(
+        EXP_ID,
+        _probe_cell,
+        {"m": [1, 2, 4, 8], "n": [ns[-1]], "trials": [max(10, trials // 4)]},
+        seed=seed,
+    )
+    probe_rows = zip_params((c.as_dict() for c in probe_spec.cells), run_grid(probe_spec, runner))
     probe_table = Table(
         ["n", "m", "mean_msgs", "msgs_per_m_log_n"],
         title="T2b: top-(m) probe messages (O(m log n), the k+1 probe)",
     )
-    n = ns[-1]
-    for m in (1, 2, 4, 8):
-        mean = _measure_probe(n, m, max(10, trials // 4), rng)
+    for row in probe_rows:
+        n, m, mean = row["n"], row["m"], row["mean_msgs"]
         probe_table.add(n, m, mean, mean / (m * np.log2(n)))
     result.add_table("top_m_probe", probe_table)
 

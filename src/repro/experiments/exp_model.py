@@ -11,9 +11,14 @@ the broadcast channel is for the paper's bounds.
 ``2^r / n`` in round ``r``.  Generalizing to ``b^r / n`` trades rounds
 (``log_b n``) against messages (more overshoot per round for larger b):
 the table shows the paper's ``b = 2`` sits at the knee of the curve.
+
+One sweep cell per (algorithm, broadcast price) for T13 and per base for
+T14 (trials batched inside the cell with its derived generator).
 """
 
 from __future__ import annotations
+
+from functools import lru_cache
 
 import numpy as np
 
@@ -24,6 +29,7 @@ from repro.model.channel import Channel
 from repro.model.engine import MonitoringEngine
 from repro.model.ledger import CostLedger
 from repro.model.node import NodeArray
+from repro.runner import RunnerConfig, run_grid, sweep, zip_params
 from repro.streams.transforms import make_distinct
 from repro.streams.workloads import cluster_load
 from repro.util.ascii_plot import Series, line_plot
@@ -33,34 +39,89 @@ from repro.util.tables import Table
 EXP_ID = "T13"
 TITLE = "Model ablations: broadcast pricing (T13) and existence base (T14)"
 
+#: T13 monitors by label: (factory(k, eps), needs_distinct_trace).
+_MONITORS = {
+    "exact-cor3.3": (lambda k, eps: ExactTopKMonitor(k), True),
+    "approx-monitor": (lambda k, eps: ApproxTopKMonitor(k, eps), False),
+}
 
-def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+
+@lru_cache(maxsize=4)
+def _shared_traces(T: int, n: int, trace_seed: int):
+    """The T13 trace pair (raw, distinct), built once per process."""
+    raw = cluster_load(T, n, noise=25.0, ar_coeff=0.96, rng=trace_seed)
+    return raw, make_distinct(raw)
+
+
+def _pricing_cell(params: dict, seed: int) -> dict:  # noqa: ARG001 - seeds are explicit params
+    """One (algorithm, broadcast price) bill on the shared trace."""
+    T, n, k, eps = params["T"], params["n"], params["k"], params["eps"]
+    raw, distinct = _shared_traces(T, n, params["trace_seed"])
+    factory, needs_distinct = _MONITORS[params["algorithm"]]
+    trace = distinct if needs_distinct else raw
+    res = MonitoringEngine(
+        trace, factory(k, eps), k=k, eps=0.0 if needs_distinct else eps,
+        seed=params["channel_seed"], record_outputs=False,
+        broadcast_cost=params["broadcast_cost"],
+    ).run()
+    return {"total_cost": res.messages, "broadcast_count": res.ledger.broadcasts}
+
+
+def _base_cell(params: dict, seed: int) -> dict:
+    """Existence-protocol cost at one probability base ``b``."""
+    n_exist, trials, base = params["n"], params["trials"], params["base"]
+    rng = make_rng(seed)
+    nodes = NodeArray(n_exist)
+    nodes.deliver(np.zeros(n_exist))
+    mask = np.zeros(n_exist, dtype=bool)
+    mask[: n_exist // 2] = True
+    msgs = rounds = 0
+    gamma = 0
+    for _ in range(trials):
+        ledger = CostLedger()
+        channel = Channel(nodes, ledger, rng, existence_base=base)
+        fired = channel.existence_any(mask)
+        assert fired  # half the nodes are active, so it must fire
+        msgs += ledger.messages
+        rounds += ledger.rounds
+        gamma = channel._gamma
+    return {
+        "mean_msgs": msgs / trials,
+        "mean_rounds": rounds / trials,
+        "max_rounds": gamma + 1,
+    }
+
+
+def run(quick: bool = True, seed: int = 0, runner: RunnerConfig | None = None) -> ExperimentResult:
     result = ExperimentResult(EXP_ID, TITLE)
     k, n = 4, 32
     T = 250 if quick else 800
     eps = 0.1
-    raw = cluster_load(T, n, noise=25.0, ar_coeff=0.96, rng=seed)
-    distinct = make_distinct(raw)
 
     # --- T13: broadcast pricing ------------------------------------------ #
+    prices = [1, int(np.sqrt(n)), n]
+    pricing_cells = [
+        {"algorithm": name, "broadcast_cost": bcost, "T": T, "n": n, "k": k,
+         "eps": eps, "trace_seed": seed, "channel_seed": seed}
+        for name in _MONITORS
+        for bcost in prices
+    ]
+    pricing_rows = zip_params(
+        pricing_cells,
+        run_grid(sweep(EXP_ID, _pricing_cell, cells=pricing_cells, seed=seed), runner),
+    )
     t13 = Table(
         ["algorithm", "broadcast_cost", "total_cost", "broadcast_count", "cost_vs_unit"],
         title=f"T13: total cost under broadcast pricing (n={n})",
     )
-    for name, factory, trace, algo_eps in [
-        ("exact-cor3.3", lambda: ExactTopKMonitor(k), distinct, 0.0),
-        ("approx-monitor", lambda: ApproxTopKMonitor(k, eps), raw, eps),
-    ]:
-        unit_cost = None
-        for bcost in (1, int(np.sqrt(n)), n):
-            res = MonitoringEngine(
-                trace, factory(), k=k, eps=algo_eps, seed=seed,
-                record_outputs=False, broadcast_cost=bcost,
-            ).run()
-            if unit_cost is None:
-                unit_cost = res.messages
-            t13.add(name, bcost, res.messages, res.ledger.broadcasts,
-                    res.messages / unit_cost)
+    unit_costs = {
+        row["algorithm"]: row["total_cost"]
+        for row in pricing_rows
+        if row["broadcast_cost"] == 1
+    }
+    for row in pricing_rows:
+        t13.add(row["algorithm"], row["broadcast_cost"], row["total_cost"],
+                row["broadcast_count"], row["total_cost"] / unit_costs[row["algorithm"]])
     result.add_table("broadcast_pricing", t13)
     worst = max(r["cost_vs_unit"] for r in t13)
     result.note(
@@ -70,31 +131,23 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
     )
 
     # --- T14: existence base --------------------------------------------- #
+    n_exist = 1024
+    trials = 400 if quick else 2000
+    bases = [1.3, 2.0, 4.0, 16.0]
+    base_cells = [{"base": base, "n": n_exist, "trials": trials} for base in bases]
+    base_rows = zip_params(
+        base_cells, run_grid(sweep(EXP_ID, _base_cell, cells=base_cells, seed=seed), runner)
+    )
     t14 = Table(
         ["base", "mean_msgs", "mean_rounds", "max_rounds"],
         title="T14: existence protocol with send probability b^r / n (n=1024, b sweep)",
     )
-    rng = make_rng(seed + 1)
-    n_exist = 1024
-    trials = 400 if quick else 2000
-    bases = [1.3, 2.0, 4.0, 16.0]
     xs, msg_y, round_y = [], [], []
-    for base in bases:
-        nodes = NodeArray(n_exist)
-        nodes.deliver(np.zeros(n_exist))
-        mask = np.zeros(n_exist, dtype=bool)
-        mask[: n_exist // 2] = True
-        msgs = rounds = 0
-        for _ in range(trials):
-            ledger = CostLedger()
-            channel = Channel(nodes, ledger, rng, existence_base=base)
-            assert channel.existence_any(mask)
-            msgs += ledger.messages
-            rounds += ledger.rounds
-        t14.add(base, msgs / trials, rounds / trials, channel._gamma + 1)
-        xs.append(base)
-        msg_y.append(msgs / trials)
-        round_y.append(rounds / trials)
+    for row in base_rows:
+        t14.add(row["base"], row["mean_msgs"], row["mean_rounds"], row["max_rounds"])
+        xs.append(row["base"])
+        msg_y.append(row["mean_msgs"])
+        round_y.append(row["mean_rounds"])
     result.add_table("existence_base", t14)
     result.note(
         "Larger bases cut rounds (log_b n) but overshoot harder in the "

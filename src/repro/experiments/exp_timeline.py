@@ -4,9 +4,15 @@ Cumulative communication over time for the whole algorithm zoo on the
 cluster-load workload (diurnal drift + AR noise + flash crowds), plus the
 offline optimum's explicit cost.  This is the "why filters, why ε" figure
 the paper's introduction gestures at.
+
+One sweep cell per zoo member; each cell rebuilds the shared trace from
+the ``trace_seed`` param (identical across cells), runs its algorithm,
+and returns the total plus the downsampled cumulative curve.
 """
 
 from __future__ import annotations
+
+from functools import lru_cache
 
 from repro.core.approx_monitor import ApproxTopKMonitor
 from repro.core.exact_monitor import ExactTopKMonitor
@@ -15,6 +21,7 @@ from repro.core.naive import SendAlwaysMonitor, SendOnChangeMonitor
 from repro.experiments.common import ExperimentResult
 from repro.model.engine import MonitoringEngine
 from repro.offline.schedule import OfflinePlayer, build_schedule
+from repro.runner import RunnerConfig, run_grid, sweep, zip_params
 from repro.streams.transforms import make_distinct
 from repro.streams.workloads import cluster_load
 from repro.util.ascii_plot import Series, line_plot
@@ -23,8 +30,53 @@ from repro.util.tables import Table
 EXP_ID = "T8"
 TITLE = "Web-cluster timeline: cumulative messages of the algorithm zoo"
 
+#: Zoo members: label -> (factory(k, eps), needs_distinct_trace).
+#: "opt" is special-cased in the cell (it replays the Prop. 2.4 plan).
+_ZOO = {
+    "send-always": (lambda k, eps: SendAlwaysMonitor(k), True),
+    "send-on-change": (lambda k, eps: SendOnChangeMonitor(k), True),
+    "exact-ipdps15": (lambda k, eps: ExactTopKMonitor(k, use_existence=False), True),
+    "exact-cor3.3": (lambda k, eps: ExactTopKMonitor(k), True),
+    "approx": (lambda k, eps: ApproxTopKMonitor(k, eps), False),
+    "halfeps": (lambda k, eps: HalfEpsMonitor(k, eps), False),
+    "opt": (None, False),
+}
 
-def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+
+@lru_cache(maxsize=4)
+def _shared_trace(T: int, n: int, trace_seed: int):
+    """The zoo's common trace, built once per process (cells stay pure:
+    the cache key is exactly the params the trace derives from)."""
+    return cluster_load(T, n, noise=20.0, ar_coeff=0.97, rng=trace_seed)
+
+
+def _zoo_cell(params: dict, seed: int) -> dict:  # noqa: ARG001 - seeds are explicit params
+    """One zoo member's full run on the shared cluster-load trace."""
+    T, n, k, eps = params["T"], params["n"], params["k"], params["eps"]
+    raw = _shared_trace(T, n, params["trace_seed"])
+    member = params["member"]
+    factory, needs_distinct = _ZOO[member]
+    if member == "opt":
+        # The offline optimum as a *real run*: the Prop. 2.4 two-filter
+        # plan replayed through the same engine and ledger as everyone.
+        algo = OfflinePlayer(build_schedule(raw, k, eps))
+        trace = raw
+    else:
+        algo = factory(k, eps)
+        trace = make_distinct(raw) if needs_distinct else raw
+    res = MonitoringEngine(
+        trace, algo, k=k, eps=params["algo_eps"], seed=params["channel_seed"],
+        record_outputs=False,
+    ).run()
+    stride = max(1, T // 60)
+    return {
+        "total_msgs": res.messages,
+        "curve": res.cumulative_messages[::stride].tolist(),
+        "stride": stride,
+    }
+
+
+def run(quick: bool = True, seed: int = 0, runner: RunnerConfig | None = None) -> ExperimentResult:
     result = ExperimentResult(EXP_ID, TITLE)
     k = 8
     n = 48
@@ -35,39 +87,35 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
     # defaults) rank-k churn is so dense that even exact filter-based
     # monitoring loses to central collection — exactly the failure mode
     # that motivates the ε-relaxation; T12 covers that regime.
-    raw = cluster_load(T, n, noise=20.0, ar_coeff=0.97, rng=seed)
-    exact_trace = make_distinct(raw)  # exact algorithms need distinctness
-
-    zoo = [
-        ("send-always", SendAlwaysMonitor(k), exact_trace, 0.0),
-        ("send-on-change", SendOnChangeMonitor(k), exact_trace, 0.0),
-        ("exact-ipdps15", ExactTopKMonitor(k, use_existence=False), exact_trace, 0.0),
-        ("exact-cor3.3", ExactTopKMonitor(k), exact_trace, 0.0),
-        (f"approx(ε={eps})", ApproxTopKMonitor(k, eps), raw, eps),
-        (f"halfeps(ε={eps})", HalfEpsMonitor(k, eps), raw, eps),
+    labels = {
+        "send-always": "send-always",
+        "send-on-change": "send-on-change",
+        "exact-ipdps15": "exact-ipdps15",
+        "exact-cor3.3": "exact-cor3.3",
+        "approx": f"approx(ε={eps})",
+        "halfeps": f"halfeps(ε={eps})",
+        "opt": "OPT(ε) replayed",
+    }
+    cells = [
+        {"member": member, "T": T, "n": n, "k": k, "eps": eps,
+         "algo_eps": 0.0 if _ZOO[member][1] else eps,
+         "trace_seed": seed, "channel_seed": seed}
+        for member in _ZOO
     ]
-
-    # The offline optimum as a *real run*: the Prop. 2.4 two-filter plan
-    # replayed through the same engine and ledger as everyone else.
-    schedule = build_schedule(raw, k, eps)
-    zoo.append(("OPT(ε) replayed", OfflinePlayer(schedule), raw, eps))
+    rows = zip_params(cells, run_grid(sweep(EXP_ID, _zoo_cell, cells=cells, seed=seed), runner))
 
     table = Table(
         ["algorithm", "total_msgs", "msgs_per_step", "vs_send_always"],
         title=f"T8: total communication on cluster load (T={T}, n={n}, k={k})",
     )
     curves = []
-    baseline_total = None
-    for name, algo, trace, algo_eps in zoo:
-        res = MonitoringEngine(
-            trace, algo, k=k, eps=algo_eps, seed=seed, record_outputs=False
-        ).run()
-        cum = res.cumulative_messages
-        if baseline_total is None:
-            baseline_total = res.messages
-        table.add(name, res.messages, res.messages / T, res.messages / baseline_total)
-        stride = max(1, T // 60)
-        curves.append(Series(name, list(range(0, T, stride)), cum[::stride].tolist()))
+    baseline_total = next(r for r in rows if r["member"] == "send-always")["total_msgs"]
+    for row in rows:
+        table.add(labels[row["member"]], row["total_msgs"], row["total_msgs"] / T,
+                  row["total_msgs"] / baseline_total)
+        curves.append(
+            Series(labels[row["member"]], list(range(0, T, row["stride"])), row["curve"])
+        )
     result.add_table("totals", table)
 
     result.add_figure(

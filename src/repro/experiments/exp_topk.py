@@ -9,9 +9,16 @@ Two sweeps on random walks with distinct values:
 The denominator is the exact-adversary OPT (greedy phase lower bound with
 ε_offline = 0); the bound column is Thm 4.5's k·log n + log log Δ +
 log 1/ε shape.
+
+Every cell rebuilds the *same* master walk from the shared
+``master_seed`` param and rescales it to its own Δ — ranks (and hence
+OPT's work) stay identical across the sweep even under parallel
+evaluation, isolating the pure Δ- and ε-dependences.
 """
 
 from __future__ import annotations
+
+from functools import lru_cache
 
 import numpy as np
 
@@ -20,6 +27,7 @@ from repro.core.topk_protocol import TopKMonitor
 from repro.experiments.common import ExperimentResult
 from repro.model.engine import MonitoringEngine
 from repro.offline.opt import offline_opt
+from repro.runner import RunnerConfig, run_grid, sweep, zip_params
 from repro.streams.base import Trace
 from repro.streams.synthetic import random_walk
 from repro.streams.transforms import make_distinct
@@ -29,37 +37,60 @@ from repro.util.tables import Table
 EXP_ID = "T4"
 TITLE = "TOP-K-PROTOCOL vs exact adversary (Thm 4.5)"
 
+_MASTER_HIGH = 2**20
 
-def _ratio(trace, k: int, eps: float, seed: int) -> tuple[float, int, int]:
+
+@lru_cache(maxsize=4)
+def _master_walk(T: int, n: int, master_seed: int):
+    """The shared master walk, built once per process."""
+    return random_walk(T, n, high=_MASTER_HIGH, step=_MASTER_HIGH // 512,
+                       rng=master_seed)
+
+
+def _ratio_cell(params: dict, seed: int) -> dict:  # noqa: ARG001 - seeds are explicit params
+    """One (Δ, ε) point: TOP-K-PROTOCOL cost vs the exact-adversary OPT."""
+    T, n, k = params["T"], params["n"], params["k"]
+    delta, eps = params["delta"], params["eps"]
+    master = _master_walk(T, n, params["master_seed"])
+    trace = make_distinct(Trace(np.round(master.data * (delta / _MASTER_HIGH))))
     algo = TopKMonitor(k, eps)
-    res = MonitoringEngine(trace, algo, k=k, eps=eps, seed=seed, record_outputs=False).run()
+    res = MonitoringEngine(
+        trace, algo, k=k, eps=eps, seed=params["channel_seed"], record_outputs=False
+    ).run()
     opt = offline_opt(trace, k, 0.0)  # the exact adversary of Sect. 4
-    return res.messages / opt.ratio_denominator, res.messages, opt.message_lb
+    return {
+        "ratio": res.messages / opt.ratio_denominator,
+        "online_msgs": res.messages,
+        "opt_lb": opt.message_lb,
+        "bound": float(bound_topk(k, n, delta, eps)),
+    }
 
 
-def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+def run(quick: bool = True, seed: int = 0, runner: RunnerConfig | None = None) -> ExperimentResult:
     result = ExperimentResult(EXP_ID, TITLE)
     k, n = 3, 32
     T = 300 if quick else 800
+    shared = {"T": T, "n": n, "k": k, "master_seed": seed + 1, "channel_seed": seed}
 
     # --- Δ sweep at fixed ε --------------------------------------------- #
-    # One master walk, rescaled per Δ: ranks (and hence OPT's work) are
-    # identical across the sweep, isolating the pure Δ-dependence.
     eps = 0.1
     deltas = [2**10, 2**16, 2**22] if quick else [2**8, 2**12, 2**16, 2**20, 2**24, 2**28]
-    master = random_walk(T, n, high=2**20, step=2**20 // 512, rng=seed + 1)
+    delta_cells = [{**shared, "delta": delta, "eps": eps} for delta in deltas]
+    delta_rows = zip_params(
+        delta_cells, run_grid(sweep(EXP_ID, _ratio_cell, cells=delta_cells, seed=seed), runner)
+    )
     delta_table = Table(
         ["log2_delta", "online_msgs", "opt_lb", "ratio", "thm45_bound"],
         title=f"T4a: ratio vs Δ (k={k}, n={n}, ε={eps}; one walk rescaled)",
     )
     xs, ys = [], []
-    for delta in deltas:
-        scaled = Trace(np.round(master.data * (delta / 2**20)))
-        trace = make_distinct(scaled)
-        ratio, msgs, lb = _ratio(trace, k, eps, seed)
-        delta_table.add(float(np.log2(delta)), msgs, lb, ratio, bound_topk(k, n, delta, eps))
-        xs.append(float(np.log2(delta)))
-        ys.append(ratio)
+    for row in delta_rows:
+        delta_table.add(
+            float(np.log2(row["delta"])), row["online_msgs"], row["opt_lb"],
+            row["ratio"], row["bound"],
+        )
+        xs.append(float(np.log2(row["delta"])))
+        ys.append(row["ratio"])
     result.add_table("delta_sweep", delta_table)
     spread = max(ys) / max(1e-9, min(ys))
     result.note(
@@ -73,19 +104,22 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
     # Same master walk rescaled to Δ = 2^16 (same churn as the Δ sweep).
     delta = 2**16
     eps_values = [0.4, 0.1, 0.02] if quick else [0.4, 0.2, 0.1, 0.05, 0.02, 0.005]
+    eps_cells = [{**shared, "delta": delta, "eps": eps_v} for eps_v in eps_values]
+    eps_rows = zip_params(
+        eps_cells, run_grid(sweep(EXP_ID, _ratio_cell, cells=eps_cells, seed=seed), runner)
+    )
     eps_table = Table(
         ["eps", "log2_inv_eps", "online_msgs", "opt_lb", "ratio", "thm45_bound"],
         title=f"T4b: ratio vs ε (k={k}, n={n}, Δ=2^16)",
     )
     ex, ey = [], []
-    trace = make_distinct(Trace(np.round(master.data * (delta / 2**20))))
-    for eps_v in eps_values:
-        ratio, msgs, lb = _ratio(trace, k, eps_v, seed)
+    for row in eps_rows:
         eps_table.add(
-            eps_v, float(np.log2(1 / eps_v)), msgs, lb, ratio, bound_topk(k, n, delta, eps_v)
+            row["eps"], float(np.log2(1 / row["eps"])), row["online_msgs"],
+            row["opt_lb"], row["ratio"], row["bound"],
         )
-        ex.append(float(np.log2(1 / eps_v)))
-        ey.append(ratio)
+        ex.append(float(np.log2(1 / row["eps"])))
+        ey.append(row["ratio"])
     result.add_table("eps_sweep", eps_table)
 
     result.add_figure(

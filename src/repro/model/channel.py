@@ -155,8 +155,7 @@ class Channel:
         broadcast suffices.  Used by the send-on-change baseline.
         """
         self.ledger.charge_broadcast()
-        self._nodes.filter_lo[:] = self._nodes.values
-        self._nodes.filter_hi[:] = self._nodes.values
+        self._nodes.freeze_all()
 
     def self_freeze(self, node: int) -> None:
         """Node-local re-freeze after a report.  Cost: 0.
@@ -165,9 +164,7 @@ class Channel:
         its new value re-arms its own point filter without any message —
         pure local computation, hence free in the model.
         """
-        i = int(node)
-        self._nodes.filter_lo[i] = self._nodes.values[i]
-        self._nodes.filter_hi[i] = self._nodes.values[i]
+        self._nodes.freeze_one(int(node))
 
     def request_value(self, node: int) -> float:
         """Ask one node for its current value.  Cost: 2 (query + reply)."""
@@ -178,16 +175,26 @@ class Channel:
     # ------------------------------------------------------------------ #
     # Existence protocol (Lemma 3.1) over node-local predicates
     # ------------------------------------------------------------------ #
-    def _existence_collect(self, active: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        """Run the EXISTENCE protocol over the ``active`` mask.
+    def _existence_collect(
+        self, active: np.ndarray | None = None, *, active_ids: np.ndarray | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Run the EXISTENCE protocol over the active-node set.
 
+        Pass either the boolean ``active`` mask or, for callers that
+        already hold the ids (the node array's cached violation batch),
+        ``active_ids`` — the coin-flip sequence is identical either way.
         Returns the ``(ids, values)`` of the nodes that sent in the first
         successful round (all their messages are charged).  Empty arrays
         when no node is active; that case costs zero messages and
         ``γ + 1`` rounds of silence.
         """
         n = self._nodes.n
-        active_ids = np.flatnonzero(active)
+        if active_ids is None:
+            if active is None:
+                raise TypeError("pass exactly one of active= or active_ids=")
+            active_ids = np.flatnonzero(active)
+        elif active is not None:
+            raise TypeError("pass exactly one of active= or active_ids=")
         if active_ids.size == 0:
             self.ledger.charge_rounds(self._gamma + 1)
             return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64)
@@ -214,8 +221,11 @@ class Channel:
         successful round report ``(id, value)`` and whether they crossed
         from below or above.  No violations → no messages.
         """
+        violating = self._nodes.violation_ids()  # cached batch containment test
+        ids, values = self._existence_collect(active_ids=violating)
+        if ids.size == 0:
+            return []
         kind = self._nodes.violation_kind()
-        ids, values = self._existence_collect(kind != 0)
         return [Violation(int(i), float(v), int(kind[i])) for i, v in zip(ids, values)]
 
     def existence_above(
@@ -261,8 +271,8 @@ class Channel:
         systems cost nothing.  Used by the `[6]`-style baseline monitor.
         """
         self.ledger.charge_rounds(1)
+        ids = self._nodes.violation_ids()
         kind = self._nodes.violation_kind()
-        ids = np.flatnonzero(kind != 0)
         self.ledger.charge_up(int(ids.size))
         return [
             Violation(int(i), float(self._nodes.values[i]), int(kind[i])) for i in ids

@@ -14,6 +14,18 @@ Value sources are either pre-generated traces or *adaptive adversaries*;
 the latter receive the :class:`~repro.model.node.NodeArray` (they are
 omniscient by definition — "the adversary knows the algorithm's code, the
 current state of each node and the server", Sect. 2.1).
+
+The non-check loop has a vectorized fast path (the sweep runner drives
+thousands of such runs, see docs/ARCHITECTURE.md):
+
+- sources that declare ``prevalidated = True`` (e.g. :class:`Trace`,
+  whose constructor validates the whole matrix once) skip the per-step
+  shape/finiteness re-checks in :meth:`NodeArray.deliver`;
+- filter-containment tests are served from the node array's cached batch
+  (recomputed once per state version, not per query);
+- outputs are recorded as rows of a preallocated ``(T, k)`` int array
+  instead of a list of frozensets, and output-change counting runs as
+  one vectorized pass over that array after the loop.
 """
 
 from __future__ import annotations
@@ -62,9 +74,23 @@ class RunResult:
     num_steps: int
     n: int
     k: int
-    outputs: list[frozenset[int]] = field(default_factory=list)
     output_changes: int = 0
     algorithm_name: str = ""
+    #: Recorded outputs as a ``(T, k)`` int array of sorted node ids —
+    #: the engine's compact fast-path representation.  ``None`` when
+    #: outputs were not recorded or were irregular (size ≠ k).
+    #: Excluded from dataclass comparison (ndarray ``==`` is elementwise).
+    outputs_array: np.ndarray | None = field(default=None, compare=False)
+    _outputs_list: list[frozenset[int]] | None = field(default=None, repr=False, compare=False)
+
+    @property
+    def outputs(self) -> list[frozenset[int]]:
+        """``F(t)`` per step as frozensets (empty when not recorded)."""
+        if self._outputs_list is None:
+            if self.outputs_array is None:
+                return []
+            self._outputs_list = [frozenset(row) for row in self.outputs_array.tolist()]
+        return self._outputs_list
 
     @property
     def messages(self) -> int:
@@ -89,7 +115,9 @@ class MonitoringEngine:
     Parameters
     ----------
     source:
-        A :class:`ValueSource` (trace or adaptive adversary).
+        A :class:`ValueSource` (trace or adaptive adversary).  Sources
+        with a true ``prevalidated`` attribute promise finite values of
+        the right shape at every step and get validation-free delivery.
     algorithm:
         A fresh :class:`MonitoringAlgorithm` instance (one per run).
     k:
@@ -151,23 +179,65 @@ class MonitoringEngine:
             k=self.k,
             algorithm_name=getattr(self.algorithm, "name", type(self.algorithm).__name__),
         )
+        T, k = self.source.num_steps, self.k
+        nodes, ledger, algorithm = self.nodes, self.ledger, self.algorithm
+        validate = not bool(getattr(self.source, "prevalidated", False))
+        record = self.record_outputs
+
+        rows = np.empty((T, k), dtype=np.int64) if record else None
+        prev_row: np.ndarray | None = None
+        changes = 0
+        # Object fallback, entered only if an output ever has size != k
+        # (a protocol-contract breach the engine tolerates for baselines).
+        irregular = False
+        outputs_list: list[frozenset[int]] = []
         previous: frozenset[int] | None = None
-        for t in range(self.source.num_steps):
-            self.ledger.begin_step()
-            self.nodes.deliver(self.source.values(t, self.nodes))
+
+        for t in range(T):
+            ledger.begin_step()
+            nodes.deliver(self.source.values(t, nodes), validate=validate)
             if t == 0:
-                self.algorithm.on_start()
+                algorithm.on_start()
             else:
-                self.algorithm.on_step()
-            self.ledger.end_step()
-            out = self.algorithm.output()
-            if self.record_outputs:
-                result.outputs.append(out)
-            if previous is not None and out != previous:
-                result.output_changes += 1
-            previous = out
+                algorithm.on_step()
+            ledger.end_step()
+            out = algorithm.output()
+            if not irregular and len(out) == k:
+                if record:
+                    row = rows[t]
+                    row[:] = np.fromiter(out, dtype=np.int64, count=k)
+                    row.sort()  # change counting happens in one batch below
+                else:
+                    cur = np.fromiter(out, dtype=np.int64, count=k)
+                    cur.sort()
+                    if prev_row is not None and not np.array_equal(cur, prev_row):
+                        changes += 1
+                    prev_row = cur
+            else:
+                if not irregular:  # first irregular output: leave the fast path
+                    irregular = True
+                    if record:
+                        done = rows[:t]
+                        changes = _count_changes(done)
+                        outputs_list = [frozenset(r) for r in done.tolist()]
+                        previous = outputs_list[-1] if t else None
+                    elif prev_row is not None:
+                        previous = frozenset(prev_row.tolist())
+                if record:
+                    outputs_list.append(out)
+                if previous is not None and out != previous:
+                    changes += 1
+                previous = out
             if self.check:
                 self._verify(t, out)
+
+        if record:
+            if irregular:
+                result._outputs_list = outputs_list
+            else:
+                changes = _count_changes(rows)
+                result.outputs_array = rows
+        result.output_changes = changes
         return result
 
     # ------------------------------------------------------------------ #
@@ -183,3 +253,10 @@ class MonitoringEngine:
         ok, why = values_within_filters(self.nodes.values, self.nodes.filter_lo, self.nodes.filter_hi)
         if not ok:
             raise InvariantViolation(f"[t={t}] {self.algorithm.name} did not settle: {why}")
+
+
+def _count_changes(rows: np.ndarray) -> int:
+    """Vectorized output-change count over sorted ``(T, k)`` output rows."""
+    if rows.shape[0] < 2:
+        return 0
+    return int(np.count_nonzero((rows[1:] != rows[:-1]).any(axis=1)))

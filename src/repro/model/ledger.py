@@ -104,8 +104,9 @@ class CostLedger:
         if count < 0:
             raise ValueError(f"negative message count {count}")
         setattr(self, attr, getattr(self, attr) + count)
-        for name in set(self._scopes):
-            self._by_scope[name] += count if scope_amount is None else scope_amount
+        if self._scopes:
+            for name in set(self._scopes):
+                self._by_scope[name] += count if scope_amount is None else scope_amount
 
     # ------------------------------------------------------------------ #
     # Reading

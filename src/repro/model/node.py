@@ -14,6 +14,15 @@ with ``hi = +inf`` allowed.  A node *violates from below* when its value
 exceeds ``hi`` (it crossed the upper boundary coming from below) and
 *violates from above* when its value drops under ``lo`` — the paper's
 slightly counter-intuitive naming, kept here for 1:1 traceability.
+
+Filter-containment is the per-step hot predicate of every filter-based
+protocol, so the array keeps a *batched* violation state (per-node kind
+codes plus the violating ids) computed at most once per state version:
+every mutator bumps ``version`` and the next violation query recomputes
+the whole batch into preallocated buffers.  External code that mutates
+``values``/``filter_lo``/``filter_hi`` arrays directly (only the channel
+legitimately writes filters) must either go through the methods here or
+call :meth:`touch`.
 """
 
 from __future__ import annotations
@@ -52,18 +61,33 @@ class NodeArray:
         # Initial filters are [-inf, +inf]: silent until the server speaks.
         self.filter_lo = np.full(n, -math.inf, dtype=np.float64)
         self.filter_hi = np.full(n, math.inf, dtype=np.float64)
+        #: Monotone state version; bumped by every mutator.
+        self.version = 0
+        # Batched violation state, recomputed lazily per version.
+        self._viol_version = -1
+        self._viol_kind = np.zeros(n, dtype=np.int8)
+        self._viol_ids = np.empty(0, dtype=np.int64)
+        self._above_buf = np.empty(n, dtype=bool)
+        self._below_buf = np.empty(n, dtype=bool)
 
     # ------------------------------------------------------------------ #
     # Value delivery (engine-side)
     # ------------------------------------------------------------------ #
-    def deliver(self, values: np.ndarray) -> None:
-        """Install the time step's observations (one per node)."""
-        values = np.asarray(values, dtype=np.float64)
-        if values.shape != (self.n,):
-            raise ValueError(f"expected shape ({self.n},), got {values.shape}")
-        if not np.all(np.isfinite(values)):
-            raise ValueError("stream values must be finite")
+    def deliver(self, values: np.ndarray, *, validate: bool = True) -> None:
+        """Install the time step's observations (one per node).
+
+        ``validate=False`` skips the shape/finiteness checks — the
+        engine's fast path for sources that pre-validate whole traces at
+        construction (see :class:`repro.streams.base.Trace`).
+        """
+        if validate:
+            values = np.asarray(values, dtype=np.float64)
+            if values.shape != (self.n,):
+                raise ValueError(f"expected shape ({self.n},), got {values.shape}")
+            if not np.all(np.isfinite(values)):
+                raise ValueError("stream values must be finite")
         self.values[:] = values
+        self.version += 1
 
     # ------------------------------------------------------------------ #
     # Filter assignment (channel-side; costs charged by the channel)
@@ -72,11 +96,30 @@ class NodeArray:
         """Assign ``interval`` as node ``node_id``'s filter."""
         self.filter_lo[node_id] = interval.lo
         self.filter_hi[node_id] = interval.hi
+        self.version += 1
 
     def set_filters_bulk(self, ids: np.ndarray, lo: float, hi: float) -> None:
         """Assign the same ``[lo, hi]`` filter to every node in ``ids``."""
         self.filter_lo[ids] = lo
         self.filter_hi[ids] = hi
+        self.version += 1
+
+    def freeze_all(self) -> None:
+        """Every node adopts the point filter ``[v_i, v_i]`` locally."""
+        self.filter_lo[:] = self.values
+        self.filter_hi[:] = self.values
+        self.version += 1
+
+    def freeze_one(self, node_id: int) -> None:
+        """One node re-arms its point filter from its own value."""
+        i = int(node_id)
+        self.filter_lo[i] = self.values[i]
+        self.filter_hi[i] = self.values[i]
+        self.version += 1
+
+    def touch(self) -> None:
+        """Invalidate cached violation state after a direct array write."""
+        self.version += 1
 
     def get_filter(self, node_id: int) -> Interval:
         """Return node ``node_id``'s current filter."""
@@ -85,16 +128,40 @@ class NodeArray:
     # ------------------------------------------------------------------ #
     # Node-local predicates (free: local computation costs nothing)
     # ------------------------------------------------------------------ #
+    def _refresh_violations(self) -> None:
+        """Batch-recompute the violation state for the current version."""
+        if self._viol_version == self.version:
+            return
+        np.greater(self.values, self.filter_hi, out=self._above_buf)
+        np.less(self.values, self.filter_lo, out=self._below_buf)
+        kind = self._viol_kind
+        kind[:] = VIOLATION_NONE
+        kind[self._above_buf] = VIOLATION_BELOW
+        kind[self._below_buf] = VIOLATION_ABOVE
+        self._viol_ids = np.flatnonzero(self._above_buf | self._below_buf)
+        self._viol_version = self.version
+
     def violation_kind(self) -> np.ndarray:
-        """Per-node violation code (``VIOLATION_*``) for current values."""
-        kind = np.zeros(self.n, dtype=np.int8)
-        kind[self.values > self.filter_hi] = VIOLATION_BELOW
-        kind[self.values < self.filter_lo] = VIOLATION_ABOVE
-        return kind
+        """Per-node violation code (``VIOLATION_*``) for current values.
+
+        Returns the cached batch buffer — treat it as read-only; it is
+        rewritten in place on the next state change.
+        """
+        self._refresh_violations()
+        return self._viol_kind
+
+    def violation_ids(self) -> np.ndarray:
+        """Ids of nodes outside their filter (cached; treat as read-only)."""
+        self._refresh_violations()
+        return self._viol_ids
 
     def violating_mask(self) -> np.ndarray:
-        """Boolean mask of nodes whose value is outside their filter."""
-        return (self.values > self.filter_hi) | (self.values < self.filter_lo)
+        """Boolean mask of nodes whose value is outside their filter.
+
+        Always a fresh array — callers may mutate it freely.
+        """
+        self._refresh_violations()
+        return self._viol_kind != VIOLATION_NONE
 
     def mask_above(self, threshold: float, *, strict: bool = True) -> np.ndarray:
         """Mask of nodes with value above ``threshold``."""

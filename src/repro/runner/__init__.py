@@ -1,0 +1,49 @@
+"""The sweep runner: declarative grids, parallel evaluation, caching.
+
+The experiment suite's chassis (see docs/ARCHITECTURE.md):
+
+- :mod:`repro.runner.grid` — declare a sweep (:func:`sweep`) as cells of
+  plain params with content-derived per-cell seeds,
+- :mod:`repro.runner.pool` — evaluate it (:func:`run_grid`) serially or
+  with a process pool, deterministically either way,
+- :mod:`repro.runner.cache` — skip cells whose content-hash key already
+  has an on-disk result,
+- :mod:`repro.runner.results` — merge ordered cell results into the
+  experiment suite's tables.
+
+Typical experiment shape::
+
+    def _cell(params, seed):            # module-level, pure, picklable
+        trace = random_walk(params["T"], params["n"], rng=params["trace_seed"])
+        res = MonitoringEngine(trace, make_algo(params), k=params["k"],
+                               seed=seed, record_outputs=False).run()
+        return {"msgs": res.messages}
+
+    def run(quick=True, seed=0, runner=None):
+        spec = sweep("T4", _cell, {"n": [16, 64], "T": [300], ...}, seed=seed)
+        rows = zip_params((c.as_dict() for c in spec.cells),
+                          run_grid(spec, runner))
+        ...build tables/figures from rows...
+"""
+
+from repro.runner.cache import ResultCache, default_cache_dir, grid_fingerprint
+from repro.runner.grid import Cell, CellFn, GridSpec, canonical_json, derive_seed, sweep
+from repro.runner.pool import SERIAL, RunnerConfig, default_jobs, run_grid
+from repro.runner.results import zip_params
+
+__all__ = [
+    "Cell",
+    "CellFn",
+    "GridSpec",
+    "ResultCache",
+    "RunnerConfig",
+    "SERIAL",
+    "canonical_json",
+    "default_cache_dir",
+    "default_jobs",
+    "derive_seed",
+    "grid_fingerprint",
+    "run_grid",
+    "sweep",
+    "zip_params",
+]

@@ -1,0 +1,165 @@
+"""Content-hash keyed on-disk cache of sweep-cell results.
+
+A cell's cache key digests everything that determines its result:
+
+- the grid *fingerprint* — experiment id, root seed, the cell
+  function's qualified name, a digest of the **entire ``repro`` package
+  source tree**, the package version, and a cache-format version, and
+- the cell itself — its canonical params and derived seed.
+
+Digesting the whole package (not just the cell function) is a
+deliberately conservative choice: cells call through every layer —
+engine, protocols, stream generators — so *any* source edit must
+invalidate, or a cache-on-by-default CLI would silently serve stale
+tables after a bug fix.  The package is small (~70 files); the digest
+is computed once per process and costs milliseconds.  Out-of-tree cell
+functions (e.g. user notebooks) additionally contribute their own
+module's source.
+
+Entries are one JSON file per cell under ``<root>/<exp_id>/``, written
+atomically (temp file + rename) so concurrent pool workers and parallel
+CLI invocations never observe torn entries.  Unreadable or mismatched
+entries count as misses and are overwritten.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import inspect
+import json
+import os
+import platform
+import tempfile
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.runner.grid import Cell, GridSpec, canonical_json
+
+__all__ = ["CACHE_FORMAT", "ResultCache", "default_cache_dir", "grid_fingerprint"]
+
+#: Bump when the on-disk entry layout changes.
+CACHE_FORMAT = 1
+
+
+def default_cache_dir() -> Path:
+    """``results/.cache`` under the results root (see experiments.common).
+
+    Honors the same ``REPRO_RESULTS_DIR`` override as every other result
+    artifact, plus a dedicated ``REPRO_CACHE_DIR`` override.
+    """
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    from repro.experiments.common import default_results_dir
+
+    return default_results_dir() / ".cache"
+
+
+_package_digest_cache: str | None = None
+
+
+def _package_digest() -> str:
+    """Digest of every ``.py`` file under the ``repro`` package.
+
+    Computed once per process; any source edit anywhere in the package
+    yields a new digest and thus a cold cache.
+    """
+    global _package_digest_cache
+    if _package_digest_cache is None:
+        import repro
+
+        root = Path(repro.__file__).resolve().parent
+        h = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            h.update(str(path.relative_to(root)).encode())
+            h.update(b"\0")
+            h.update(path.read_bytes())
+            h.update(b"\0")
+        _package_digest_cache = h.hexdigest()
+    return _package_digest_cache
+
+
+def grid_fingerprint(spec: GridSpec) -> str:
+    """Digest of everything grid-wide that determines cell results."""
+    import repro
+
+    fn = spec.fn
+    module_name = getattr(fn, "__module__", "") or ""
+    if module_name.split(".")[0] == "repro":
+        source = ""  # already covered by the package digest
+    else:
+        try:
+            module = inspect.getmodule(fn)
+            source = inspect.getsource(module if module is not None else fn)
+        except (OSError, TypeError):  # builtins, REPL definitions
+            source = ""
+    material = canonical_json(
+        [
+            "repro-grid",
+            CACHE_FORMAT,
+            repro.__version__,
+            _package_digest(),
+            # Environment: numeric results may legitimately change across
+            # interpreter/numpy upgrades (e.g. NEP 50 promotion rules).
+            platform.python_version(),
+            np.__version__,
+            spec.exp_id,
+            spec.seed,
+            f"{module_name}.{getattr(fn, '__qualname__', fn.__name__)}",
+            source,
+        ]
+    )
+    return hashlib.sha256(material.encode()).hexdigest()
+
+
+class ResultCache:
+    """On-disk result store for one cache root directory."""
+
+    def __init__(self, root: Path | str) -> None:
+        self.root = Path(root)
+
+    # ------------------------------------------------------------------ #
+    def cell_key(self, fingerprint: str, cell: Cell) -> str:
+        """The cell's content hash (file stem of its entry)."""
+        material = canonical_json(
+            ["repro-cell", fingerprint, dict(cell.params), cell.seed]
+        )
+        return hashlib.sha256(material.encode()).hexdigest()
+
+    def _path(self, exp_id: str, key: str) -> Path:
+        return self.root / exp_id / f"{key}.json"
+
+    # ------------------------------------------------------------------ #
+    def lookup(self, spec: GridSpec, fingerprint: str, cell: Cell) -> dict[str, Any] | None:
+        """The cached result for ``cell``, or ``None`` on a miss."""
+        path = self._path(spec.exp_id, self.cell_key(fingerprint, cell))
+        try:
+            entry = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        result = entry.get("result")
+        return result if isinstance(result, dict) else None
+
+    def store(self, spec: GridSpec, fingerprint: str, cell: Cell, result: dict[str, Any]) -> None:
+        """Persist one cell result (atomic; last writer wins)."""
+        path = self._path(spec.exp_id, self.cell_key(fingerprint, cell))
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "exp_id": spec.exp_id,
+            "params": cell.as_dict(),
+            "seed": cell.seed,
+            "result": result,
+        }
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(entry, fh, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise

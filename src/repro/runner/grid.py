@@ -1,0 +1,162 @@
+"""Declarative sweep grids: the *what* of an experiment, minus the loop.
+
+A :class:`GridSpec` names an experiment, a **cell function**, and an
+ordered list of **cells**.  One cell is one point of the sweep — a flat
+``params`` mapping of JSON-scalar values plus a derived per-cell seed —
+and the cell function maps ``(params, seed)`` to a plain ``dict`` of
+measurements.  The runner (:mod:`repro.runner.pool`) evaluates the cells
+serially or in a process pool and always returns results in cell order,
+so a grid's output is independent of how it was scheduled.
+
+Two rules make the whole pipeline deterministic and cacheable:
+
+1. **Cells are pure.**  A cell function must build everything it needs
+   (traces, algorithms, engines) from ``params`` and ``seed`` alone and
+   must return JSON-serializable data (dicts of scalars/lists).  It must
+   be a *module-level* function so the process pool can pickle it.
+2. **Seeds are content-derived.**  Each cell's seed is a stable hash of
+   ``(experiment id, root seed, params)`` — independent of the cell's
+   position, so extending or reordering a grid never reshuffles the
+   randomness (or the cache keys) of existing cells.
+
+Experiments that need *shared* randomness across cells (e.g. T4's single
+master walk rescaled per Δ) pass the shared seed explicitly as a param;
+the derived per-cell seed then covers only the cell-local randomness
+(typically the channel's protocol coins).
+
+See docs/ARCHITECTURE.md for the grid → pool → cache → results data
+flow.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+__all__ = ["Cell", "CellFn", "GridSpec", "sweep", "canonical_json", "derive_seed"]
+
+#: A cell function: ``(params, seed) -> result dict``.  Must live at
+#: module level (picklable by reference) and be pure.
+CellFn = Callable[[dict[str, Any], int], dict[str, Any]]
+
+def _normalize_value(key: str, value: Any) -> Any:
+    """Coerce a param value to JSON-stable form (scalars or lists of them)."""
+    if isinstance(value, bool) or value is None or isinstance(value, (str, float)):
+        return value
+    if isinstance(value, int):
+        return int(value)  # collapses numpy integer scalars
+    if isinstance(value, (list, tuple)):
+        return [_normalize_value(key, v) for v in value]
+    # numpy float scalars and the like: accept anything that round-trips
+    # through float without losing identity.
+    try:
+        as_float = float(value)
+    except (TypeError, ValueError):
+        raise TypeError(
+            f"param {key!r} has non-JSON-scalar value {value!r} "
+            f"({type(value).__name__}); cells must be plain data"
+        ) from None
+    return as_float
+
+
+def normalize_params(params: Mapping[str, Any]) -> dict[str, Any]:
+    """Validate and normalize one cell's params to plain JSON data."""
+    return {str(k): _normalize_value(str(k), v) for k, v in params.items()}
+
+
+def canonical_json(obj: Any) -> str:
+    """A stable, whitespace-free JSON encoding (sorted keys)."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def derive_seed(root_seed: int, exp_id: str, params: Mapping[str, Any]) -> int:
+    """Stable 63-bit per-cell seed from ``(exp_id, root_seed, params)``.
+
+    Content-keyed (not index-keyed): the same cell keeps the same seed
+    when the grid around it grows, shrinks, or is reordered.
+    """
+    material = canonical_json(["repro-cell-seed", exp_id, int(root_seed), dict(params)])
+    digest = hashlib.sha256(material.encode()).digest()
+    return int.from_bytes(digest[:8], "big") & (2**63 - 1)
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One point of a sweep: ordered params plus the derived seed."""
+
+    index: int
+    params: tuple[tuple[str, Any], ...]
+    seed: int
+
+    def as_dict(self) -> dict[str, Any]:
+        """The params as a fresh mutable dict (what the cell fn receives)."""
+        return dict(self.params)
+
+
+@dataclass(frozen=True)
+class GridSpec:
+    """A fully-specified sweep: ``fn`` evaluated over ``cells``.
+
+    Build one with :func:`sweep` rather than by hand; it validates params
+    and derives the per-cell seeds.
+    """
+
+    exp_id: str
+    fn: CellFn
+    cells: tuple[Cell, ...]
+    seed: int
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+
+def sweep(
+    exp_id: str,
+    fn: CellFn,
+    axes: Mapping[str, Sequence[Any]] | None = None,
+    *,
+    cells: Iterable[Mapping[str, Any]] | None = None,
+    seed: int = 0,
+) -> GridSpec:
+    """Build a :class:`GridSpec`.
+
+    Parameters
+    ----------
+    exp_id:
+        Experiment id (``"T4"``); part of every cell's seed and cache key.
+    fn:
+        The module-level cell function.
+    axes:
+        Cartesian-product shorthand: ``{"n": [16, 64], "eps": [0.1]}``
+        expands, in axis order, to one cell per combination.
+    cells:
+        Explicit cell params for irregular sweeps (e.g. axes whose range
+        depends on another axis).  Exactly one of ``axes``/``cells``.
+    seed:
+        The experiment's root seed.
+    """
+    if (axes is None) == (cells is None):
+        raise TypeError("pass exactly one of axes= or cells=")
+    if axes is not None:
+        names = list(axes)
+        combos: Iterable[Mapping[str, Any]] = (
+            dict(zip(names, values)) for values in itertools.product(*(axes[n] for n in names))
+        )
+    else:
+        combos = cells  # type: ignore[assignment]
+    built: list[Cell] = []
+    for index, raw in enumerate(combos):
+        params = normalize_params(raw)
+        built.append(
+            Cell(
+                index=index,
+                params=tuple(params.items()),
+                seed=derive_seed(seed, exp_id, params),
+            )
+        )
+    if not built:
+        raise ValueError(f"grid {exp_id!r} has no cells")
+    return GridSpec(exp_id=exp_id, fn=fn, cells=tuple(built), seed=int(seed))

@@ -1,0 +1,150 @@
+"""Grid evaluation: serial or multiprocessing fan-out, same results.
+
+:func:`run_grid` is the single entry point.  The determinism law it
+upholds — and tests/runner/test_pool.py enforces — is:
+
+    the same :class:`~repro.runner.grid.GridSpec` produces the same
+    result list whether evaluated with ``jobs=1``, ``jobs=8``, with a
+    cold cache, or with a warm one.
+
+It holds because cells are pure functions of ``(params, seed)``, because
+the pool maps cells back to their submission order, and because every
+result — computed or cached — is normalized through a JSON round-trip
+(so a cache hit can never differ from the computation that produced it,
+e.g. by tuple-vs-list drift).
+
+``jobs=1`` never touches :mod:`multiprocessing`; ``jobs>1`` uses a
+``fork`` pool where available (no re-import, inherits ``sys.path``) and
+falls back to ``spawn`` elsewhere.  On a single-core host a parallel run
+is still *correct* — it just cannot be faster.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.runner.cache import ResultCache, default_cache_dir, grid_fingerprint
+from repro.runner.grid import CellFn, GridSpec
+
+__all__ = ["RunnerConfig", "SERIAL", "default_jobs", "run_grid"]
+
+
+def default_jobs() -> int:
+    """A sensible ``--jobs auto`` value: the usable CPU count."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # platforms without affinity masks
+        return os.cpu_count() or 1
+
+
+@dataclass(frozen=True)
+class RunnerConfig:
+    """How to evaluate grids: parallelism and caching.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes; ``1`` (the default) evaluates in-process.
+    cache:
+        When ``True``, completed cells are served from / stored to the
+        on-disk :class:`~repro.runner.cache.ResultCache`.
+    cache_dir:
+        Cache root; defaults to ``results/.cache`` (see
+        :func:`~repro.runner.cache.default_cache_dir`).
+    """
+
+    jobs: int = 1
+    cache: bool = False
+    cache_dir: Path | str | None = None
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+
+
+#: The default config: in-process, no cache — what library callers and
+#: the test/benchmark suites get unless they opt in.
+SERIAL = RunnerConfig()
+
+
+def _execute(payload: tuple[CellFn, dict[str, Any], int]) -> dict[str, Any]:
+    """Pool worker: evaluate one cell (module-level, hence picklable)."""
+    fn, params, seed = payload
+    return fn(params, seed)
+
+
+def _roundtrip(spec: GridSpec, result: Any) -> dict[str, Any]:
+    """Normalize a freshly-computed result exactly as the cache would."""
+    if not isinstance(result, dict):
+        raise TypeError(
+            f"cell function of {spec.exp_id} returned {type(result).__name__}; "
+            "cells must return a dict of JSON-serializable measurements"
+        )
+    try:
+        return json.loads(json.dumps(result))
+    except (TypeError, ValueError) as exc:
+        raise TypeError(
+            f"cell result of {spec.exp_id} is not JSON-serializable: {exc}"
+        ) from None
+
+
+def run_grid(
+    spec: GridSpec,
+    config: RunnerConfig | None = None,
+    *,
+    stats: dict[str, int] | None = None,
+) -> list[dict[str, Any]]:
+    """Evaluate every cell of ``spec`` and return results in cell order.
+
+    Parameters
+    ----------
+    spec:
+        The sweep to evaluate (build with :func:`repro.runner.sweep`).
+    config:
+        Parallelism/caching knobs; ``None`` means :data:`SERIAL`.
+    stats:
+        Optional dict that receives ``{"computed": x, "cached": y}`` —
+        how many cells actually ran versus were served from disk.
+    """
+    config = config or SERIAL
+    cache: ResultCache | None = None
+    fingerprint = ""
+    if config.cache:
+        cache = ResultCache(config.cache_dir or default_cache_dir())
+        fingerprint = grid_fingerprint(spec)
+
+    results: list[dict[str, Any] | None] = [None] * len(spec.cells)
+    pending = list(spec.cells)
+    if cache is not None:
+        pending = []
+        for cell in spec.cells:
+            hit = cache.lookup(spec, fingerprint, cell)
+            if hit is not None:
+                results[cell.index] = hit
+            else:
+                pending.append(cell)
+
+    payloads = [(spec.fn, cell.as_dict(), cell.seed) for cell in pending]
+    if payloads:
+        if config.jobs > 1 and len(payloads) > 1:
+            methods = multiprocessing.get_all_start_methods()
+            ctx = multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+            with ctx.Pool(processes=min(config.jobs, len(payloads))) as pool:
+                computed = pool.map(_execute, payloads)
+        else:
+            computed = [_execute(p) for p in payloads]
+        for cell, raw in zip(pending, computed):
+            result = _roundtrip(spec, raw)
+            results[cell.index] = result
+            if cache is not None:
+                cache.store(spec, fingerprint, cell, result)
+
+    if stats is not None:
+        stats["computed"] = stats.get("computed", 0) + len(pending)
+        stats["cached"] = stats.get("cached", 0) + (len(spec.cells) - len(pending))
+    return results  # type: ignore[return-value]  # every slot is filled

@@ -1,0 +1,23 @@
+"""Merging ordered cell results back into experiment presentation.
+
+Cell functions return flat measurement dicts; experiments keep their
+presentation logic (tables, derived columns, notes, figures) and use
+:func:`zip_params` to reunite each cell's params with its result before
+building rows.  Because :func:`~repro.runner.pool.run_grid` returns
+results in cell order, anything built from the merged rows is
+byte-identical across serial, parallel, and cached evaluations of the
+same spec.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping
+
+__all__ = ["zip_params"]
+
+
+def zip_params(
+    cells: Iterable[Mapping[str, Any]], results: Iterable[Mapping[str, Any]]
+) -> list[dict[str, Any]]:
+    """Merge each cell's params into its result (params first, result wins)."""
+    return [{**dict(c), **dict(r)} for c, r in zip(cells, results)]

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.model.invariants import kth_largest, sigma
+from repro.model.invariants import kth_largest
 from repro.model.node import NodeArray
 
 __all__ = ["Trace"]
@@ -43,6 +43,10 @@ class Trace:
     # ------------------------------------------------------------------ #
     # ValueSource protocol
     # ------------------------------------------------------------------ #
+    #: The whole matrix is shape- and finiteness-checked above, so the
+    #: engine may skip its per-step delivery validation (fast path).
+    prevalidated = True
+
     @property
     def n(self) -> int:
         """Number of nodes (columns)."""
@@ -85,8 +89,18 @@ class Trace:
         return part[:, n - k].copy()
 
     def sigma_series(self, k: int, eps: float) -> np.ndarray:
-        """``σ(t) = |K(t)|`` for every ``t`` (length ``T``)."""
-        return np.array([sigma(self._data[t], k, eps) for t in range(self.num_steps)], dtype=np.int64)
+        """``σ(t) = |K(t)|`` for every ``t`` (length ``T``).
+
+        One vectorized pass over the matrix; equivalent to applying
+        :func:`repro.model.invariants.sigma` row by row.
+        """
+        if not 0.0 <= eps < 1.0:
+            raise ValueError(f"eps must be in [0,1), got {eps}")
+        vk = self.kth_largest_series(k)
+        lo = (1.0 - eps) * vk
+        hi = vk / (1.0 - eps)
+        near = (self._data >= lo[:, None]) & (self._data <= hi[:, None])
+        return near.sum(axis=1).astype(np.int64)
 
     def sigma_max(self, k: int, eps: float) -> int:
         """``σ = max_t σ(t)`` — the paper's density parameter."""

@@ -1,0 +1,13 @@
+"""Shared fixtures: keep CLI-driven cache writes out of the repo tree.
+
+``python -m repro.experiments`` caches sweep cells under
+``results/.cache`` by default; tests that go through the CLI must never
+write there, so every test in this package gets a throwaway cache root.
+"""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _isolated_cache_dir(tmp_path_factory, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path_factory.mktemp("repro-cache")))

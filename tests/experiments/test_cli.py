@@ -28,3 +28,33 @@ class TestCli:
         a = (tmp_path / "a" / "T2" / "max_protocol.csv").read_text()
         b = (tmp_path / "b" / "T2" / "max_protocol.csv").read_text()
         assert a == b
+
+    def test_only_slug_quick(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        assert main(["--only", "max", "--quick", "--outdir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "[T2] done" in out and "[T1]" not in out
+        assert (tmp_path / "T2" / "report.md").exists()
+
+    def test_jobs_flag_output_identical_to_serial(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        main(["run", "T9", "--outdir", str(tmp_path / "a"), "--no-cache"])
+        main(["run", "T9", "--outdir", str(tmp_path / "b"), "--no-cache", "--jobs", "4"])
+        a = (tmp_path / "a" / "T9" / "dispatch.csv").read_text()
+        b = (tmp_path / "b" / "T9" / "dispatch.csv").read_text()
+        assert a == b
+
+    def test_full_and_quick_conflict(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["--full", "--quick", "--outdir", str(tmp_path)])
+
+    def test_cache_skips_recomputation(self, tmp_path, capsys):
+        argv = ["run", "T9", "--outdir", str(tmp_path),
+                "--cache-dir", str(tmp_path / "cache")]
+        assert main(argv) == 0
+        cold = {p: p.stat().st_mtime_ns for p in (tmp_path / "cache").rglob("*.json")}
+        assert cold, "CLI default must populate the cell cache"
+        assert main(argv) == 0
+        warm = {p: p.stat().st_mtime_ns for p in (tmp_path / "cache").rglob("*.json")}
+        # A recomputation would rewrite entries (new mtime) or add files.
+        assert warm == cold, "warm run must serve every cell from the cache"

@@ -1,0 +1,44 @@
+"""Experiment-level determinism: the ISSUE's acceptance law.
+
+Running a real experiment through the sweep runner with ``jobs=1``,
+``jobs=4``, or a warm cache must yield byte-identical tables (CSV text
+compared, not just row equality).
+"""
+
+import pytest
+
+from repro.experiments import run_experiment
+from repro.runner import RunnerConfig
+
+#: A fast experiment with several cells (T9: one engine run per gap).
+EXP = "T9"
+
+
+def _csvs(result):
+    return {name: table.to_csv() for name, table in result.tables.items()}
+
+
+class TestExperimentDeterminism:
+    def test_serial_and_parallel_tables_identical(self):
+        serial = run_experiment(EXP, quick=True, seed=2, runner=RunnerConfig(jobs=1))
+        parallel = run_experiment(EXP, quick=True, seed=2, runner=RunnerConfig(jobs=4))
+        assert _csvs(serial) == _csvs(parallel)
+        assert serial.notes == parallel.notes
+
+    def test_default_runner_matches_explicit_serial(self):
+        default = run_experiment(EXP, quick=True, seed=2)
+        serial = run_experiment(EXP, quick=True, seed=2, runner=RunnerConfig(jobs=1))
+        assert _csvs(default) == _csvs(serial)
+
+    def test_warm_cache_reproduces_cold_run(self, tmp_path):
+        config = RunnerConfig(jobs=1, cache=True, cache_dir=tmp_path / "cache")
+        cold = run_experiment(EXP, quick=True, seed=2, runner=config)
+        assert any((tmp_path / "cache").rglob("*.json")), "cold run must populate the cache"
+        warm = run_experiment(EXP, quick=True, seed=2, runner=config)
+        assert _csvs(cold) == _csvs(warm)
+
+    def test_cache_does_not_leak_across_seeds(self, tmp_path):
+        config = RunnerConfig(jobs=1, cache=True, cache_dir=tmp_path / "cache")
+        a = run_experiment(EXP, quick=True, seed=2, runner=config)
+        b = run_experiment(EXP, quick=True, seed=3, runner=config)
+        assert _csvs(a) != _csvs(b)

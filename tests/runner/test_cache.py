@@ -1,0 +1,62 @@
+"""Unit tests for :mod:`repro.runner.cache`."""
+
+import json
+
+from repro.runner import ResultCache, grid_fingerprint, sweep
+from repro.runner.pool import RunnerConfig, run_grid
+
+
+def _cell_v1(params, seed):
+    return {"y": params["x"] + 1}
+
+
+def _cell_v2(params, seed):
+    return {"y": params["x"] + 2}
+
+
+class TestFingerprint:
+    def test_fingerprint_changes_with_cell_function_source(self):
+        a = grid_fingerprint(sweep("TC", _cell_v1, {"x": [1]}, seed=0))
+        b = grid_fingerprint(sweep("TC", _cell_v2, {"x": [1]}, seed=0))
+        assert a != b
+
+    def test_fingerprint_changes_with_root_seed(self):
+        a = grid_fingerprint(sweep("TC", _cell_v1, {"x": [1]}, seed=0))
+        b = grid_fingerprint(sweep("TC", _cell_v1, {"x": [1]}, seed=1))
+        assert a != b
+
+
+class TestStore:
+    def test_roundtrip(self, tmp_path):
+        spec = sweep("TC", _cell_v1, {"x": [3]}, seed=0)
+        cache = ResultCache(tmp_path)
+        fp = grid_fingerprint(spec)
+        cell = spec.cells[0]
+        assert cache.lookup(spec, fp, cell) is None
+        cache.store(spec, fp, cell, {"y": 4})
+        assert cache.lookup(spec, fp, cell) == {"y": 4}
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        spec = sweep("TC", _cell_v1, {"x": [3]}, seed=0)
+        cache = ResultCache(tmp_path)
+        fp = grid_fingerprint(spec)
+        cell = spec.cells[0]
+        cache.store(spec, fp, cell, {"y": 4})
+        for entry in (tmp_path / "TC").iterdir():
+            entry.write_text("{not json")
+        assert cache.lookup(spec, fp, cell) is None
+
+    def test_edited_cell_fn_recomputes(self, tmp_path):
+        config = RunnerConfig(cache=True, cache_dir=tmp_path)
+        assert run_grid(sweep("TC", _cell_v1, {"x": [1]}, seed=0), config) == [{"y": 2}]
+        # Same exp id + params + seed, different function body: must miss.
+        assert run_grid(sweep("TC", _cell_v2, {"x": [1]}, seed=0), config) == [{"y": 3}]
+
+    def test_entries_are_inspectable_json(self, tmp_path):
+        config = RunnerConfig(cache=True, cache_dir=tmp_path)
+        run_grid(sweep("TC", _cell_v1, {"x": [9]}, seed=5), config)
+        entries = list((tmp_path / "TC").iterdir())
+        assert len(entries) == 1
+        entry = json.loads(entries[0].read_text())
+        assert entry["params"] == {"x": 9}
+        assert entry["result"] == {"y": 10}

@@ -1,0 +1,56 @@
+"""Unit tests for :mod:`repro.runner.grid`."""
+
+import pytest
+
+from repro.runner import derive_seed, sweep
+
+
+def _cell(params, seed):
+    return {"val": params["a"] * 10 + params.get("b", 0), "seed": seed}
+
+
+class TestSweep:
+    def test_axes_cartesian_product_in_axis_order(self):
+        spec = sweep("TX", _cell, {"a": [1, 2], "b": [3, 4]}, seed=0)
+        assert [c.as_dict() for c in spec.cells] == [
+            {"a": 1, "b": 3}, {"a": 1, "b": 4}, {"a": 2, "b": 3}, {"a": 2, "b": 4},
+        ]
+        assert [c.index for c in spec.cells] == [0, 1, 2, 3]
+
+    def test_explicit_cells(self):
+        cells = [{"a": 1}, {"a": 5, "b": 7}]
+        spec = sweep("TX", _cell, cells=cells, seed=3)
+        assert [c.as_dict() for c in spec.cells] == cells
+
+    def test_axes_xor_cells_required(self):
+        with pytest.raises(TypeError, match="exactly one"):
+            sweep("TX", _cell, seed=0)
+        with pytest.raises(TypeError, match="exactly one"):
+            sweep("TX", _cell, {"a": [1]}, cells=[{"a": 1}], seed=0)
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValueError, match="no cells"):
+            sweep("TX", _cell, {"a": []}, seed=0)
+
+    def test_non_scalar_params_rejected(self):
+        with pytest.raises(TypeError, match="non-JSON-scalar"):
+            sweep("TX", _cell, cells=[{"a": object()}], seed=0)
+
+
+class TestSeeds:
+    def test_seed_is_content_keyed_not_position_keyed(self):
+        small = sweep("TX", _cell, {"a": [2]}, seed=0)
+        big = sweep("TX", _cell, {"a": [1, 2, 3]}, seed=0)
+        by_a = {c.as_dict()["a"]: c.seed for c in big.cells}
+        assert small.cells[0].seed == by_a[2]
+
+    def test_seed_depends_on_exp_root_seed_and_params(self):
+        base = derive_seed(0, "TX", {"a": 1})
+        assert derive_seed(0, "TX", {"a": 1}) == base
+        assert derive_seed(1, "TX", {"a": 1}) != base
+        assert derive_seed(0, "TY", {"a": 1}) != base
+        assert derive_seed(0, "TX", {"a": 2}) != base
+
+    def test_distinct_cells_get_distinct_seeds(self):
+        spec = sweep("TX", _cell, {"a": list(range(50))}, seed=0)
+        assert len({c.seed for c in spec.cells}) == 50

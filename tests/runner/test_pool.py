@@ -1,0 +1,108 @@
+"""The runner's determinism law: scheduling never changes results.
+
+Cell functions here write a sentinel file per invocation, which is how
+the warm-cache test proves *zero* cell invocations (it works for pool
+workers too, unlike an in-process counter).
+"""
+
+import os
+import uuid
+
+import pytest
+
+from repro.runner import RunnerConfig, run_grid, sweep
+
+
+def _marking_cell(params, seed):
+    mark_dir = params["mark_dir"]
+    with open(os.path.join(mark_dir, uuid.uuid4().hex), "w") as fh:
+        fh.write(str(params["x"]))
+    return {"y": params["x"] * params["x"], "seed": seed}
+
+
+def _spec(mark_dir, seed=7):
+    return sweep(
+        "TPOOL", _marking_cell, {"x": [1, 2, 3, 4, 5], "mark_dir": [str(mark_dir)]}, seed=seed
+    )
+
+
+@pytest.fixture
+def mark_dir(tmp_path):
+    d = tmp_path / "marks"
+    d.mkdir()
+    return d
+
+
+def _invocations(mark_dir) -> int:
+    return len(list(mark_dir.iterdir()))
+
+
+class TestDeterminism:
+    def test_serial_matches_parallel(self, mark_dir):
+        serial = run_grid(_spec(mark_dir), RunnerConfig(jobs=1))
+        parallel = run_grid(_spec(mark_dir), RunnerConfig(jobs=4))
+        assert serial == parallel
+        assert [r["y"] for r in serial] == [1, 4, 9, 16, 25]
+
+    def test_results_follow_cell_order_not_completion_order(self, mark_dir):
+        results = run_grid(_spec(mark_dir), RunnerConfig(jobs=4))
+        assert [r["y"] for r in results] == [1, 4, 9, 16, 25]
+
+
+class TestCacheBehaviour:
+    def test_warm_cache_runs_zero_cells(self, mark_dir, tmp_path):
+        config = RunnerConfig(jobs=1, cache=True, cache_dir=tmp_path / "cache")
+        cold = run_grid(_spec(mark_dir), config)
+        assert _invocations(mark_dir) == 5
+        warm = run_grid(_spec(mark_dir), config)
+        assert _invocations(mark_dir) == 5, "warm cache must not invoke any cell"
+        assert warm == cold
+
+    def test_warm_cache_matches_across_jobs(self, mark_dir, tmp_path):
+        config1 = RunnerConfig(jobs=4, cache=True, cache_dir=tmp_path / "cache")
+        cold = run_grid(_spec(mark_dir), config1)
+        warm = run_grid(_spec(mark_dir), RunnerConfig(jobs=1, cache=True, cache_dir=tmp_path / "cache"))
+        assert warm == cold
+
+    def test_partial_cache_fills_only_missing_cells(self, mark_dir, tmp_path):
+        config = RunnerConfig(jobs=1, cache=True, cache_dir=tmp_path / "cache")
+        run_grid(_spec(mark_dir), config)
+        bigger = sweep(
+            "TPOOL", _marking_cell,
+            {"x": [1, 2, 3, 4, 5, 6], "mark_dir": [str(mark_dir)]}, seed=7,
+        )
+        stats = {}
+        results = run_grid(bigger, config, stats=stats)
+        assert stats == {"computed": 1, "cached": 5}
+        assert [r["y"] for r in results] == [1, 4, 9, 16, 25, 36]
+
+    def test_different_seed_misses_cache(self, mark_dir, tmp_path):
+        config = RunnerConfig(jobs=1, cache=True, cache_dir=tmp_path / "cache")
+        run_grid(_spec(mark_dir, seed=7), config)
+        stats = {}
+        run_grid(_spec(mark_dir, seed=8), config, stats=stats)
+        assert stats["computed"] == 5
+
+
+class TestValidation:
+    def test_non_dict_result_rejected(self):
+        spec = sweep("TBAD", _returns_list, {"x": [1]}, seed=0)
+        with pytest.raises(TypeError, match="must return a dict"):
+            run_grid(spec)
+
+    def test_non_json_result_rejected(self):
+        spec = sweep("TBAD", _returns_object, {"x": [1]}, seed=0)
+        with pytest.raises(TypeError, match="JSON-serializable"):
+            run_grid(spec)
+
+    def test_bad_jobs_rejected(self):
+        with pytest.raises(ValueError, match="jobs"):
+            RunnerConfig(jobs=0)
+
+
+def _returns_list(params, seed):
+    return [1, 2]
+
+
+def _returns_object(params, seed):
+    return {"x": object()}

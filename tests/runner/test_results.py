@@ -1,0 +1,19 @@
+"""Unit tests for :mod:`repro.runner.results`."""
+
+from repro.runner import zip_params
+
+
+class TestZipParams:
+    def test_merges_params_with_results_in_order(self):
+        merged = zip_params([{"x": 1}, {"x": 2}], [{"y": 10}, {"y": 20}])
+        assert merged == [{"x": 1, "y": 10}, {"x": 2, "y": 20}]
+
+    def test_result_wins_on_collision(self):
+        merged = zip_params([{"x": 1, "y": 0}], [{"y": 5}])
+        assert merged == [{"x": 1, "y": 5}]
+
+    def test_inputs_are_not_mutated(self):
+        cell, result = {"x": 1}, {"y": 2}
+        merged = zip_params([cell], [result])
+        merged[0]["x"] = 99
+        assert cell == {"x": 1} and result == {"y": 2}
