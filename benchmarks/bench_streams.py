@@ -1,0 +1,135 @@
+"""Throughput benchmark for trace generation and streaming delivery.
+
+Measures, for every registered workload, how fast a trace materializes
+(values/s) and — for chunk-first workloads — how fast the streaming
+source generates blocks and delivers per-step rows.  Results go to
+``BENCH_streams.json`` at the repository root so successive PRs leave a
+perf trajectory to compare against (CI runs the ``--ci`` variant on
+every push; regenerate the committed file with the default sizes).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_streams.py            # full sizes
+    PYTHONPATH=src python benchmarks/bench_streams.py --ci       # small, fast
+    PYTHONPATH=src python benchmarks/bench_streams.py --out /tmp/b.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.model.node import NodeArray
+from repro.streams import registry
+
+#: Per-workload materialization sizes: loop-bound generators get smaller
+#: horizons so one run stays in seconds, vectorized ones show their reach.
+FULL_SIZES = {"default": (100_000, 64), "walk": (20_000, 64), "sensor": (20_000, 64),
+              "levels": (20_000, 64), "cluster": (50_000, 64)}
+CI_SIZES = {"default": (10_000, 32), "walk": (4_000, 32), "sensor": (4_000, 32),
+            "levels": (4_000, 32), "cluster": (10_000, 32)}
+
+#: Streaming benchmark: generation scan + per-step delivery walk.
+FULL_STREAM = (1_000_000, 64, 8192)
+CI_STREAM = (100_000, 32, 8192)
+
+
+def _best_of(fn, reps: int = 3) -> float:
+    times = []
+    for _ in range(reps):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return min(times)
+
+
+def measure_generation(sizes: dict, reps: int) -> dict:
+    out = {}
+    for slug in registry.available():
+        spec = registry.get(slug)
+        if spec.example_params is None:  # replay needs an external file
+            continue
+        T, n = sizes.get(slug, sizes["default"])
+        params = dict(spec.example_params)
+        seconds = _best_of(lambda: registry.make(slug, T, n, rng=0, **params), reps)
+        out[slug] = {
+            "T": T, "n": n, "seconds": round(seconds, 4),
+            "steps_per_s": round(T / seconds),
+            "values_per_s": round(T * n / seconds),
+        }
+    return out
+
+
+def measure_streaming(T: int, n: int, block_size: int, reps: int) -> dict:
+    out = {}
+    for slug in ("drift", "zipf", "iid"):
+        # Generation scan: produce and validate every block once.
+        src = registry.stream(slug, T, n, block_size=block_size, rng=0)
+        seconds = _best_of(lambda: sum(b.shape[0] for b in src.iter_blocks()), reps)
+        entry = {
+            "T": T, "n": n, "block_size": block_size,
+            "generate_seconds": round(seconds, 4),
+            "generate_values_per_s": round(T * n / seconds),
+            "max_resident_rows": src.max_resident_rows,
+        }
+        # Delivery walk: the engine's access pattern (values(t) in order).
+        walk_T = min(T, 200_000)
+        walk_src = registry.stream(slug, walk_T, n, block_size=block_size, rng=0)
+        nodes = NodeArray(n)
+
+        def walk() -> None:
+            walk_src.reset()
+            for t in range(walk_T):
+                walk_src.values(t, nodes)
+
+        seconds = _best_of(walk, reps)
+        entry["deliver_T"] = walk_T
+        entry["deliver_seconds"] = round(seconds, 4)
+        entry["deliver_steps_per_s"] = round(walk_T / seconds)
+        out[slug] = entry
+    return out
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--ci", action="store_true", help="small sizes for CI")
+    parser.add_argument("--reps", type=int, default=3, help="best-of repetitions")
+    parser.add_argument(
+        "--out", type=Path,
+        default=Path(__file__).resolve().parents[1] / "BENCH_streams.json",
+    )
+    args = parser.parse_args(argv)
+
+    sizes = CI_SIZES if args.ci else FULL_SIZES
+    stream_T, stream_n, block = CI_STREAM if args.ci else FULL_STREAM
+
+    t0 = time.perf_counter()
+    report = {
+        "schema": 1,
+        "mode": "ci" if args.ci else "full",
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "generation": measure_generation(sizes, args.reps),
+        "streaming": measure_streaming(stream_T, stream_n, block, args.reps),
+    }
+    report["total_seconds"] = round(time.perf_counter() - t0, 2)
+
+    args.out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {args.out} ({report['total_seconds']}s)")
+    for slug, row in report["generation"].items():
+        print(f"  gen {slug:>11}: {row['values_per_s']:>12,} values/s  "
+              f"(T={row['T']}, n={row['n']})")
+    for slug, row in report["streaming"].items():
+        print(f"  stream {slug:>8}: {row['generate_values_per_s']:>12,} values/s gen, "
+              f"{row['deliver_steps_per_s']:>9,} steps/s delivery, "
+              f"<= {row['max_resident_rows']} rows resident")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

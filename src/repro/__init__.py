@@ -39,7 +39,7 @@ from repro.core import (
 )
 from repro.model import MonitoringEngine, RunResult
 from repro.offline import OfflineResult, offline_opt
-from repro.streams import Trace
+from repro.streams import StreamingSource, Trace
 
 __version__ = "1.0.0"
 
@@ -51,6 +51,7 @@ __all__ = [
     "OfflineResult",
     "RunResult",
     "SendAlwaysMonitor",
+    "StreamingSource",
     "TopKMonitor",
     "Trace",
     "analysis",

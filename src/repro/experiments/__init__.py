@@ -13,8 +13,9 @@ exact``.
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass
-from typing import Callable
+from typing import Any, Callable
 
 from repro.experiments import (
     exp_ablation,
@@ -51,6 +52,11 @@ class ExperimentSpec:
     run: Callable[..., ExperimentResult]
     validates: str
     slug: str = ""
+
+    @property
+    def accepts_workload(self) -> bool:
+        """Whether ``run`` takes a registry workload override (T8-style)."""
+        return "workload" in inspect.signature(self.run).parameters
 
 
 _MODULES = [
@@ -104,15 +110,31 @@ def run_experiment(
     quick: bool = True,
     seed: int = 0,
     runner: RunnerConfig | None = None,
+    workload: str | None = None,
+    workload_params: dict[str, Any] | None = None,
 ) -> ExperimentResult:
     """Run one experiment by id (raises ``KeyError`` for unknown ids).
 
     ``runner`` selects parallel/cached sweep evaluation; ``None`` (the
     default) evaluates serially without touching the cache.
+
+    ``workload``/``workload_params`` override the experiment's scenario
+    with any :mod:`repro.streams.registry` slug — only experiments whose
+    ``run`` declares the ``workload`` parameter support the override
+    (currently T8, the algorithm-zoo timeline); others raise
+    ``ValueError``.
     """
     try:
         spec = EXPERIMENTS[exp_id]
     except KeyError:
         known = ", ".join(sorted(EXPERIMENTS))
         raise KeyError(f"unknown experiment {exp_id!r}; known: {known}") from None
-    return spec.run(quick=quick, seed=seed, runner=runner)
+    kwargs: dict[str, Any] = {}
+    if workload is not None or workload_params:
+        if not spec.accepts_workload:
+            raise ValueError(
+                f"experiment {exp_id} does not take a workload override; "
+                "use an experiment with a workload-parameterized sweep (T8)"
+            )
+        kwargs = {"workload": workload, "workload_params": workload_params}
+    return spec.run(quick=quick, seed=seed, runner=runner, **kwargs)

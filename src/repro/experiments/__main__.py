@@ -9,6 +9,10 @@ Usage::
     python -m repro.experiments --jobs 4          # parallel sweep cells
     python -m repro.experiments --no-cache        # force recomputation
     python -m repro.experiments list              # what exists
+    python -m repro.experiments workloads         # the workload catalog
+
+    # run the T8 algorithm zoo on any registered workload:
+    python -m repro.experiments --workload zipf --workload-param alpha=1.2
 
 Sweep cells are cached under ``results/.cache`` keyed by content hash
 (cell params + seed + a digest of the ``repro`` source tree), so
@@ -29,6 +33,19 @@ from pathlib import Path
 from repro.experiments import EXPERIMENTS, resolve_ids, run_experiment
 from repro.experiments.common import default_results_dir
 from repro.runner import RunnerConfig, default_jobs
+from repro.streams import registry
+
+
+def _print_workloads() -> None:
+    """The workload catalog: slug, streaming support, summary, params."""
+    for slug in registry.available():
+        spec = registry.get(slug)
+        mode = "stream" if spec.streaming else "matrix"
+        print(f"{slug:>11}  [{mode}]  {spec.summary}")
+        for p in spec.params:
+            default = "(required)" if p.required else f"= {p.default!r}"
+            doc = f"  — {p.doc}" if p.doc else ""
+            print(f"{'':>13}{p.name}: {p.kind} {default}{doc}")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -36,11 +53,23 @@ def main(argv: list[str] | None = None) -> int:
         prog="python -m repro.experiments",
         description="Regenerate the reproduction's tables and figures.",
     )
-    parser.add_argument("command", nargs="?", default="run", choices=["run", "list"])
+    parser.add_argument(
+        "command", nargs="?", default="run", choices=["run", "list", "workloads"]
+    )
     parser.add_argument("ids", nargs="*", help="experiment ids or slugs (default: all)")
     parser.add_argument(
         "--only", action="append", default=[], metavar="ID",
         help="run only this experiment (id like T3 or slug like exact; repeatable)",
+    )
+    parser.add_argument(
+        "--workload", default=None, metavar="SLUG",
+        help="registry slug overriding the scenario of workload-parameterized "
+             "experiments (default selection: T8); see the `workloads` command",
+    )
+    parser.add_argument(
+        "--workload-param", action="append", default=[], metavar="KEY=VALUE",
+        help="workload parameter override, parsed against the registry schema "
+             "(repeatable; requires --workload)",
     )
     mode = parser.add_mutually_exclusive_group()
     mode.add_argument("--full", action="store_true", help="full sweeps (slower)")
@@ -63,6 +92,31 @@ def main(argv: list[str] | None = None) -> int:
         for spec in EXPERIMENTS.values():
             print(f"{spec.exp_id:>4}  {spec.slug:<10} {spec.title}  [{spec.validates}]")
         return 0
+    if args.command == "workloads":
+        _print_workloads()
+        return 0
+
+    workload_params = None
+    if args.workload is not None:
+        try:
+            spec = registry.get(args.workload)
+            workload_params = registry.parse_cli_params(
+                args.workload, args.workload_param
+            )
+            missing = [
+                p.name for p in spec.params
+                if p.required and p.name not in workload_params
+            ]
+            if missing:
+                raise ValueError(
+                    f"workload {args.workload!r} requires "
+                    f"--workload-param for: {', '.join(missing)}"
+                )
+        except (KeyError, ValueError) as exc:
+            print(exc.args[0] if exc.args else exc, file=sys.stderr)
+            return 2
+    elif args.workload_param:
+        parser.error("--workload-param requires --workload")
 
     tokens = list(args.ids) + list(args.only)
     ids, unknown = resolve_ids(tokens)
@@ -70,7 +124,23 @@ def main(argv: list[str] | None = None) -> int:
         print(f"unknown experiment ids: {unknown}", file=sys.stderr)
         return 2
     if not ids:
-        ids = list(EXPERIMENTS)
+        # A workload override applies only to workload-parameterized
+        # experiments, so it narrows the default selection to those.
+        if args.workload is not None:
+            ids = [s.exp_id for s in EXPERIMENTS.values() if s.accepts_workload]
+        else:
+            ids = list(EXPERIMENTS)
+    if args.workload is not None:
+        incapable = [
+            exp_id for exp_id in ids if not EXPERIMENTS[exp_id].accepts_workload
+        ]
+        if incapable:
+            print(
+                f"--workload applies only to workload-parameterized experiments; "
+                f"{incapable} do not accept it",
+                file=sys.stderr,
+            )
+            return 2
 
     if args.jobs < 0:
         parser.error(f"--jobs must be >= 0 (0 = all CPUs), got {args.jobs}")
@@ -88,7 +158,15 @@ def main(argv: list[str] | None = None) -> int:
     for exp_id in ids:
         start = time.perf_counter()
         print(f"[{exp_id}] {EXPERIMENTS[exp_id].title} ...", flush=True)
-        result = run_experiment(exp_id, quick=not args.full, seed=args.seed, runner=runner)
+        try:
+            result = run_experiment(
+                exp_id, quick=not args.full, seed=args.seed, runner=runner,
+                workload=args.workload, workload_params=workload_params,
+            )
+        except registry.WorkloadParamError as exc:
+            # Pre-sweep workload validation: bad user input, not a crash.
+            print(exc, file=sys.stderr)
+            return 2
         exp_outdir = result.write(outdir)
         elapsed = time.perf_counter() - start
         print(f"[{exp_id}] done in {elapsed:.1f}s -> {exp_outdir}")

@@ -18,9 +18,11 @@ current state of each node and the server", Sect. 2.1).
 The non-check loop has a vectorized fast path (the sweep runner drives
 thousands of such runs, see docs/ARCHITECTURE.md):
 
-- sources that declare ``prevalidated = True`` (e.g. :class:`Trace`,
-  whose constructor validates the whole matrix once) skip the per-step
-  shape/finiteness re-checks in :meth:`NodeArray.deliver`;
+- sources that declare ``prevalidated = True`` skip the per-step
+  shape/finiteness re-checks in :meth:`NodeArray.deliver` —
+  :class:`~repro.streams.base.Trace` validates the whole matrix at
+  construction, :class:`~repro.streams.streaming.StreamingSource`
+  validates each lazily generated block once on arrival;
 - filter-containment tests are served from the node array's cached batch
   (recomputed once per state version, not per query);
 - outputs are recorded as rows of a preallocated ``(T, k)`` int array
@@ -52,7 +54,21 @@ __all__ = ["ValueSource", "MonitoringEngine", "RunResult"]
 
 @runtime_checkable
 class ValueSource(Protocol):
-    """Anything that can feed values to the engine, step by step."""
+    """Anything that can feed values to the engine, step by step.
+
+    The engine reads steps strictly in order ``0..T-1``, so sources may
+    generate lazily (see :class:`repro.streams.streaming.StreamingSource`,
+    which keeps one block resident).  Two optional attributes refine the
+    contract:
+
+    - ``prevalidated`` (bool): the source guarantees finite values of
+      shape ``(n,)`` at every step — whole-matrix validation for
+      :class:`~repro.streams.base.Trace`, per-block validation for
+      streaming sources — and the engine skips per-step delivery checks.
+    - ``reset()``: called once at the start of every run, letting
+      single-pass sources rewind so one source object supports repeated
+      runs.
+    """
 
     @property
     def n(self) -> int:
@@ -171,6 +187,9 @@ class MonitoringEngine:
 
     def run(self) -> RunResult:
         """Execute the full run and return the measurements."""
+        reset = getattr(self.source, "reset", None)
+        if callable(reset):
+            reset()  # streaming sources rewind to step 0 for this run
         self.algorithm.bind(self.channel)
         result = RunResult(
             ledger=self.ledger,

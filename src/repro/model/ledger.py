@@ -42,6 +42,12 @@ class CostSnapshot:
         return self.node_to_server + self.server_to_node + self.broadcasts * self.broadcast_cost
 
     def __sub__(self, other: "CostSnapshot") -> "CostSnapshot":
+        if self.broadcast_cost != other.broadcast_cost:
+            raise ValueError(
+                "cannot subtract snapshots taken under different broadcast "
+                f"costs ({self.broadcast_cost} vs {other.broadcast_cost}); "
+                "the delta's message total would be priced inconsistently"
+            )
         return CostSnapshot(
             self.node_to_server - other.node_to_server,
             self.server_to_node - other.server_to_node,

@@ -24,6 +24,13 @@ master walk rescaled per Δ) pass the shared seed explicitly as a param;
 the derived per-cell seed then covers only the cell-local randomness
 (typically the channel's protocol coins).
 
+Workloads ride in cells as plain data, too: a registry slug plus its
+parameters serialized with :func:`canonical_json` (cell params must be
+JSON scalars, so nested mappings travel as one canonical string — see
+``exp_timeline`` and :mod:`repro.streams.registry`).  That makes the
+*scenario* a sweep axis like any other, with caching and determinism
+intact.
+
 See docs/ARCHITECTURE.md for the grid → pool → cache → results data
 flow.
 """

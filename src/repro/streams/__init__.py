@@ -7,16 +7,37 @@ provides
 - :class:`~repro.streams.base.Trace` — an immutable ``(T, n)`` value
   matrix implementing the engine's :class:`~repro.model.engine.ValueSource`
   protocol, plus ground-truth helpers (Δ, k-th-largest series, σ(t)),
+- :class:`~repro.streams.streaming.StreamingSource` (alias
+  :class:`ChunkedTrace`) — the same protocol generated lazily in blocks,
+  so horizons of 10⁶–10⁷ steps run in O(n·block) memory,
 - synthetic generators (:mod:`repro.streams.synthetic`),
 - the paper's motivating workloads (:mod:`repro.streams.workloads`):
   web-cluster load balancing and noisy sensor fields,
+- scenario generators beyond the paper (:mod:`repro.streams.scenarios`):
+  heavy-tail loads, Markov regimes, drifting walks, correlated sensor
+  clusters, sliding-window churn, and file-backed replay,
+- the workload registry (:mod:`repro.streams.registry`) resolving every
+  generator by slug with a declared parameter schema — the seam the CLI
+  and sweep grids use to treat the workload as data,
 - adaptive adversaries (:mod:`repro.streams.adversarial`), most notably
   the Theorem 5.1 lower-bound construction, and
 - value transforms (:mod:`repro.streams.transforms`), e.g. the
   distinctness perturbation the exact problem requires.
 """
 
+from repro.streams import registry
 from repro.streams.base import Trace
+from repro.streams.scenarios import (
+    correlated_sensors,
+    drifting_walk,
+    load_trace,
+    markov_levels,
+    replay_trace,
+    save_trace,
+    window_churn,
+    zipf_load,
+)
+from repro.streams.streaming import ChunkedTrace, StreamingSource
 from repro.streams.synthetic import (
     iid_uniform,
     random_walk,
@@ -28,16 +49,27 @@ from repro.streams.adversarial import LowerBoundAdversary, oscillation_trace
 from repro.streams.transforms import clip_trace, make_distinct, quantize
 
 __all__ = [
-    "Trace",
+    "ChunkedTrace",
     "LowerBoundAdversary",
-    "cluster_load",
+    "StreamingSource",
+    "Trace",
     "clip_trace",
+    "cluster_load",
+    "correlated_sensors",
+    "drifting_walk",
     "iid_uniform",
+    "load_trace",
     "make_distinct",
+    "markov_levels",
     "oscillation_trace",
     "quantize",
     "random_walk",
+    "registry",
+    "replay_trace",
+    "save_trace",
     "sensor_field",
     "sine_drift",
     "step_levels",
+    "window_churn",
+    "zipf_load",
 ]

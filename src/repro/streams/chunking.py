@@ -1,0 +1,46 @@
+"""Shared helpers for chunk-first generators.
+
+Every block-streaming generator partitions the time axis the same way
+and several replace per-step state loops with the same event-forward-
+fill; this module holds those two primitives so
+:mod:`repro.streams.synthetic`, :mod:`repro.streams.scenarios`, and the
+vectorized :func:`repro.streams.synthetic.step_levels` share one
+implementation.  Both are pure integer/index manipulations — bit-exact
+under any blocking (the chunk-first contract, see
+docs/ARCHITECTURE.md §3).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["block_lengths", "forward_fill_events"]
+
+
+def block_lengths(num_steps: int, block_size: int) -> Iterator[tuple[int, int]]:
+    """Yield ``(start, length)`` covering ``0..num_steps`` in block steps."""
+    for start in range(0, num_steps, block_size):
+        yield start, min(block_size, num_steps - start)
+
+
+def forward_fill_events(
+    carry: np.ndarray, mask: np.ndarray, fresh: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per column: value at row ``r`` is the latest event value at ``<= r``.
+
+    ``carry`` holds the per-column value entering the block, ``mask`` is
+    the ``(B, n)`` event indicator, and ``fresh`` the event values in
+    row-major order of ``mask`` (exactly the order a per-step loop would
+    have drawn them).  Returns the filled ``(B, n)`` block and the new
+    carry.  Pure integer indexing — bit-exact under any blocking.
+    """
+    B, n = mask.shape
+    table = np.empty((B + 1, n), dtype=carry.dtype)
+    table[0] = carry
+    table[1:][mask] = fresh  # boolean assignment is row-major == draw order
+    idx = np.where(mask, np.arange(1, B + 1, dtype=np.int64)[:, None], 0)
+    np.maximum.accumulate(idx, axis=0, out=idx)
+    filled = np.take_along_axis(table, idx, axis=0)
+    return filled, filled[-1].copy()

@@ -1,0 +1,495 @@
+"""The workload registry: every scenario resolvable by slug.
+
+The experiment suite, the CLI, and sweep grids all refer to workloads
+by a short slug (``"cluster"``, ``"zipf"``) plus a flat mapping of
+scalar parameters — exactly the plain-data shape a
+:class:`repro.runner.grid.Cell` can carry, so *the workload itself* can
+be a sweep axis.  Each :class:`WorkloadSpec` declares its parameter
+schema up front; registration fails loudly if the declaration drifts
+from the factory's actual signature, and the CLI uses the schema to
+parse and type-coerce ``--workload-param key=value`` tokens.
+
+Usage::
+
+    from repro.streams import registry
+
+    registry.available()                      # all slugs
+    spec = registry.get("zipf")               # the full spec
+    tr = registry.make("zipf", 2_000, 64, alpha=1.3, rng=0)
+    src = registry.stream("zipf", 10**6, 64, block_size=8192, rng=0)
+
+``make`` materializes a :class:`~repro.streams.base.Trace`;
+``stream`` builds a lazily generated
+:class:`~repro.streams.streaming.StreamingSource` for chunk-first
+workloads (``spec.streaming``), byte-identical to ``make`` at any
+block size.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Mapping
+
+import numpy as np
+
+from repro.streams import scenarios, synthetic, workloads
+from repro.streams.base import Trace
+from repro.streams.streaming import StreamingSource
+from repro.util.checks import check_positive_int
+from repro.util.rngtools import make_rng
+
+__all__ = [
+    "Param",
+    "WorkloadParamError",
+    "WorkloadSpec",
+    "available",
+    "get",
+    "make",
+    "stream",
+    "register",
+    "parse_cli_params",
+    "validate_params",
+]
+
+
+class WorkloadParamError(ValueError):
+    """A workload was given out-of-range or unusable parameters.
+
+    A distinct type so callers (the CLI) can tell bad user input apart
+    from genuine failures inside a run.
+    """
+
+#: Sentinel default for parameters the caller must supply.
+REQUIRED = object()
+
+#: A chunk-capable generator core:
+#: ``(num_steps, n, block_size, *, **params, rng) -> iterator of blocks``.
+BlockFn = Callable[..., Iterator[np.ndarray]]
+
+
+@dataclass(frozen=True)
+class Param:
+    """One declared workload parameter."""
+
+    name: str
+    kind: str  # "int" | "float" | "bool" | "str" | "array"
+    default: Any = REQUIRED
+    doc: str = ""
+
+    _KINDS = ("int", "float", "bool", "str", "array")
+
+    def __post_init__(self) -> None:
+        if self.kind not in self._KINDS:
+            raise ValueError(f"param {self.name!r}: unknown kind {self.kind!r}")
+
+    @property
+    def required(self) -> bool:
+        return self.default is REQUIRED
+
+    def parse(self, text: str) -> Any:
+        """Coerce a CLI ``key=value`` string to this parameter's type."""
+        try:
+            if self.kind == "int":
+                return int(text)
+            if self.kind == "float":
+                return float(text)
+        except ValueError:
+            raise ValueError(
+                f"param {self.name!r} expects {self.kind}, got {text!r}"
+            ) from None
+        if self.kind == "bool":
+            lowered = text.lower()
+            if lowered in ("1", "true", "yes", "on"):
+                return True
+            if lowered in ("0", "false", "no", "off"):
+                return False
+            raise ValueError(f"param {self.name!r}: not a boolean: {text!r}")
+        if self.kind == "str":
+            return text
+        raise ValueError(f"param {self.name!r} (kind {self.kind!r}) cannot be set "
+                         "from the command line")
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One registered workload: factory, schema, and streaming twin."""
+
+    slug: str
+    factory: Callable[..., Trace]
+    summary: str
+    params: tuple[Param, ...]
+    #: Whether the generated values are (float-represented) integers —
+    #: the paper's streams are over ℕ; property tests enforce the flag.
+    integral: bool = True
+    #: The chunk-first core, if the workload supports block streaming.
+    block_fn: BlockFn | None = None
+    #: Parameter overrides that make a small smoke instance runnable
+    #: (e.g. ``sensor`` needs ``k``).  ``None`` marks workloads that
+    #: need external input (``replay`` needs a saved file).
+    example_params: dict[str, Any] | None = field(default_factory=dict)
+
+    @property
+    def streaming(self) -> bool:
+        return self.block_fn is not None
+
+    def param(self, name: str) -> Param:
+        for p in self.params:
+            if p.name == name:
+                return p
+        raise KeyError(f"workload {self.slug!r} has no param {name!r}; "
+                       f"valid: {[p.name for p in self.params]}")
+
+
+_REGISTRY: dict[str, WorkloadSpec] = {}
+
+
+def _validate_against_signature(spec: WorkloadSpec) -> None:
+    """Registration-time check: declared schema == factory signature."""
+    sig = inspect.signature(spec.factory)
+    names = list(sig.parameters)
+    if names[:2] != ["num_steps", "n"]:
+        raise TypeError(
+            f"workload {spec.slug!r}: factory must take (num_steps, n, ...), "
+            f"got {names[:2]}"
+        )
+    declared = {p.name: p for p in spec.params}
+    actual = {
+        name: par
+        for name, par in sig.parameters.items()
+        if name not in ("num_steps", "n", "rng")
+    }
+    if set(declared) != set(actual):
+        raise TypeError(
+            f"workload {spec.slug!r}: declared params {sorted(declared)} do not "
+            f"match factory signature params {sorted(actual)}"
+        )
+    for name, par in actual.items():
+        dec = declared[name]
+        factory_default = (
+            REQUIRED if par.default is inspect.Parameter.empty else par.default
+        )
+        dec_default = REQUIRED if dec.required else dec.default
+        if dec_default is not factory_default and dec_default != factory_default:
+            raise TypeError(
+                f"workload {spec.slug!r}: param {name!r} declares default "
+                f"{dec.default!r} but the factory has {par.default!r}"
+            )
+    if spec.block_fn is not None:
+        block_sig = inspect.signature(spec.block_fn)
+        block_names = [
+            name for name in block_sig.parameters
+            if name not in ("num_steps", "n", "block_size", "rng")
+        ]
+        if set(block_names) != set(declared):
+            raise TypeError(
+                f"workload {spec.slug!r}: block_fn params {sorted(block_names)} "
+                f"do not match declared params {sorted(declared)}"
+            )
+
+
+def register(spec: WorkloadSpec) -> WorkloadSpec:
+    """Add ``spec`` to the registry (import-time; fails fast on drift)."""
+    if spec.slug in _REGISTRY:
+        raise ValueError(f"workload slug {spec.slug!r} already registered")
+    _validate_against_signature(spec)
+    _REGISTRY[spec.slug] = spec
+    return spec
+
+
+def available() -> tuple[str, ...]:
+    """All registered slugs, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def get(slug: str) -> WorkloadSpec:
+    """The spec for ``slug`` (raises ``KeyError`` with the valid slugs)."""
+    try:
+        return _REGISTRY[slug]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {slug!r}; registered: {', '.join(_REGISTRY)}"
+        ) from None
+
+
+def _check_params(
+    spec: WorkloadSpec, params: Mapping[str, Any], *, fill_defaults: bool = False
+) -> dict[str, Any]:
+    declared = {p.name for p in spec.params}
+    unknown = sorted(set(params) - declared)
+    if unknown:
+        raise TypeError(
+            f"workload {spec.slug!r} got unknown params {unknown}; "
+            f"valid: {sorted(declared)}"
+        )
+    missing = sorted(
+        p.name for p in spec.params if p.required and p.name not in params
+    )
+    if missing:
+        raise TypeError(f"workload {spec.slug!r} requires params {missing}")
+    checked = dict(params)
+    if fill_defaults:  # block_fns declare every param keyword-only, no defaults
+        for p in spec.params:
+            if p.name not in checked:
+                checked[p.name] = p.default
+    return checked
+
+
+def make(
+    slug: str,
+    num_steps: int,
+    n: int,
+    *,
+    rng: np.random.Generator | int | None = None,
+    **params: Any,
+) -> Trace:
+    """Materialize the workload ``slug`` as a :class:`Trace`."""
+    spec = get(slug)
+    return spec.factory(num_steps, n, **_check_params(spec, params), rng=rng)
+
+
+def validate_params(slug: str, n: int, params: Mapping[str, Any]) -> None:
+    """Check ``params`` exactly as ``make(slug, ..., n, **params)`` would.
+
+    Runs the factory's own range validation via a one-row probe call
+    (cheap: a single generated step) and raises
+    :class:`WorkloadParamError` with the factory's message on any
+    rejection.  Use before launching work that would otherwise fail
+    deep inside a sweep cell.
+    """
+    spec = get(slug)
+    checked = _check_params(spec, params)
+    try:
+        spec.factory(1, n, **checked, rng=0)
+    except (ValueError, TypeError) as exc:
+        raise WorkloadParamError(
+            f"workload {slug!r}: {exc.args[0] if exc.args else exc}"
+        ) from None
+
+
+def stream(
+    slug: str,
+    num_steps: int,
+    n: int,
+    *,
+    block_size: int = 8192,
+    rng: np.random.Generator | int | None = None,
+    **params: Any,
+) -> StreamingSource:
+    """Build a block-streaming source for ``slug`` — O(n·block) memory.
+
+    Byte-identical to ``make(slug, ...)`` with the same seed, at any
+    ``block_size`` (the chunk-first contract;
+    tests/streams/test_scenarios.py enforces it).  Only workloads with
+    ``spec.streaming`` support this; others raise ``TypeError``.
+
+    The source must be re-runnable (the engine resets it per run, and
+    ground-truth scans make their own passes), so the randomness is
+    pinned to a seed here: passing a ``Generator`` draws one 63-bit
+    seed from it and every pass restarts from that seed.
+    """
+    spec = get(slug)
+    if spec.block_fn is None:
+        raise TypeError(
+            f"workload {slug!r} is not block-streamable; materialize it with "
+            f"make({slug!r}, ...) instead"
+        )
+    block_size = check_positive_int(block_size, "block_size")
+    checked = _check_params(spec, params, fill_defaults=True)
+    # Range validation lives in the factories (require(...) calls), which
+    # the block path would otherwise skip — out-of-range params must fail
+    # here exactly as they would in make(), instead of silently producing
+    # a wrong stream.
+    validate_params(slug, n, params)
+    if isinstance(rng, (int, np.integer)) or rng is None:
+        seed: int | None = None if rng is None else int(rng)
+        if seed is None:
+            seed = int(make_rng(None).integers(2**63))
+    else:
+        seed = int(make_rng(rng).integers(2**63))
+    block_fn = spec.block_fn
+
+    def factory() -> Iterator[np.ndarray]:
+        return block_fn(
+            num_steps, n, block_size, **checked, rng=np.random.default_rng(seed)
+        )
+
+    return StreamingSource(factory, num_steps=num_steps, n=n)
+
+
+def parse_cli_params(slug: str, tokens: list[str]) -> dict[str, Any]:
+    """Parse CLI ``key=value`` tokens against the workload's schema."""
+    spec = get(slug)
+    parsed: dict[str, Any] = {}
+    for token in tokens:
+        key, sep, text = token.partition("=")
+        if not sep:
+            raise ValueError(
+                f"--workload-param must look like key=value, got {token!r}"
+            )
+        parsed[key] = spec.param(key).parse(text)
+    return parsed
+
+
+# --------------------------------------------------------------------- #
+# Registrations
+# --------------------------------------------------------------------- #
+register(WorkloadSpec(
+    slug="walk",
+    factory=synthetic.random_walk,
+    summary="Independent reflected integer random walks (the Δ-sweep workhorse)",
+    params=(
+        Param("low", "float", 0.0),
+        Param("high", "float", 2**16),
+        Param("step", "float", 8.0),
+        Param("init", "array", None, "start positions (not CLI-settable)"),
+        Param("lazy", "float", 0.0, "per-tick probability of not moving"),
+    ),
+    block_fn=synthetic._random_walk_blocks,
+))
+
+register(WorkloadSpec(
+    slug="iid",
+    factory=synthetic.iid_uniform,
+    summary="Fresh uniform redraw every step — maximal churn stress case",
+    params=(
+        Param("low", "float", 0.0),
+        Param("high", "float", 2**16),
+    ),
+    block_fn=synthetic._iid_uniform_blocks,
+))
+
+register(WorkloadSpec(
+    slug="sine",
+    factory=synthetic.sine_drift,
+    summary="Random-phase sinusoids with integer noise — slow rank churn",
+    params=(
+        Param("base", "float", 1000.0),
+        Param("amplitude", "float", 200.0),
+        Param("period", "float", 200.0),
+        Param("noise", "float", 5.0),
+    ),
+    block_fn=synthetic._sine_drift_blocks,
+))
+
+register(WorkloadSpec(
+    slug="levels",
+    factory=synthetic.step_levels,
+    summary="Discrete levels with rare jumps — long quiet stretches",
+    params=(
+        Param("levels", "int", 8),
+        Param("spread", "float", 1000.0),
+        Param("switch_prob", "float", 0.01),
+        Param("noise", "float", 2.0),
+    ),
+))
+
+register(WorkloadSpec(
+    slug="cluster",
+    factory=workloads.cluster_load,
+    summary="Webserver cluster: diurnal wave + AR(1) noise + flash crowds (Sect. 1)",
+    params=(
+        Param("base", "float", 5_000.0),
+        Param("diurnal_amplitude", "float", 1_500.0),
+        Param("period", "float", 500.0),
+        Param("ar_coeff", "float", 0.9),
+        Param("noise", "float", 60.0),
+        Param("burst_prob", "float", 0.002),
+        Param("burst_height", "float", 6_000.0),
+        Param("burst_length", "int", 40),
+    ),
+))
+
+register(WorkloadSpec(
+    slug="sensor",
+    factory=workloads.sensor_field,
+    summary="Dense ε-neighborhood sensor field — band controls σ (Sect. 1)",
+    params=(
+        Param("k", "int", doc="the top-k parameter the band is built around"),
+        Param("eps", "float", 0.1),
+        Param("band", "int", None, "nodes inside the ε-neighborhood (default 2k)"),
+        Param("level", "float", 10_000.0),
+        Param("band_spread", "float", 0.5),
+        Param("wobble", "float", 0.35),
+        Param("low_fraction", "float", 0.45),
+    ),
+    example_params={"k": 3},
+))
+
+register(WorkloadSpec(
+    slug="zipf",
+    factory=scenarios.zipf_load,
+    summary="Heavy-tail (Pareto) levels with churn — skewed domains",
+    params=(
+        Param("alpha", "float", 1.6, "tail exponent; smaller = heavier"),
+        Param("scale", "float", 1_000.0),
+        Param("churn", "float", 0.002, "per-step level-redraw probability"),
+        Param("noise", "float", 0.01, "multiplicative jitter"),
+    ),
+    block_fn=scenarios._zipf_blocks,
+))
+
+register(WorkloadSpec(
+    slug="markov",
+    factory=scenarios.markov_levels,
+    summary="Per-node Markov regime switching over discrete levels",
+    params=(
+        Param("states", "int", 6),
+        Param("stay", "float", 0.995, "per-step probability of keeping the state"),
+        Param("spread", "float", 10_000.0),
+        Param("noise", "float", 3.0),
+    ),
+    block_fn=scenarios._markov_blocks,
+))
+
+register(WorkloadSpec(
+    slug="drift",
+    factory=scenarios.drifting_walk,
+    summary="Reflected walks with persistent per-node drift — nonstationary ranks",
+    params=(
+        Param("low", "float", 0.0),
+        Param("high", "float", 2**20),
+        Param("step", "float", 16.0),
+        Param("drift", "float", 0.5, "per-node drift drawn from [-drift, drift]"),
+    ),
+    block_fn=scenarios._drift_blocks,
+))
+
+register(WorkloadSpec(
+    slug="correlated",
+    factory=scenarios.correlated_sensors,
+    summary="Sensor clusters sharing slow factors — correlated rank bursts",
+    params=(
+        Param("clusters", "int", 4),
+        Param("rho", "float", 0.8, "shared-factor weight in [0, 1]"),
+        Param("level", "float", 10_000.0),
+        Param("amplitude", "float", 0.05),
+        Param("period", "float", 2_000.0),
+        Param("noise", "float", 20.0),
+    ),
+    block_fn=scenarios._correlated_blocks,
+))
+
+register(WorkloadSpec(
+    slug="churn",
+    factory=scenarios.window_churn,
+    summary="Sliding-window churn: cohort redraws every `window` steps",
+    params=(
+        Param("window", "int", 500),
+        Param("churn_frac", "float", 0.25),
+        Param("spread", "float", 5_000.0),
+        Param("noise", "float", 4.0),
+    ),
+    block_fn=scenarios._window_churn_blocks,
+))
+
+register(WorkloadSpec(
+    slug="replay",
+    factory=scenarios.replay_trace,
+    summary="File-backed replay of a saved .npz trace",
+    params=(
+        Param("path", "str", doc="path written by streams.scenarios.save_trace"),
+    ),
+    integral=False,  # whatever was saved
+    example_params=None,  # needs an external file
+))

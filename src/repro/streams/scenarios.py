@@ -1,0 +1,419 @@
+"""Scenario generators beyond the paper's two motivating workloads.
+
+Related work names the workload shapes a monitoring testbed should
+cover: heavy-tail domains (Bemmann et al., arXiv:1706.03568), windowed
+churn (Chan et al., arXiv:0912.4569), regime switches and correlated
+sensor clusters.  This module provides them, plus file-backed replay.
+
+Every generator here is **chunk-first**: the core is a ``_*_blocks``
+iterator yielding ``(B, n)`` blocks, and the materializing factory just
+concatenates blocks.  Two design rules make block streaming exact:
+
+1. **One child generator per randomness source.**  Each factory spawns
+   independent child RNGs (via :func:`repro.util.rngtools.spawn`) for
+   each purpose (levels, event masks, event values, noise, ...), so the
+   draws of one purpose form a single sequential stream regardless of
+   how the time axis is blocked.
+2. **No floating-point carries across blocks.**  State carried between
+   blocks is either integral (exact in int64/float64) or an elementwise
+   copy — never a partial FP reduction — so re-associating the block
+   boundaries cannot change a single bit.
+
+Together these give the streaming invariant (enforced by
+tests/streams/test_scenarios.py): for any block size, the concatenated
+blocks equal the materialized trace byte for byte.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterator
+
+import numpy as np
+
+from repro.streams.base import Trace
+from repro.streams.chunking import block_lengths, forward_fill_events
+from repro.util.checks import check_positive_int, require
+from repro.util.rngtools import make_rng, spawn
+
+__all__ = [
+    "zipf_load",
+    "markov_levels",
+    "drifting_walk",
+    "correlated_sensors",
+    "window_churn",
+    "replay_trace",
+    "save_trace",
+    "load_trace",
+]
+
+#: Block length used when a chunk-first generator is materialized whole.
+DEFAULT_BLOCK = 4096
+
+
+# --------------------------------------------------------------------- #
+# Heavy-tail load (zipf/pareto domains)
+# --------------------------------------------------------------------- #
+def _zipf_blocks(
+    num_steps: int,
+    n: int,
+    block_size: int,
+    *,
+    alpha: float,
+    scale: float,
+    churn: float,
+    noise: float,
+    rng: np.random.Generator,
+) -> Iterator[np.ndarray]:
+    level_rng, churn_rng, fresh_rng, noise_rng = spawn(rng, 4)
+    levels = scale * (level_rng.pareto(alpha, size=n) + 1.0)
+    for _start, B in block_lengths(num_steps, block_size):
+        mask = churn_rng.random((B, n)) < churn
+        fresh = scale * (fresh_rng.pareto(alpha, size=int(mask.sum())) + 1.0)
+        filled, levels = forward_fill_events(levels, mask, fresh)
+        mult = 1.0 + noise * noise_rng.standard_normal((B, n))
+        yield np.round(np.maximum(filled * mult, 0.0))
+
+
+def zipf_load(
+    num_steps: int,
+    n: int,
+    *,
+    alpha: float = 1.6,
+    scale: float = 1_000.0,
+    churn: float = 0.002,
+    noise: float = 0.01,
+    rng: np.random.Generator | int | None = None,
+) -> Trace:
+    """Heavy-tail (Pareto) load levels with occasional rank-shuffling churn.
+
+    Each node holds a level drawn from a Pareto tail with exponent
+    ``alpha`` (smaller ``alpha`` = heavier tail = a more dominant head),
+    redraws it with per-step probability ``churn``, and jitters
+    multiplicatively by ``noise``.  Models skewed domains — a few nodes
+    carry most of the load, but the head occasionally changes hands.
+    """
+    num_steps = check_positive_int(num_steps, "num_steps")
+    n = check_positive_int(n, "n")
+    require(alpha > 0.0, f"alpha must be > 0, got {alpha}")
+    require(scale > 0.0, f"scale must be > 0, got {scale}")
+    require(0.0 <= churn <= 1.0, f"churn must be a probability, got {churn}")
+    require(noise >= 0.0, f"noise must be >= 0, got {noise}")
+    blocks = _zipf_blocks(
+        num_steps, n, DEFAULT_BLOCK,
+        alpha=alpha, scale=scale, churn=churn, noise=noise, rng=make_rng(rng),
+    )
+    return Trace(np.concatenate(list(blocks), axis=0))
+
+
+# --------------------------------------------------------------------- #
+# Markov regime switching
+# --------------------------------------------------------------------- #
+def _markov_blocks(
+    num_steps: int,
+    n: int,
+    block_size: int,
+    *,
+    states: int,
+    stay: float,
+    spread: float,
+    noise: float,
+    rng: np.random.Generator,
+) -> Iterator[np.ndarray]:
+    init_rng, switch_rng, target_rng, noise_rng = spawn(rng, 4)
+    level_values = np.linspace(spread / states, spread, states)
+    state = init_rng.integers(0, states, size=n)
+    jitter_span = int(noise)
+    for _start, B in block_lengths(num_steps, block_size):
+        jump = switch_rng.random((B, n)) >= stay
+        targets = target_rng.integers(0, states, size=int(jump.sum()))
+        state_block, state = forward_fill_events(state, jump, targets)
+        vals = level_values[state_block]
+        if jitter_span >= 1:
+            vals = vals + noise_rng.integers(-jitter_span, jitter_span + 1, size=(B, n))
+        yield np.round(np.maximum(vals, 0.0))
+
+
+def markov_levels(
+    num_steps: int,
+    n: int,
+    *,
+    states: int = 6,
+    stay: float = 0.995,
+    spread: float = 10_000.0,
+    noise: float = 3.0,
+    rng: np.random.Generator | int | None = None,
+) -> Trace:
+    """Per-node Markov chains over discrete load regimes.
+
+    Each node sits on one of ``states`` levels and keeps it with
+    probability ``stay`` per step, otherwise jumping to a uniformly
+    chosen state.  Long quiet regimes punctuated by rank flips — the
+    generalization of :func:`repro.streams.synthetic.step_levels` with
+    an explicit dwell-time knob.
+    """
+    num_steps = check_positive_int(num_steps, "num_steps")
+    n = check_positive_int(n, "n")
+    states = check_positive_int(states, "states")
+    require(0.0 <= stay <= 1.0, f"stay must be a probability, got {stay}")
+    require(spread > 0.0, f"spread must be > 0, got {spread}")
+    require(noise >= 0.0, f"noise must be >= 0, got {noise}")
+    blocks = _markov_blocks(
+        num_steps, n, DEFAULT_BLOCK,
+        states=states, stay=stay, spread=spread, noise=noise, rng=make_rng(rng),
+    )
+    return Trace(np.concatenate(list(blocks), axis=0))
+
+
+# --------------------------------------------------------------------- #
+# Drifting random walks
+# --------------------------------------------------------------------- #
+def _drift_blocks(
+    num_steps: int,
+    n: int,
+    block_size: int,
+    *,
+    low: float,
+    high: float,
+    step: float,
+    drift: float,
+    rng: np.random.Generator,
+) -> Iterator[np.ndarray]:
+    init_rng, drift_rng, move_rng = spawn(rng, 3)
+    init = init_rng.integers(int(low), int(high) + 1, size=n).astype(np.float64)
+    drifts = drift_rng.uniform(-drift, drift, size=n)
+    width = float(high) - float(low)
+    period = 2.0 * width
+    s = max(1, int(step))
+    carry = np.zeros(n, dtype=np.int64)  # exact integer cumsum across blocks
+    for start, B in block_lengths(num_steps, block_size):
+        moves = move_rng.integers(-s, s + 1, size=(B, n))
+        cum = carry + np.cumsum(moves, axis=0)
+        carry = cum[-1].copy()
+        t = np.arange(start + 1, start + B + 1, dtype=np.float64)[:, None]
+        free = init[None, :] + cum + drifts[None, :] * t
+        # Reflect into [low, high] by folding the free walk (triangle map).
+        y = np.mod(free - low, period)
+        yield np.round(low + np.where(y > width, period - y, y))
+
+
+def drifting_walk(
+    num_steps: int,
+    n: int,
+    *,
+    low: float = 0.0,
+    high: float = 2**20,
+    step: float = 16.0,
+    drift: float = 0.5,
+    rng: np.random.Generator | int | None = None,
+) -> Trace:
+    """Reflected random walks with a persistent per-node drift.
+
+    Unlike :func:`repro.streams.synthetic.random_walk`, each node also
+    carries a constant drift drawn from ``[-drift, drift]``, so rankings
+    reorder systematically over long horizons (nonstationarity) instead
+    of only diffusively.  The walk is folded into ``[low, high]`` with
+    the triangle (reflection) map, which makes the whole trajectory an
+    elementwise function of an exact integer cumulative sum — the
+    generator streams in O(n·block) memory at any horizon.
+    """
+    num_steps = check_positive_int(num_steps, "num_steps")
+    n = check_positive_int(n, "n")
+    require(high > low, f"need high > low, got [{low}, {high}]")
+    require(drift >= 0.0, f"drift must be >= 0, got {drift}")
+    blocks = _drift_blocks(
+        num_steps, n, DEFAULT_BLOCK,
+        low=low, high=high, step=step, drift=drift, rng=make_rng(rng),
+    )
+    return Trace(np.concatenate(list(blocks), axis=0))
+
+
+# --------------------------------------------------------------------- #
+# Correlated sensor clusters
+# --------------------------------------------------------------------- #
+def _correlated_blocks(
+    num_steps: int,
+    n: int,
+    block_size: int,
+    *,
+    clusters: int,
+    rho: float,
+    level: float,
+    amplitude: float,
+    period: float,
+    noise: float,
+    rng: np.random.Generator,
+) -> Iterator[np.ndarray]:
+    assign_rng, phase_rng, base_rng, shared_rng, own_rng = spawn(rng, 5)
+    assign = assign_rng.integers(0, clusters, size=n)
+    phases = phase_rng.uniform(0.0, 2 * np.pi, size=clusters)
+    bases = base_rng.uniform(0.9, 1.1, size=n) * level
+    mix = float(np.sqrt(max(0.0, 1.0 - rho * rho)))
+    for start, B in block_lengths(num_steps, block_size):
+        shared = shared_rng.standard_normal((B, clusters))
+        own = own_rng.standard_normal((B, n))
+        t = np.arange(start, start + B, dtype=np.float64)[:, None]
+        wave = amplitude * level * np.sin(2 * np.pi * t / period + phases[None, :])
+        vals = bases[None, :] + wave[:, assign] + noise * (rho * shared[:, assign] + mix * own)
+        yield np.round(np.maximum(vals, 0.0))
+
+
+def correlated_sensors(
+    num_steps: int,
+    n: int,
+    *,
+    clusters: int = 4,
+    rho: float = 0.8,
+    level: float = 10_000.0,
+    amplitude: float = 0.05,
+    period: float = 2_000.0,
+    noise: float = 20.0,
+    rng: np.random.Generator | int | None = None,
+) -> Trace:
+    """Sensor clusters sharing a common slowly-drifting factor.
+
+    Nodes are partitioned into ``clusters``; each cluster follows its own
+    sinusoidal environmental factor (random phase, period ``period``)
+    and nodes mix a shared per-step disturbance (weight ``rho``) with
+    idiosyncratic noise (weight ``sqrt(1-rho²)``).  High ``rho`` means
+    whole clusters rise and fall together — rank changes arrive in
+    correlated bursts rather than as independent node events.
+    """
+    num_steps = check_positive_int(num_steps, "num_steps")
+    n = check_positive_int(n, "n")
+    clusters = check_positive_int(clusters, "clusters")
+    require(clusters <= n, f"need clusters <= n, got clusters={clusters}, n={n}")
+    require(0.0 <= rho <= 1.0, f"rho must be in [0,1], got {rho}")
+    require(level > 0.0, f"level must be > 0, got {level}")
+    require(period > 0.0, f"period must be > 0, got {period}")
+    require(noise >= 0.0, f"noise must be >= 0, got {noise}")
+    blocks = _correlated_blocks(
+        num_steps, n, DEFAULT_BLOCK,
+        clusters=clusters, rho=rho, level=level, amplitude=amplitude,
+        period=period, noise=noise, rng=make_rng(rng),
+    )
+    return Trace(np.concatenate(list(blocks), axis=0))
+
+
+# --------------------------------------------------------------------- #
+# Sliding-window churn
+# --------------------------------------------------------------------- #
+def _window_churn_blocks(
+    num_steps: int,
+    n: int,
+    block_size: int,
+    *,
+    window: int,
+    churn_frac: float,
+    spread: float,
+    noise: float,
+    rng: np.random.Generator,
+) -> Iterator[np.ndarray]:
+    level_rng, pick_rng, noise_rng = spawn(rng, 3)
+    levels = level_rng.uniform(0.0, spread, size=n)
+    jitter_span = int(noise)
+    for start, B in block_lengths(num_steps, block_size):
+        block = np.empty((B, n), dtype=np.float64)
+        row = 0
+        while row < B:
+            t = start + row
+            if t > 0 and t % window == 0:
+                picked = pick_rng.random(n) < churn_frac
+                levels = levels.copy()
+                levels[picked] = level_rng.uniform(0.0, spread, size=int(picked.sum()))
+            until = min(B, row + (window - t % window))
+            block[row:until] = levels[None, :]
+            row = until
+        if jitter_span >= 1:
+            block = block + noise_rng.integers(-jitter_span, jitter_span + 1, size=(B, n))
+        yield np.round(np.maximum(block, 0.0))
+
+
+def window_churn(
+    num_steps: int,
+    n: int,
+    *,
+    window: int = 500,
+    churn_frac: float = 0.25,
+    spread: float = 5_000.0,
+    noise: float = 4.0,
+    rng: np.random.Generator | int | None = None,
+) -> Trace:
+    """Epoch-based churn: every ``window`` steps part of the field redraws.
+
+    Between epoch boundaries the ranking is static up to small noise; at
+    each boundary a ``churn_frac`` fraction of nodes draws a fresh level
+    uniformly in ``[0, spread]`` — the batch-expiry regime of
+    sliding-window monitoring, where whole cohorts of values leave the
+    window at once.
+    """
+    num_steps = check_positive_int(num_steps, "num_steps")
+    n = check_positive_int(n, "n")
+    window = check_positive_int(window, "window")
+    require(0.0 <= churn_frac <= 1.0, f"churn_frac must be a probability, got {churn_frac}")
+    require(spread > 0.0, f"spread must be > 0, got {spread}")
+    require(noise >= 0.0, f"noise must be >= 0, got {noise}")
+    blocks = _window_churn_blocks(
+        num_steps, n, DEFAULT_BLOCK,
+        window=window, churn_frac=churn_frac, spread=spread, noise=noise,
+        rng=make_rng(rng),
+    )
+    return Trace(np.concatenate(list(blocks), axis=0))
+
+
+# --------------------------------------------------------------------- #
+# File-backed replay
+# --------------------------------------------------------------------- #
+def save_trace(trace: Trace, path: str | Path) -> Path:
+    """Write a trace to ``path`` as an ``.npz`` archive (key ``data``).
+
+    Round-trips exactly through :func:`load_trace` /
+    :func:`replay_trace`: float64 values are stored losslessly.
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez(path, data=trace.data)
+    return path
+
+
+def load_trace(path: str | Path) -> Trace:
+    """Load a trace written by :func:`save_trace`."""
+    path = Path(path)
+    with np.load(path, allow_pickle=False) as archive:
+        if "data" not in archive:
+            raise ValueError(f"{path} is not a saved trace (no 'data' array)")
+        return Trace(archive["data"])
+
+
+def replay_trace(
+    num_steps: int,
+    n: int,
+    *,
+    path: str,
+    rng: np.random.Generator | int | None = None,  # noqa: ARG001 - replay is deterministic
+) -> Trace:
+    """Replay the first ``num_steps`` steps of a saved ``.npz`` trace.
+
+    The factory form of :func:`load_trace`, shaped like every other
+    workload so recorded traces (converted production logs, traces from
+    other tools) sweep through the registry by slug.  ``n`` must match
+    the stored trace; ``num_steps`` may be at most the stored length.
+    ``rng`` is accepted for signature uniformity and ignored.
+    """
+    num_steps = check_positive_int(num_steps, "num_steps")
+    n = check_positive_int(n, "n")
+    full = load_trace(path)
+    require(
+        full.n == n,
+        f"saved trace {path} has n={full.n}, requested n={n}",
+    )
+    require(
+        num_steps <= full.num_steps,
+        f"saved trace {path} has only T={full.num_steps} steps, "
+        f"requested num_steps={num_steps}",
+    )
+    if num_steps == full.num_steps:
+        return full
+    return full.slice_steps(0, num_steps)

@@ -1,0 +1,256 @@
+"""Block-streaming value sources: O(n·block) memory at any horizon.
+
+A :class:`Trace` materializes the full ``(T, n)`` matrix, which caps
+runs at what fits in RAM.  :class:`StreamingSource` (alias
+:class:`ChunkedTrace`) keeps only one block of rows resident: a fresh
+block iterator is obtained from a factory whenever the source is
+(re)started, each block is shape/finiteness-checked **once** on
+arrival — so the source honestly declares ``prevalidated = True`` and
+the engine's validation-free fast path applies — and rows are served
+from the cached block until the next one is needed.
+
+The engine consumes sources strictly in step order, which is exactly
+the access pattern a block stream supports; the source refuses random
+back-seeks (re-running requires ``reset()``, which the engine calls
+automatically at the start of every run).
+
+Ground truth (``kth_largest_series``, ``sigma_series``, Δ) is computed
+by block-streaming passes with the same memory bound, so OPT-style
+analyses work at 10⁶–10⁷ steps too.
+
+Chunk-first generators live in :mod:`repro.streams.scenarios`; build a
+streaming source for a registered workload with
+:func:`repro.streams.registry.stream`.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable, Iterator
+
+import numpy as np
+
+from repro.model.invariants import kth_largest
+from repro.model.node import NodeArray
+from repro.streams.base import Trace
+from repro.util.checks import check_positive_int, require
+
+__all__ = ["StreamingSource", "ChunkedTrace"]
+
+#: ``block_factory`` — returns a fresh iterator over ``(B_i, n)`` blocks
+#: whose row counts sum to ``num_steps``.
+BlockFactory = Callable[[], Iterator[np.ndarray]]
+
+
+class StreamingSource:
+    """A lazily generated ``(T, n)`` value stream, one block resident.
+
+    Parameters
+    ----------
+    block_factory:
+        Zero-argument callable returning a *fresh* iterator of float64
+        blocks of shape ``(B_i, n)``; the row counts must sum to
+        ``num_steps``.  Called once per pass (construction-time
+        validation pass, engine runs after ``reset()``, ground-truth
+        scans), so it must be re-invocable with identical output —
+        which every chunk-first generator seeded by value satisfies.
+    num_steps, n:
+        The stream dimensions (declared up front; delivery is checked
+        against them block by block).
+    """
+
+    def __init__(self, block_factory: BlockFactory, *, num_steps: int, n: int) -> None:
+        self.num_steps_ = check_positive_int(num_steps, "num_steps")
+        require(n >= 2, f"streaming source needs n >= 2, got {n}")
+        self._n = int(n)
+        self._factory = block_factory
+        self._blocks: Iterator[np.ndarray] | None = None
+        self._block: np.ndarray | None = None
+        self._block_start = 0  # global step index of the cached block's row 0
+        self._block_stop = 0
+        #: Largest number of rows ever resident at once (memory audit).
+        self.max_resident_rows = 0
+
+    # ------------------------------------------------------------------ #
+    # ValueSource protocol
+    # ------------------------------------------------------------------ #
+    #: Every block is validated once on arrival (shape, finiteness), so
+    #: the engine may skip per-step delivery validation.
+    prevalidated = True
+
+    @property
+    def n(self) -> int:
+        """Number of nodes (columns)."""
+        return self._n
+
+    @property
+    def num_steps(self) -> int:
+        """Number of time steps the stream provides."""
+        return self.num_steps_
+
+    def values(self, t: int, nodes: NodeArray) -> np.ndarray:  # noqa: ARG002 - ignores node state
+        """Row ``t``; loads the next block when ``t`` walks past the cache."""
+        if not self._block_start <= t < self._block_stop:
+            if t < self._block_start:
+                raise ValueError(
+                    f"streaming source cannot seek backwards (step {t} < "
+                    f"cached block start {self._block_start}); call reset() "
+                    "to start a fresh pass"
+                )
+            self._advance_to(t)
+        assert self._block is not None
+        return self._block[t - self._block_start]
+
+    def reset(self) -> None:
+        """Start a fresh pass (the engine calls this at run start)."""
+        self._blocks = None
+        self._block = None
+        self._block_start = 0
+        self._block_stop = 0
+
+    # ------------------------------------------------------------------ #
+    # Block plumbing
+    # ------------------------------------------------------------------ #
+    def _advance_to(self, t: int) -> None:
+        if t >= self.num_steps_:
+            raise ValueError(f"step {t} out of range (T={self.num_steps_})")
+        if self._blocks is None:
+            self._blocks = self._validated_blocks()
+        while not self._block_start <= t < self._block_stop:
+            try:
+                block = next(self._blocks)
+            except StopIteration:
+                raise ValueError(
+                    f"block stream exhausted at step {self._block_stop} "
+                    f"before reaching declared T={self.num_steps_}"
+                ) from None
+            self._block_start = self._block_stop
+            self._block_stop += block.shape[0]
+            self._block = block
+
+    def _validated_blocks(self) -> Iterator[np.ndarray]:
+        """A fresh block iterator with per-block prevalidation."""
+        delivered = 0
+        for block in self._factory():
+            block = np.asarray(block, dtype=np.float64)
+            if block.ndim != 2 or block.shape[1] != self._n:
+                raise ValueError(
+                    f"block must have shape (B, {self._n}), got {block.shape}"
+                )
+            if not np.all(np.isfinite(block)):
+                raise ValueError("stream values must be finite")
+            delivered += block.shape[0]
+            if delivered > self.num_steps_:
+                raise ValueError(
+                    f"block stream delivered {delivered} rows, more than the "
+                    f"declared T={self.num_steps_}"
+                )
+            self.max_resident_rows = max(self.max_resident_rows, block.shape[0])
+            yield block
+
+    def iter_blocks(self) -> Iterator[np.ndarray]:
+        """A fresh, validated pass over all blocks (for streaming scans)."""
+        it = self._validated_blocks()
+        delivered = 0
+        for block in it:
+            delivered += block.shape[0]
+            yield block
+        if delivered != self.num_steps_:
+            raise ValueError(
+                f"block stream delivered {delivered} rows, declared T={self.num_steps_}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Ground truth, computed by streaming scans
+    # ------------------------------------------------------------------ #
+    @property
+    def delta(self) -> float:
+        """Δ — the largest value observed by any node (one streaming pass)."""
+        return float(max(float(block.max()) for block in self.iter_blocks()))
+
+    @property
+    def min_value(self) -> float:
+        """The smallest observed value (one streaming pass)."""
+        return float(min(float(block.min()) for block in self.iter_blocks()))
+
+    def kth_largest_series(self, k: int) -> np.ndarray:
+        """``v_{π(k,t)}`` for every ``t`` — O(n·block) resident memory.
+
+        The output is a length-``T`` vector (that much memory is
+        inherent in the answer); only one value *block* is ever held.
+        """
+        if not 1 <= k <= self._n:
+            raise ValueError(f"k={k} out of range for n={self._n}")
+        out = np.empty(self.num_steps_, dtype=np.float64)
+        pos = 0
+        for block in self.iter_blocks():
+            part = np.partition(block, self._n - k, axis=1)
+            out[pos : pos + block.shape[0]] = part[:, self._n - k]
+            pos += block.shape[0]
+        return out
+
+    def sigma_series(self, k: int, eps: float) -> np.ndarray:
+        """``σ(t) = |K(t)|`` for every ``t`` — one streaming pass."""
+        if not 0.0 <= eps < 1.0:
+            raise ValueError(f"eps must be in [0,1), got {eps}")
+        out = np.empty(self.num_steps_, dtype=np.int64)
+        pos = 0
+        for block in self.iter_blocks():
+            part = np.partition(block, self._n - k, axis=1)
+            vk = part[:, self._n - k]
+            lo = (1.0 - eps) * vk
+            hi = vk / (1.0 - eps)
+            near = (block >= lo[:, None]) & (block <= hi[:, None])
+            out[pos : pos + block.shape[0]] = near.sum(axis=1)
+            pos += block.shape[0]
+        return out
+
+    def sigma_max(self, k: int, eps: float) -> int:
+        """``σ = max_t σ(t)`` — the paper's density parameter."""
+        return int(self.sigma_series(k, eps).max())
+
+    def kth_largest_at(self, t: int, k: int) -> float:
+        """``v_{π(k,t)}`` at one step of the *current* pass (step order)."""
+        self._advance_to(t)
+        assert self._block is not None
+        return kth_largest(self._block[t - self._block_start], k)
+
+    # ------------------------------------------------------------------ #
+    # Interop
+    # ------------------------------------------------------------------ #
+    def materialize(self) -> Trace:
+        """Concatenate all blocks into a plain :class:`Trace`.
+
+        Only sensible for horizons that fit in memory (tests, plots);
+        the point of the class is not to call this at 10⁷ steps.
+        """
+        return Trace(np.concatenate(list(self.iter_blocks()), axis=0))
+
+    @classmethod
+    def from_npy(cls, path: str | Path, *, block_size: int = 8192) -> "StreamingSource":
+        """Stream a ``.npy`` matrix from disk via memmap — O(block) resident.
+
+        The ``.npz`` replay path (:func:`repro.streams.scenarios.replay_trace`)
+        decompresses the whole matrix; for out-of-core replay save with
+        ``np.save`` and stream it here.
+        """
+        path = Path(path)
+        block_size = check_positive_int(block_size, "block_size")
+        header = np.load(path, mmap_mode="r")
+        if header.ndim != 2:
+            raise ValueError(f"{path} must hold a 2-D (T, n) matrix, got {header.shape}")
+        T, n = header.shape
+
+        def factory() -> Iterator[np.ndarray]:
+            mm = np.load(path, mmap_mode="r")
+            for start in range(0, T, block_size):
+                yield np.asarray(mm[start : start + block_size], dtype=np.float64)
+
+        return cls(factory, num_steps=T, n=n)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"StreamingSource(T={self.num_steps_}, n={self._n})"
+
+
+#: The name the paper-side code uses: a trace in chunks.
+ChunkedTrace = StreamingSource

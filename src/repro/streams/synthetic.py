@@ -14,6 +14,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.streams.base import Trace
+from repro.streams.chunking import block_lengths, forward_fill_events
 from repro.util.checks import check_positive_int, require
 from repro.util.rngtools import make_rng
 
@@ -136,11 +137,114 @@ def step_levels(
     rng = make_rng(rng)
     level_values = np.linspace(spread / levels, spread, levels)
     assignment = rng.integers(0, levels, size=n)
-    data = np.empty((num_steps, n), dtype=np.float64)
+    # Phase 1 — draw all randomness in today's order.  The draws must
+    # stay in a per-step loop: how many fresh levels step t consumes
+    # depends on step t's own switch mask, so the RNG stream cannot be
+    # hoisted into one bulk request without reshuffling it.
+    jitter_span = int(noise)
+    switch_rows = np.zeros((num_steps, n), dtype=bool)
+    fresh_parts: list[np.ndarray] = []
+    jitter = np.zeros((num_steps, n), dtype=np.int64) if jitter_span >= 1 else None
     for t in range(num_steps):
         switches = rng.random(n) < switch_prob
         if switches.any():
-            assignment[switches] = rng.integers(0, levels, size=int(switches.sum()))
-        jitter = rng.integers(-int(noise), int(noise) + 1, size=n) if noise >= 1 else 0
-        data[t] = np.maximum(level_values[assignment] + jitter, 0.0)
-    return Trace(np.round(data))
+            switch_rows[t] = switches
+            fresh_parts.append(rng.integers(0, levels, size=int(switches.sum())))
+        if jitter is not None:
+            jitter[t] = rng.integers(-jitter_span, jitter_span + 1, size=n)
+    # Phase 2 — the scan, vectorized: per column, the assignment at t is
+    # the latest fresh level drawn at <= t (forward fill over the switch
+    # events; integer indexing, hence bit-exact).
+    fresh = (
+        np.concatenate(fresh_parts) if fresh_parts else np.empty(0, dtype=assignment.dtype)
+    )
+    assignment_at, _ = forward_fill_events(assignment, switch_rows, fresh)
+    vals = level_values[assignment_at]
+    if jitter is not None:
+        vals = vals + jitter
+    return Trace(np.round(np.maximum(vals, 0.0)))
+
+
+# --------------------------------------------------------------------- #
+# Block-streaming twins (used via repro.streams.registry.stream)
+# --------------------------------------------------------------------- #
+# Each ``_*_blocks`` iterator consumes the generator's RNG streams in
+# exactly the order of its materializing twin above, so the concatenated
+# blocks are byte-identical to the full trace (chunked numpy draws of
+# one request sequence produce the same value stream; enforced by
+# tests/streams/test_scenarios.py).
+
+
+def _random_walk_blocks(
+    num_steps: int,
+    n: int,
+    block_size: int,
+    *,
+    low: float,
+    high: float,
+    step: float,
+    init: np.ndarray | None,
+    lazy: float,
+    rng: np.random.Generator,
+):
+    step = max(1, int(step))
+    if init is None:
+        current = rng.integers(int(low), int(high) + 1, size=n).astype(np.float64)
+    else:
+        current = np.asarray(init, dtype=np.float64).copy()
+        require(current.shape == (n,), f"init must have shape ({n},)")
+    first = True
+    for _start, B in block_lengths(num_steps, block_size):
+        block = np.empty((B, n), dtype=np.float64)
+        row = 0
+        if first:
+            block[0] = current
+            row = 1
+            first = False
+        for r in range(row, B):
+            moves = rng.integers(-step, step + 1, size=n).astype(np.float64)
+            if lazy > 0.0:
+                moves[rng.random(n) < lazy] = 0.0
+            current = current + moves
+            current = np.where(current < low, 2 * low - current, current)
+            current = np.where(current > high, 2 * high - current, current)
+            current = np.clip(current, low, high)
+            block[r] = current
+        yield block
+
+
+def _iid_uniform_blocks(
+    num_steps: int,
+    n: int,
+    block_size: int,
+    *,
+    low: float,
+    high: float,
+    rng: np.random.Generator,
+):
+    for _start, B in block_lengths(num_steps, block_size):
+        yield rng.integers(int(low), int(high) + 1, size=(B, n)).astype(np.float64)
+
+
+def _sine_drift_blocks(
+    num_steps: int,
+    n: int,
+    block_size: int,
+    *,
+    base: float,
+    amplitude: float,
+    period: float,
+    noise: float,
+    rng: np.random.Generator,
+):
+    phases = rng.uniform(0.0, 2 * np.pi, size=n)
+    offsets = rng.uniform(0.0, amplitude / 2, size=n)
+    for start, B in block_lengths(num_steps, block_size):
+        t = np.arange(start, start + B, dtype=np.float64)[:, None]
+        clean = base + offsets[None, :] + amplitude * np.sin(
+            2 * np.pi * t / period + phases[None, :]
+        )
+        jitter = (
+            rng.integers(-int(noise), int(noise) + 1, size=(B, n)) if noise >= 1 else 0.0
+        )
+        yield np.round(np.maximum(clean + jitter, 0.0))

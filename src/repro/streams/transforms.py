@@ -29,6 +29,20 @@ def make_distinct(trace: Trace) -> Trace:
     """
     require(trace.is_integral(), "make_distinct requires an integer-valued trace")
     n = trace.n
+    # The encoding lives in float64, which is exact only up to 2^53.
+    # Beyond that, v*n + offset collapses adjacent codes (consecutive
+    # integers map to the same double) and silently corrupts the exact
+    # top-k ground truth — so refuse loudly instead.
+    hi_code = int(trace.delta) * n + (n - 1)
+    lo_code = int(trace.min_value) * n
+    if max(hi_code, -lo_code) > 2**53:
+        raise ValueError(
+            f"make_distinct overflow: encoded values reach |v*n + (n-1)| = "
+            f"{max(hi_code, -lo_code)} > 2^53 = {2**53}, where float64 stops "
+            f"resolving consecutive integers and the re-encoding is no longer "
+            f"order-preserving; rescale the trace (values must stay below "
+            f"~2^53/n = {2**53 // n} for n = {n})"
+        )
     offsets = (n - 1 - np.arange(n)).astype(np.float64)
     return Trace(trace.data * n + offsets[None, :])
 

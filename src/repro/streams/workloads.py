@@ -20,7 +20,29 @@ from repro.streams.base import Trace
 from repro.util.checks import check_epsilon, check_k, check_positive_int, require
 from repro.util.rngtools import make_rng
 
+try:  # scipy is optional: only the vectorized AR(1) scan uses it
+    from scipy.signal import lfilter as _lfilter
+except ImportError:  # pragma: no cover - exercised only without scipy
+    _lfilter = None
+
 __all__ = ["cluster_load", "sensor_field"]
+
+
+def _ar1_scan(innovations: np.ndarray, coeff: float) -> np.ndarray:
+    """``y[t] = coeff·y[t-1] + x[t]`` down axis 0, ``y`` starting from 0.
+
+    ``scipy.signal.lfilter`` runs the identical multiply-then-add
+    recursion in C (bit-for-bit equal to the Python loop — enforced by
+    tests/streams/test_vectorization.py); without scipy the explicit
+    loop is the fallback.
+    """
+    if _lfilter is not None:
+        return _lfilter([1.0], [1.0, -coeff], innovations, axis=0)
+    y = np.zeros_like(innovations)  # pragma: no cover - scipy absent
+    y[0] = innovations[0]
+    for t in range(1, innovations.shape[0]):
+        y[t] = coeff * y[t - 1] + innovations[t]
+    return y
 
 
 def cluster_load(
@@ -52,11 +74,12 @@ def cluster_load(
     skews = rng.uniform(-0.3, 0.3, size=n) * diurnal_amplitude
     t = np.arange(num_steps, dtype=np.float64)[:, None]
     diurnal = diurnal_amplitude * np.sin(2 * np.pi * t / period + phases[None, :])
-    # AR(1) noise, vectorized over nodes.
-    ar = np.zeros((num_steps, n))
+    # AR(1) noise: all innovations drawn up front (today's RNG order),
+    # the linear scan handled by _ar1_scan in one vectorized pass.  The
+    # first row never carried noise (ar[0] = 0), so zero its innovation.
     innovations = rng.normal(0.0, noise, size=(num_steps, n))
-    for step in range(1, num_steps):
-        ar[step] = ar_coeff * ar[step - 1] + innovations[step]
+    innovations[0] = 0.0
+    ar = _ar1_scan(innovations, ar_coeff)
     # Flash crowds: per-(step, node) Bernoulli trigger, rectangular pulse.
     bursts = np.zeros((num_steps, n))
     triggers = np.argwhere(rng.random((num_steps, n)) < burst_prob)
@@ -118,14 +141,23 @@ def sensor_field(
     # Low nodes: light noise around a clearly smaller level.
     low_level = low_fraction * (1.0 - eps) * level
     low_vals = rng.uniform(0.9 * low_level, 1.1 * low_level, size=n - band)
+    # All per-step randomness drawn up front in today's order: each step
+    # consumed `band` uniforms for the band moves, then `n - band` for
+    # the low moves — exactly one (T, n) raw-uniform matrix, scaled per
+    # column group (uniform(a, b) ≡ a + (b-a)·U bit for bit).  The loop
+    # below is a pure reflect/clip scan — no RNG, no allocation beyond
+    # the per-step temporaries — which keeps the trace byte-identical to
+    # the pre-vectorization generator.
+    u = rng.random((num_steps, n))
+    band_moves = -step + (2.0 * step) * u[:, :band]
+    low_moves = -2.0 + 4.0 * u[:, band:]
+    cap = 1.2 * low_level
     for t in range(num_steps):
         data[t, :band] = band_vals
         data[t, band:] = low_vals
-        moves = rng.uniform(-step, step, size=band)
-        band_vals = band_vals + moves
+        band_vals = band_vals + band_moves[t]
         band_vals = np.where(band_vals < lo, 2 * lo - band_vals, band_vals)
         band_vals = np.where(band_vals > hi, 2 * hi - band_vals, band_vals)
         band_vals = np.clip(band_vals, lo, hi)
-        low_vals = low_vals + rng.uniform(-2.0, 2.0, size=n - band)
-        low_vals = np.clip(low_vals, 0.0, 1.2 * low_level)
+        low_vals = np.clip(low_vals + low_moves[t], 0.0, cap)
     return Trace(np.round(data))

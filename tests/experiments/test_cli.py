@@ -48,6 +48,51 @@ class TestCli:
         with pytest.raises(SystemExit):
             main(["--full", "--quick", "--outdir", str(tmp_path)])
 
+    def test_workloads_command_prints_catalog(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        for slug in ("cluster", "sensor", "zipf", "markov", "drift", "churn", "replay"):
+            assert slug in out
+        assert "alpha" in out and "(required)" in out  # schemas are shown
+
+    def test_workload_override_runs_the_zoo(self, tmp_path, capsys):
+        assert main([
+            "--workload", "zipf", "--workload-param", "alpha=1.2",
+            "--outdir", str(tmp_path), "--no-cache",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "[T8] done" in out and "[T1]" not in out  # narrows to T8
+        report = (tmp_path / "T8" / "report.md").read_text()
+        assert "zipf load" in report
+
+    def test_unknown_workload_fails(self, tmp_path, capsys):
+        assert main(["--workload", "nope", "--outdir", str(tmp_path)]) == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+    def test_bad_workload_param_fails(self, tmp_path, capsys):
+        assert main([
+            "--workload", "zipf", "--workload-param", "alpah=1.2",
+            "--outdir", str(tmp_path),
+        ]) == 2
+        assert "no param" in capsys.readouterr().err
+
+    def test_out_of_range_workload_param_is_a_clean_error(self, tmp_path, capsys):
+        assert main([
+            "--workload", "zipf", "--workload-param", "churn=1.5",
+            "--outdir", str(tmp_path), "--no-cache",
+        ]) == 2
+        assert "churn must be a probability" in capsys.readouterr().err
+
+    def test_workload_param_requires_workload(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["--workload-param", "alpha=1.2", "--outdir", str(tmp_path)])
+
+    def test_workload_rejected_for_incapable_experiments(self, tmp_path, capsys):
+        assert main([
+            "run", "T2", "--workload", "zipf", "--outdir", str(tmp_path),
+        ]) == 2
+        assert "workload-parameterized" in capsys.readouterr().err
+
     def test_cache_skips_recomputation(self, tmp_path, capsys):
         argv = ["run", "T9", "--outdir", str(tmp_path),
                 "--cache-dir", str(tmp_path / "cache")]

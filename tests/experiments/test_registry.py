@@ -24,6 +24,29 @@ class TestRegistry:
         with pytest.raises(KeyError, match="unknown experiment"):
             run_experiment("T99")
 
+    def test_workload_override_rejected_for_incapable_experiments(self):
+        with pytest.raises(ValueError, match="workload override"):
+            run_experiment("T2", workload="zipf")
+
+    def test_workload_override_reaches_the_sweep(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        result = run_experiment("T8", workload="levels", workload_params={"levels": 4})
+        table = result.tables["totals"]
+        assert "levels load" in table.title
+
+    def test_params_without_workload_keep_the_curated_defaults(self):
+        """Tweaking one param of the default T8 scenario must not silently
+        drop the curated smooth-noise regime (user values win, rest stay)."""
+        from repro.experiments.exp_timeline import DEFAULT_WORKLOAD_PARAMS
+
+        tweaked = run_experiment("T8", workload_params={"burst_prob": 0.0})
+        explicit = run_experiment(
+            "T8",
+            workload="cluster",
+            workload_params={**DEFAULT_WORKLOAD_PARAMS, "burst_prob": 0.0},
+        )
+        assert tweaked.tables["totals"].to_csv() == explicit.tables["totals"].to_csv()
+
 
 class TestExperimentResult:
     def test_duplicate_table_rejected(self):

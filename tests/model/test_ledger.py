@@ -41,6 +41,23 @@ class TestSnapshots:
         assert delta.broadcasts == 1
         assert delta.messages == 4
 
+    def test_mismatched_broadcast_cost_rejected(self):
+        """Snapshots priced under different broadcast costs must not mix."""
+        cheap = CostLedger(broadcast_cost=1)
+        cheap.charge_broadcast(2)
+        costly = CostLedger(broadcast_cost=8)
+        costly.charge_broadcast(2)
+        with pytest.raises(ValueError, match="broadcast"):
+            costly.snapshot() - cheap.snapshot()
+
+    def test_matching_broadcast_cost_prices_delta(self):
+        led = CostLedger(broadcast_cost=8)
+        before = led.snapshot()
+        led.charge_broadcast(3)
+        delta = led.snapshot() - before
+        assert delta.broadcast_cost == 8
+        assert delta.messages == 24
+
 
 class TestPerStep:
     def test_series(self):

@@ -80,3 +80,28 @@ class TestGroundTruth:
     def test_has_distinct_columns(self):
         assert Trace(np.array([[1.0, 2.0]])).has_distinct_columns()
         assert not Trace(np.array([[1.0, 1.0]])).has_distinct_columns()
+
+    def test_has_distinct_columns_agrees_with_per_row_unique(self):
+        """Regression: the sort-based check equals the old np.unique loop."""
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            T, n = int(rng.integers(1, 30)), int(rng.integers(2, 10))
+            data = rng.integers(0, 12, size=(T, n)).astype(np.float64)
+            tr = Trace(data)
+            old = all(np.unique(data[t]).size == n for t in range(T))
+            assert tr.has_distinct_columns() == old
+
+    def test_has_distinct_columns_duplicate_in_last_row_only(self):
+        data = np.arange(12.0).reshape(3, 4)
+        data[2, 3] = data[2, 0]
+        assert not Trace(data).has_distinct_columns()
+
+    def test_has_distinct_columns_is_fast(self):
+        """A 1e5 x 64 trace must finish in well under a second."""
+        import time
+
+        rng = np.random.default_rng(1)
+        tr = Trace(rng.random((100_000, 64)))  # floats: distinct a.s.
+        start = time.perf_counter()
+        assert tr.has_distinct_columns()
+        assert time.perf_counter() - start < 1.0

@@ -34,6 +34,19 @@ class TestMakeDistinct:
         out = make_distinct(tr)
         assert out.delta == 4.0 * 3 + 2  # v*n + (n-1-i) for i=0
 
+    def test_overflow_guard_at_the_float64_boundary(self):
+        """v*n + (n-1) beyond 2^53 would corrupt ordering; just below is fine."""
+        n = 4
+        safe = float((2**53 - (n - 1)) // n)  # largest v with exact codes
+        out = make_distinct(Trace(np.array([[safe, 1.0, 0.0, 2.0]])))
+        assert out.has_distinct_columns()
+        with pytest.raises(ValueError, match="order-preserving"):
+            make_distinct(Trace(np.array([[safe + 1.0, 1.0, 0.0, 2.0]])))
+
+    def test_overflow_guard_message_names_the_limit(self):
+        with pytest.raises(ValueError, match="2\\^53"):
+            make_distinct(Trace(np.array([[2.0**60, 1.0]])))
+
 
 class TestClip:
     def test_clip(self):

@@ -1,0 +1,153 @@
+"""Byte-identity regression tests for the vectorized generators.
+
+The scan vectorization of ``cluster_load``, ``sensor_field`` and
+``step_levels`` (PR 2) must not change a single bit of any generated
+trace: cached sweep tables and every number recorded in EXPERIMENTS.md
+depend on it.  Two guards:
+
+- reference tests re-run the original per-step loops (inlined below,
+  verbatim from the pre-vectorization code) and compare bytes;
+- golden SHA-256 hashes frozen from the pre-vectorization generators
+  pin a sample of parameter points against both regressions *and*
+  accidental RNG-stream reordering.
+"""
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.streams.workloads import _ar1_scan, cluster_load, sensor_field
+from repro.streams.synthetic import step_levels
+from repro.util.rngtools import make_rng
+
+
+def _sha(tr) -> str:
+    return hashlib.sha256(tr.data.tobytes()).hexdigest()[:16]
+
+
+# ------------------------------------------------------------------ #
+# Reference implementations: the original per-step loops, verbatim.
+# ------------------------------------------------------------------ #
+def _cluster_load_reference(num_steps, n, *, base=5_000.0, diurnal_amplitude=1_500.0,
+                            period=500.0, ar_coeff=0.9, noise=60.0, burst_prob=0.002,
+                            burst_height=6_000.0, burst_length=40, rng=None):
+    rng = make_rng(rng)
+    phases = rng.uniform(0.0, 2 * np.pi, size=n)
+    skews = rng.uniform(-0.3, 0.3, size=n) * diurnal_amplitude
+    t = np.arange(num_steps, dtype=np.float64)[:, None]
+    diurnal = diurnal_amplitude * np.sin(2 * np.pi * t / period + phases[None, :])
+    ar = np.zeros((num_steps, n))
+    innovations = rng.normal(0.0, noise, size=(num_steps, n))
+    for step in range(1, num_steps):
+        ar[step] = ar_coeff * ar[step - 1] + innovations[step]
+    bursts = np.zeros((num_steps, n))
+    triggers = np.argwhere(rng.random((num_steps, n)) < burst_prob)
+    for start, node in triggers:
+        stop = min(num_steps, start + burst_length)
+        ramp = np.linspace(1.0, 0.3, stop - start)
+        bursts[start:stop, node] += burst_height * ramp
+    data = np.maximum(base + skews[None, :] + diurnal + ar + bursts, 0.0)
+    return np.round(data)
+
+
+def _sensor_field_reference(num_steps, n, k, *, eps=0.1, band=None, level=10_000.0,
+                            band_spread=0.5, wobble=0.35, low_fraction=0.45, rng=None):
+    if band is None:
+        band = min(n, 2 * k)
+    rng = make_rng(rng)
+    lo = (1.0 - eps * band_spread) * level
+    hi = level / (1.0 - eps * band_spread)
+    width = hi - lo
+    step = max(1.0, wobble * width / 4.0)
+    data = np.empty((num_steps, n), dtype=np.float64)
+    band_vals = rng.uniform(lo, hi, size=band)
+    low_level = low_fraction * (1.0 - eps) * level
+    low_vals = rng.uniform(0.9 * low_level, 1.1 * low_level, size=n - band)
+    for t in range(num_steps):
+        data[t, :band] = band_vals
+        data[t, band:] = low_vals
+        moves = rng.uniform(-step, step, size=band)
+        band_vals = band_vals + moves
+        band_vals = np.where(band_vals < lo, 2 * lo - band_vals, band_vals)
+        band_vals = np.where(band_vals > hi, 2 * hi - band_vals, band_vals)
+        band_vals = np.clip(band_vals, lo, hi)
+        low_vals = low_vals + rng.uniform(-2.0, 2.0, size=n - band)
+        low_vals = np.clip(low_vals, 0.0, 1.2 * low_level)
+    return np.round(data)
+
+
+def _step_levels_reference(num_steps, n, *, levels=8, spread=1000.0,
+                           switch_prob=0.01, noise=2.0, rng=None):
+    rng = make_rng(rng)
+    level_values = np.linspace(spread / levels, spread, levels)
+    assignment = rng.integers(0, levels, size=n)
+    data = np.empty((num_steps, n), dtype=np.float64)
+    for t in range(num_steps):
+        switches = rng.random(n) < switch_prob
+        if switches.any():
+            assignment[switches] = rng.integers(0, levels, size=int(switches.sum()))
+        jitter = rng.integers(-int(noise), int(noise) + 1, size=n) if noise >= 1 else 0
+        data[t] = np.maximum(level_values[assignment] + jitter, 0.0)
+    return np.round(data)
+
+
+class TestAgainstReferenceLoops:
+    @pytest.mark.parametrize("kwargs", [
+        dict(num_steps=300, n=12, rng=0),
+        dict(num_steps=500, n=24, ar_coeff=0.97, noise=20.0, rng=7),
+        dict(num_steps=150, n=6, burst_prob=0.05, rng=3),
+        dict(num_steps=100, n=4, ar_coeff=0.0, rng=1),
+    ])
+    def test_cluster_load(self, kwargs):
+        assert cluster_load(**kwargs).data.tobytes() == \
+            _cluster_load_reference(**kwargs).tobytes()
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(num_steps=300, n=16, k=3, rng=1),
+        dict(num_steps=200, n=24, k=4, eps=0.2, band=10, wobble=0.9, rng=5),
+        dict(num_steps=120, n=8, k=3, band=8, rng=2),  # band == n: no low nodes
+    ])
+    def test_sensor_field(self, kwargs):
+        assert sensor_field(**kwargs).data.tobytes() == \
+            _sensor_field_reference(**kwargs).tobytes()
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(num_steps=400, n=16, rng=2),
+        dict(num_steps=300, n=8, levels=4, switch_prob=0.3, noise=0.0, rng=11),
+        dict(num_steps=200, n=8, switch_prob=0.0, rng=13),
+        dict(num_steps=200, n=8, switch_prob=1.0, noise=5.0, rng=17),
+    ])
+    def test_step_levels(self, kwargs):
+        assert step_levels(**kwargs).data.tobytes() == \
+            _step_levels_reference(**kwargs).tobytes()
+
+
+class TestGoldenHashes:
+    """Frozen from the pre-vectorization generators (seed state ffc95aa)."""
+
+    @pytest.mark.parametrize("expected,build", [
+        ("bc476615934b71e6", lambda: cluster_load(400, 16, rng=0)),
+        ("9952e8cd9f1eebea", lambda: cluster_load(1500, 48, noise=20.0, ar_coeff=0.97, rng=7)),
+        ("32289989e649479b", lambda: cluster_load(200, 8, burst_prob=0.05, rng=3)),
+        ("6dacec9123e41c9b", lambda: sensor_field(400, 24, 4, eps=0.1, band=8, rng=1)),
+        ("941fa04c8f18d929", lambda: sensor_field(900, 64, 8, eps=0.2, band=20, wobble=0.9, rng=5)),
+        ("b29d0cb919a0f283", lambda: sensor_field(100, 16, 3, rng=9)),
+        ("6f2eafe6a8cb9f32", lambda: step_levels(500, 32, rng=2)),
+        ("8588887838b3c91e", lambda: step_levels(300, 16, levels=4, switch_prob=0.2, noise=0.0, rng=11)),
+        ("f703cfa85fea877e", lambda: step_levels(300, 16, levels=4, switch_prob=0.0, rng=13)),
+    ])
+    def test_trace_bytes_unchanged(self, expected, build):
+        assert _sha(build()) == expected
+
+
+class TestAr1Scan:
+    def test_matches_explicit_recursion(self):
+        rng = np.random.default_rng(0)
+        for coeff in (0.0, 0.5, 0.9, 0.97):
+            x = rng.normal(0.0, 3.0, size=(500, 7))
+            y = np.zeros_like(x)
+            y[0] = x[0]
+            for t in range(1, 500):
+                y[t] = coeff * y[t - 1] + x[t]
+            assert _ar1_scan(x, coeff).tobytes() == y.tobytes()

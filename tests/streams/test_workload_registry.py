@@ -1,0 +1,220 @@
+"""Tests for :mod:`repro.streams.registry` — incl. the per-workload laws.
+
+Every registered workload must satisfy the registry contract:
+
+- fixed seed ⇒ byte-identical trace,
+- all values finite,
+- the declared integrality flag holds,
+- the declared param schema matches the factory signature, and
+- the registry round-trips: ``make(slug, ...)`` equals calling the
+  factory directly.
+"""
+
+import inspect
+
+import numpy as np
+import pytest
+
+from repro.streams import registry
+from repro.streams.base import Trace
+from repro.streams.registry import REQUIRED, Param, WorkloadSpec
+from repro.streams.scenarios import save_trace, zipf_load
+
+ALL_SLUGS = registry.available()
+#: Workloads runnable without external input (replay needs a file).
+RUNNABLE = [s for s in ALL_SLUGS if registry.get(s).example_params is not None]
+STREAMING = [s for s in RUNNABLE if registry.get(s).streaming]
+
+
+def _example(slug: str) -> dict:
+    return dict(registry.get(slug).example_params or {})
+
+
+class TestCatalog:
+    def test_expected_slugs_registered(self):
+        assert set(ALL_SLUGS) >= {
+            "walk", "iid", "sine", "levels", "cluster", "sensor",
+            "zipf", "markov", "drift", "correlated", "churn", "replay",
+        }
+
+    def test_unknown_slug_lists_the_catalog(self):
+        with pytest.raises(KeyError, match="registered: walk"):
+            registry.get("nope")
+
+    def test_specs_are_complete(self):
+        for slug in ALL_SLUGS:
+            spec = registry.get(slug)
+            assert spec.summary
+            assert callable(spec.factory)
+
+
+@pytest.mark.parametrize("slug", RUNNABLE)
+class TestWorkloadLaws:
+    def test_fixed_seed_is_byte_identical(self, slug):
+        a = registry.make(slug, 60, 9, rng=123, **_example(slug))
+        b = registry.make(slug, 60, 9, rng=123, **_example(slug))
+        assert a.data.tobytes() == b.data.tobytes()
+
+    def test_values_finite_and_shaped(self, slug):
+        tr = registry.make(slug, 40, 8, rng=5, **_example(slug))
+        assert tr.num_steps == 40 and tr.n == 8
+        assert np.isfinite(tr.data).all()
+
+    def test_declared_integrality_holds(self, slug):
+        spec = registry.get(slug)
+        tr = registry.make(slug, 50, 8, rng=9, **_example(slug))
+        if spec.integral:
+            assert tr.is_integral(), f"{slug} declares integral values"
+
+    def test_round_trip_equals_direct_factory_call(self, slug):
+        spec = registry.get(slug)
+        via_registry = registry.make(slug, 30, 6, rng=7, **_example(slug))
+        direct = spec.factory(30, 6, rng=7, **_example(slug))
+        assert np.array_equal(via_registry.data, direct.data)
+
+
+@pytest.mark.parametrize("slug", ALL_SLUGS)
+class TestSchema:
+    def test_declared_schema_matches_factory_signature(self, slug):
+        spec = registry.get(slug)
+        sig = inspect.signature(spec.factory)
+        assert list(sig.parameters)[:2] == ["num_steps", "n"]
+        actual = {
+            name: par for name, par in sig.parameters.items()
+            if name not in ("num_steps", "n", "rng")
+        }
+        declared = {p.name: p for p in spec.params}
+        assert set(declared) == set(actual)
+        for name, par in actual.items():
+            if par.default is inspect.Parameter.empty:
+                assert declared[name].required, f"{slug}.{name}"
+            else:
+                assert not declared[name].required, f"{slug}.{name}"
+                assert declared[name].default == par.default, f"{slug}.{name}"
+
+    def test_block_fn_schema_matches(self, slug):
+        spec = registry.get(slug)
+        if spec.block_fn is None:
+            pytest.skip("not streamable")
+        block_params = {
+            name for name in inspect.signature(spec.block_fn).parameters
+            if name not in ("num_steps", "n", "block_size", "rng")
+        }
+        assert block_params == {p.name for p in spec.params}
+
+
+class TestParamHandling:
+    def test_unknown_param_rejected(self):
+        with pytest.raises(TypeError, match="unknown params"):
+            registry.make("zipf", 10, 4, rng=0, alpah=1.2)
+
+    def test_missing_required_param_rejected(self):
+        with pytest.raises(TypeError, match="requires params \\['k'\\]"):
+            registry.make("sensor", 10, 8, rng=0)
+
+    def test_cli_parse_coerces_types(self):
+        parsed = registry.parse_cli_params(
+            "sensor", ["k=3", "eps=0.2", "level=5000"]
+        )
+        assert parsed == {"k": 3, "eps": 0.2, "level": 5000.0}
+        assert isinstance(parsed["k"], int)
+
+    def test_cli_parse_rejects_bad_tokens(self):
+        with pytest.raises(ValueError, match="key=value"):
+            registry.parse_cli_params("zipf", ["alpha"])
+        with pytest.raises(KeyError, match="no param"):
+            registry.parse_cli_params("zipf", ["alpah=1.2"])
+
+    def test_cli_parse_rejects_array_params(self):
+        with pytest.raises(ValueError, match="command line"):
+            registry.parse_cli_params("walk", ["init=3"])
+
+
+class TestRegistration:
+    def test_duplicate_slug_rejected(self):
+        spec = registry.get("zipf")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register(spec)
+
+    def test_schema_drift_rejected(self):
+        bad = WorkloadSpec(
+            slug="zipf-dup-test",
+            factory=zipf_load,
+            summary="schema drift",
+            params=(Param("alpha", "float", 1.6),),  # missing scale/churn/noise
+        )
+        with pytest.raises(TypeError, match="do not match factory signature"):
+            registry.register(bad)
+
+    def test_wrong_default_rejected(self):
+        bad = WorkloadSpec(
+            slug="zipf-dup-test2",
+            factory=zipf_load,
+            summary="wrong default",
+            params=(
+                Param("alpha", "float", 9.9),
+                Param("scale", "float", 1_000.0),
+                Param("churn", "float", 0.002),
+                Param("noise", "float", 0.01),
+            ),
+        )
+        with pytest.raises(TypeError, match="declares default"):
+            registry.register(bad)
+
+    def test_param_kind_validated(self):
+        with pytest.raises(ValueError, match="unknown kind"):
+            Param("x", "complex")
+
+    def test_required_sentinel(self):
+        assert Param("x", "int").required
+        assert Param("x", "int", 3).default == 3
+        assert Param("x", "int").default is REQUIRED
+
+
+class TestReplaySlug:
+    def test_replay_through_registry(self, tmp_path):
+        tr = registry.make("zipf", 40, 6, rng=1)
+        path = save_trace(tr, tmp_path / "t")
+        again = registry.make("replay", 40, 6, path=str(path))
+        assert np.array_equal(again.data, tr.data)
+        front = registry.make("replay", 10, 6, path=str(path))
+        assert np.array_equal(front.data, tr.data[:10])
+
+    def test_replay_shape_mismatch_rejected(self, tmp_path):
+        path = save_trace(Trace(np.ones((5, 4))), tmp_path / "t")
+        with pytest.raises(ValueError, match="n=4"):
+            registry.make("replay", 5, 8, path=str(path))
+        with pytest.raises(ValueError, match="only T=5"):
+            registry.make("replay", 50, 4, path=str(path))
+
+
+@pytest.mark.parametrize("slug", STREAMING)
+class TestStreamEqualsMake:
+    def test_stream_matches_make_at_odd_block_sizes(self, slug):
+        ex = _example(slug)
+        tr = registry.make(slug, 230, 7, rng=11, **ex)
+        for block_size in (13, 230, 1024):
+            src = registry.stream(slug, 230, 7, block_size=block_size, rng=11, **ex)
+            assert np.array_equal(src.materialize().data, tr.data), block_size
+
+    def test_stream_is_restartable(self, slug):
+        ex = _example(slug)
+        src = registry.stream(slug, 50, 6, block_size=16, rng=3, **ex)
+        first = src.materialize().data
+        second = src.materialize().data  # fresh pass, same seed
+        assert np.array_equal(first, second)
+
+
+def test_stream_rejects_non_streamable_slug():
+    with pytest.raises(TypeError, match="not block-streamable"):
+        registry.stream("cluster", 100, 8, rng=0)
+
+
+def test_stream_runs_the_factory_range_validation():
+    """Out-of-range params must fail in stream() exactly as in make()."""
+    with pytest.raises(ValueError, match="lazy"):
+        registry.stream("walk", 100, 8, lazy=2.0, rng=0)
+    with pytest.raises(ValueError, match="churn"):
+        registry.stream("zipf", 100, 8, churn=1.5, rng=0)
+    with pytest.raises(ValueError, match="rho"):
+        registry.stream("correlated", 100, 8, rho=-0.1, rng=0)
