@@ -1,0 +1,164 @@
+"""Throughput benchmark for the monitoring service layer.
+
+Measures what serving costs and buys relative to the in-process engine:
+
+- **single-session**: the same workload/algorithm run (a) in-process
+  through ``MonitoringEngine.run()`` and (b) as a served session fed
+  block-by-block over localhost TCP — the ratio is the protocol +
+  transport overhead per step;
+- **scaling**: N concurrent served sessions driven by the load
+  generator at concurrency N — how aggregate steps/s behaves as the
+  session count grows (on a single-CPU container this is flat by
+  construction; the number is the honest baseline for bigger boxes).
+
+Results go to ``BENCH_service.json`` at the repository root so
+successive PRs leave a perf trajectory (CI runs the ``--ci`` variant on
+every push; regenerate the committed file with the default sizes).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_service.py            # full sizes
+    PYTHONPATH=src python benchmarks/bench_service.py --ci       # small, fast
+    PYTHONPATH=src python benchmarks/bench_service.py --out /tmp/b.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.model.engine import MonitoringEngine
+from repro.service.algorithms import make_algorithm
+from repro.service.cli import _spawn_server
+from repro.service.client import ServiceClient
+from repro.service.loadgen import run_loadgen
+from repro.streams import registry
+
+#: (T, n, k, eps, block_size) of the single-session comparison.
+FULL_SINGLE = (20_000, 32, 4, 0.1, 512)
+CI_SINGLE = (3_000, 32, 4, 0.1, 256)
+
+#: (T per session, session counts) of the scaling sweep.
+FULL_SCALING = (5_000, (1, 2, 4, 8))
+CI_SCALING = (800, (1, 2, 4))
+
+WORKLOAD = "zipf"
+ALGORITHM = "approx-monitor"
+
+
+def bench_in_process(T: int, n: int, k: int, eps: float, block: int) -> dict:
+    source = registry.stream(WORKLOAD, T, n, block_size=block, rng=0)
+    algorithm = make_algorithm(ALGORITHM, k, eps)
+    engine = MonitoringEngine(
+        source, algorithm, k=k, eps=eps, seed=1, record_outputs=False
+    )
+    start = time.perf_counter()
+    result = engine.run()
+    seconds = time.perf_counter() - start
+    return {
+        "T": T, "n": n, "seconds": round(seconds, 4),
+        "steps_per_s": round(T / seconds),
+        "messages": result.messages,
+    }
+
+
+def bench_served(host: str, port: int, T: int, n: int, k: int, eps: float, block: int) -> dict:
+    source = registry.stream(WORKLOAD, T, n, block_size=block, rng=0)
+    with ServiceClient(host, port) as client:
+        sid = client.create_session(algorithm=ALGORITHM, n=n, k=k, eps=eps, seed=1)
+        start = time.perf_counter()
+        for chunk in source.iter_blocks():
+            client.feed(sid, chunk)
+        result = client.finalize(sid)
+        seconds = time.perf_counter() - start
+    return {
+        "T": T, "n": n, "block_size": block, "seconds": round(seconds, 4),
+        "steps_per_s": round(T / seconds),
+        "messages": result["messages"],
+    }
+
+
+def bench_scaling(host: str, port: int, T: int, counts: tuple[int, ...],
+                  n: int, k: int, eps: float, block: int) -> dict:
+    out = {}
+    for sessions in counts:
+        report = asyncio.run(run_loadgen(
+            host, port,
+            workload=WORKLOAD, algorithm=ALGORITHM,
+            sessions=sessions, concurrency=sessions,
+            num_steps=T, n=n, k=k, eps=eps, block_size=block, seed=0,
+        ))
+        out[str(sessions)] = {
+            "total_steps": report["total_steps"],
+            "wall_seconds": report["wall_seconds"],
+            "steps_per_s": report["steps_per_s"],
+            "messages_per_step": report["messages_per_step"],
+        }
+    return out
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--ci", action="store_true", help="small sizes for CI")
+    parser.add_argument(
+        "--out", type=Path,
+        default=Path(__file__).resolve().parents[1] / "BENCH_service.json",
+    )
+    args = parser.parse_args(argv)
+
+    T, n, k, eps, block = CI_SINGLE if args.ci else FULL_SINGLE
+    scale_T, counts = CI_SCALING if args.ci else FULL_SCALING
+
+    t0 = time.perf_counter()
+    in_process = bench_in_process(T, n, k, eps, block)
+
+    process, port = _spawn_server()
+    try:
+        served = bench_served("127.0.0.1", port, T, n, k, eps, block)
+        scaling = bench_scaling("127.0.0.1", port, scale_T, counts, n, k, eps, block)
+        with ServiceClient("127.0.0.1", port) as client:
+            client.shutdown()
+        process.wait(timeout=30)
+        clean = process.returncode == 0
+    except BaseException:
+        process.kill()
+        raise
+
+    report = {
+        "schema": 1,
+        "mode": "ci" if args.ci else "full",
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "workload": WORKLOAD,
+        "algorithm": ALGORITHM,
+        "single_session": {
+            "in_process": in_process,
+            "served": served,
+            "serving_overhead_x": round(
+                in_process["steps_per_s"] / served["steps_per_s"], 2
+            ),
+        },
+        "scaling": scaling,
+        "clean_shutdown": clean,
+    }
+    report["total_seconds"] = round(time.perf_counter() - t0, 2)
+
+    args.out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {args.out} ({report['total_seconds']}s)")
+    print(f"  in-process: {in_process['steps_per_s']:>9,} steps/s  (T={T}, n={n})")
+    print(f"  served:     {served['steps_per_s']:>9,} steps/s  "
+          f"({report['single_session']['serving_overhead_x']}x overhead)")
+    for sessions, row in scaling.items():
+        print(f"  {sessions:>2} sessions: {row['steps_per_s']:>9,} steps/s aggregate")
+    print(f"  server shutdown: {'clean' if clean else 'UNCLEAN'}")
+    return 0 if clean else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

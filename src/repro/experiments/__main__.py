@@ -14,6 +14,10 @@ Usage::
     # run the T8 algorithm zoo on any registered workload:
     python -m repro.experiments --workload zipf --workload-param alpha=1.2
 
+    # the service layer (see repro.service / docs/ARCHITECTURE.md):
+    python -m repro.experiments serve --port 7071
+    python -m repro.experiments loadgen --port 7071 --workload zipf --sessions 8
+
 Sweep cells are cached under ``results/.cache`` keyed by content hash
 (cell params + seed + a digest of the ``repro`` source tree), so
 re-runs on unchanged code skip completed cells; ``--no-cache``
@@ -49,6 +53,15 @@ def _print_workloads() -> None:
 
 
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    # The service subcommands own their full argument vocabulary, so they
+    # branch off before the experiment parser sees the line.
+    if argv and argv[0] in ("serve", "loadgen"):
+        from repro.service.cli import main_loadgen, main_serve
+
+        handler = main_serve if argv[0] == "serve" else main_loadgen
+        return handler(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Regenerate the reproduction's tables and figures.",

@@ -10,6 +10,16 @@ checks of :mod:`repro.model.invariants`:
 3. every node's value lies inside its filter (Definition 2.1) — i.e. the
    protocol really settled.
 
+The loop is *incremental*: :meth:`MonitoringEngine.start` opens a run,
+:meth:`MonitoringEngine.advance` consumes observations in arbitrary
+chunks, and :meth:`MonitoringEngine.finalize` closes the accounting and
+returns the :class:`RunResult`.  :meth:`MonitoringEngine.run` is the
+classic one-shot wrapper: it drives the same three calls over a
+:class:`ValueSource` from step 0 to ``T-1``.  Incremental runs need no
+source at all — construct with ``source=None, n=...`` and push blocks;
+this is how the service layer (:mod:`repro.service`) hosts long-lived
+monitoring sessions over unbounded streams.
+
 Value sources are either pre-generated traces or *adaptive adversaries*;
 the latter receive the :class:`~repro.model.node.NodeArray` (they are
 omniscient by definition — "the adversary knows the algorithm's code, the
@@ -22,12 +32,21 @@ thousands of such runs, see docs/ARCHITECTURE.md):
   shape/finiteness re-checks in :meth:`NodeArray.deliver` —
   :class:`~repro.streams.base.Trace` validates the whole matrix at
   construction, :class:`~repro.streams.streaming.StreamingSource`
-  validates each lazily generated block once on arrival;
+  validates each lazily generated block once on arrival, and
+  :meth:`MonitoringEngine.advance` validates each pushed block once on
+  entry;
 - filter-containment tests are served from the node array's cached batch
   (recomputed once per state version, not per query);
 - outputs are recorded as rows of a preallocated ``(T, k)`` int array
-  instead of a list of frozensets, and output-change counting runs as
-  one vectorized pass over that array after the loop.
+  (grown by amortized doubling when the horizon is open-ended) instead
+  of a list of frozensets, and output-change counting runs as one
+  vectorized pass over that array at finalize.
+
+Finalize additionally audits the ledger's accounting law: every charged
+message must appear in the per-step series (``sum(per_step) ==
+messages``); charges made after ``end_step()`` — e.g. from an
+``output()`` side effect — are folded into the step they reacted to by
+:class:`~repro.model.ledger.CostLedger`.
 """
 
 from __future__ import annotations
@@ -50,6 +69,10 @@ from repro.model.protocol import MonitoringAlgorithm
 from repro.util.rngtools import make_rng
 
 __all__ = ["ValueSource", "MonitoringEngine", "RunResult"]
+
+#: Initial ``(T, k)`` output-buffer rows for open-ended runs (no
+#: ``expect_steps``); grown by doubling.
+_INITIAL_ROWS = 1024
 
 
 @runtime_checkable
@@ -98,6 +121,7 @@ class RunResult:
     #: Excluded from dataclass comparison (ndarray ``==`` is elementwise).
     outputs_array: np.ndarray | None = field(default=None, compare=False)
     _outputs_list: list[frozenset[int]] | None = field(default=None, repr=False, compare=False)
+    _cumulative: np.ndarray | None = field(default=None, repr=False, compare=False)
 
     @property
     def outputs(self) -> list[frozenset[int]]:
@@ -115,8 +139,23 @@ class RunResult:
 
     @property
     def cumulative_messages(self) -> np.ndarray:
-        """Cumulative message count after each time step (length T)."""
-        return np.cumsum(np.asarray(self.ledger.per_step, dtype=np.int64))
+        """Cumulative message count after each time step (length T).
+
+        Cached after the first access; invalidated when the series has
+        changed since — either grown (a live session's ledger) or had a
+        late charge folded into its last entry (same length, larger
+        total) — so repeated reads of a settled result don't re-run
+        ``cumsum``.
+        """
+        series = self.ledger.per_step
+        cached = self._cumulative
+        if (
+            cached is None
+            or cached.shape[0] != len(series)
+            or (cached.shape[0] and int(cached[-1]) != series.total)
+        ):
+            self._cumulative = np.cumsum(np.asarray(series, dtype=np.int64))
+        return self._cumulative
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -126,14 +165,16 @@ class RunResult:
 
 
 class MonitoringEngine:
-    """Drive ``algorithm`` over ``source`` and account every message.
+    """Drive ``algorithm`` over observations and account every message.
 
     Parameters
     ----------
     source:
-        A :class:`ValueSource` (trace or adaptive adversary).  Sources
-        with a true ``prevalidated`` attribute promise finite values of
-        the right shape at every step and get validation-free delivery.
+        A :class:`ValueSource` (trace or adaptive adversary), or ``None``
+        for a push-driven run fed through :meth:`advance` (then ``n``
+        must be given).  Sources with a true ``prevalidated`` attribute
+        promise finite values of the right shape at every step and get
+        validation-free delivery.
     algorithm:
         A fresh :class:`MonitoringAlgorithm` instance (one per run).
     k:
@@ -156,11 +197,14 @@ class MonitoringEngine:
     existence_base:
         Growth base of the existence protocol's send probabilities
         (model ablation T14; default 2 — the Lemma 3.1 protocol).
+    n:
+        Number of nodes for push-driven runs (``source=None``); must
+        match ``source.n`` when both are given.
     """
 
     def __init__(
         self,
-        source: ValueSource,
+        source: ValueSource | None,
         algorithm: MonitoringAlgorithm,
         *,
         k: int,
@@ -170,94 +214,223 @@ class MonitoringEngine:
         record_outputs: bool = True,
         broadcast_cost: int = 1,
         existence_base: float = 2.0,
+        n: int | None = None,
     ) -> None:
-        if not isinstance(source, ValueSource):
-            raise TypeError(f"source must implement ValueSource, got {type(source).__name__}")
+        if source is None:
+            if n is None:
+                raise TypeError("a push-driven engine (source=None) needs n=...")
+            num_nodes = int(n)
+        else:
+            if not isinstance(source, ValueSource):
+                raise TypeError(f"source must implement ValueSource, got {type(source).__name__}")
+            num_nodes = source.n
+            if n is not None and int(n) != num_nodes:
+                raise ValueError(f"n={n} contradicts source.n={num_nodes}")
         self.source = source
         self.algorithm = algorithm
         self.k = int(k)
         self.eps = float(eps)
         self.check = bool(check)
         self.record_outputs = bool(record_outputs)
-        self.nodes = NodeArray(source.n)
+        self.nodes = NodeArray(num_nodes)
         self.ledger = CostLedger(broadcast_cost=broadcast_cost)
         self.channel = Channel(
             self.nodes, self.ledger, make_rng(seed), existence_base=existence_base
         )
+        # Incremental run state (created by start()).
+        self._started = False
+        self._finalized = False
+        self._t = 0
+        self._rows: np.ndarray | None = None
+        self._prev_row: np.ndarray | None = None
+        self._changes = 0
+        # Object fallback, entered only if an output ever has size != k
+        # (a protocol-contract breach the engine tolerates for baselines).
+        self._irregular = False
+        self._outputs_list: list[frozenset[int]] = []
+        self._previous: frozenset[int] | None = None
 
+    # ------------------------------------------------------------------ #
+    # One-shot wrapper
+    # ------------------------------------------------------------------ #
     def run(self) -> RunResult:
-        """Execute the full run and return the measurements."""
-        reset = getattr(self.source, "reset", None)
+        """Execute the full run over ``source`` and return the measurements."""
+        source = self.source
+        if source is None:
+            raise RuntimeError(
+                "run() needs a value source; push-driven engines are driven "
+                "with start()/advance()/finalize()"
+            )
+        reset = getattr(source, "reset", None)
         if callable(reset):
             reset()  # streaming sources rewind to step 0 for this run
+        T = source.num_steps
+        self.start(expect_steps=T)
+        validate = not bool(getattr(source, "prevalidated", False))
+        nodes, step = self.nodes, self._step
+        for t in range(T):
+            step(source.values(t, nodes), validate)
+        return self.finalize()
+
+    # ------------------------------------------------------------------ #
+    # Incremental drive: start / advance / finalize
+    # ------------------------------------------------------------------ #
+    def start(self, *, expect_steps: int | None = None) -> None:
+        """Open the run: bind the algorithm, allocate recording buffers.
+
+        ``expect_steps`` sizes the ``(T, k)`` output buffer exactly when
+        the horizon is known (as :meth:`run` does); without it the buffer
+        grows by amortized doubling, so open-ended sessions work too.
+        """
+        if self._started:
+            raise RuntimeError("engine already started; one run per engine")
         self.algorithm.bind(self.channel)
+        self._started = True
+        if self.record_outputs:
+            capacity = expect_steps if expect_steps else _INITIAL_ROWS
+            self._rows = np.empty((int(capacity), self.k), dtype=np.int64)
+
+    def advance(self, block: np.ndarray, *, prevalidated: bool = False) -> int:
+        """Consume a ``(B, n)`` block of observations, one step per row.
+
+        The block is shape/finiteness-checked once on entry (skipped for
+        ``prevalidated=True`` blocks, e.g. rows already validated by a
+        :class:`~repro.streams.streaming.StreamingSource`), then every
+        row takes the same validation-free delivery fast path as a
+        prevalidated source under :meth:`run`.  Returns the total number
+        of steps consumed so far.
+        """
+        if not self._started:
+            raise RuntimeError("call start() before advance()")
+        if self._finalized:
+            raise RuntimeError("engine already finalized")
+        if not prevalidated:
+            block = np.asarray(block, dtype=np.float64)
+            if block.ndim == 1:  # a single step is a 1-row block
+                block = block[None, :]
+            if block.ndim != 2 or block.shape[1] != self.nodes.n:
+                raise ValueError(
+                    f"block must have shape (B, {self.nodes.n}), got {block.shape}"
+                )
+            if not np.all(np.isfinite(block)):
+                raise ValueError("stream values must be finite")
+        step = self._step
+        for row in block:
+            step(row, False)
+        return self._t
+
+    def finalize(self) -> RunResult:
+        """Close the run: audit the accounting, package the result."""
+        if not self._started:
+            raise RuntimeError("call start() before finalize()")
+        if self._finalized:
+            raise RuntimeError("engine already finalized")
+        self._finalized = True
+        ledger = self.ledger
+        ledger.flush_late_charges()
+        T = self._t
         result = RunResult(
-            ledger=self.ledger,
-            num_steps=self.source.num_steps,
-            n=self.source.n,
+            ledger=ledger,
+            num_steps=T,
+            n=self.nodes.n,
             k=self.k,
             algorithm_name=getattr(self.algorithm, "name", type(self.algorithm).__name__),
         )
-        T, k = self.source.num_steps, self.k
-        nodes, ledger, algorithm = self.nodes, self.ledger, self.algorithm
-        validate = not bool(getattr(self.source, "prevalidated", False))
-        record = self.record_outputs
-
-        rows = np.empty((T, k), dtype=np.int64) if record else None
-        prev_row: np.ndarray | None = None
-        changes = 0
-        # Object fallback, entered only if an output ever has size != k
-        # (a protocol-contract breach the engine tolerates for baselines).
-        irregular = False
-        outputs_list: list[frozenset[int]] = []
-        previous: frozenset[int] | None = None
-
-        for t in range(T):
-            ledger.begin_step()
-            nodes.deliver(self.source.values(t, nodes), validate=validate)
-            if t == 0:
-                algorithm.on_start()
+        changes = self._changes
+        if self.record_outputs:
+            if self._irregular:
+                result._outputs_list = self._outputs_list
             else:
-                algorithm.on_step()
-            ledger.end_step()
-            out = algorithm.output()
-            if not irregular and len(out) == k:
-                if record:
-                    row = rows[t]
-                    row[:] = np.fromiter(out, dtype=np.int64, count=k)
-                    row.sort()  # change counting happens in one batch below
-                else:
-                    cur = np.fromiter(out, dtype=np.int64, count=k)
-                    cur.sort()
-                    if prev_row is not None and not np.array_equal(cur, prev_row):
-                        changes += 1
-                    prev_row = cur
-            else:
-                if not irregular:  # first irregular output: leave the fast path
-                    irregular = True
-                    if record:
-                        done = rows[:t]
-                        changes = _count_changes(done)
-                        outputs_list = [frozenset(r) for r in done.tolist()]
-                        previous = outputs_list[-1] if t else None
-                    elif prev_row is not None:
-                        previous = frozenset(prev_row.tolist())
-                if record:
-                    outputs_list.append(out)
-                if previous is not None and out != previous:
-                    changes += 1
-                previous = out
-            if self.check:
-                self._verify(t, out)
-
-        if record:
-            if irregular:
-                result._outputs_list = outputs_list
-            else:
+                assert self._rows is not None
+                rows = self._rows if T == self._rows.shape[0] else self._rows[:T]
                 changes = _count_changes(rows)
                 result.outputs_array = rows
         result.output_changes = changes
+        if T and ledger.unaccounted:
+            raise RuntimeError(
+                f"ledger accounting drift: {ledger.messages} messages charged "
+                f"but per_step records {ledger.per_step.total} — some charge "
+                "bypassed the begin_step/end_step bookkeeping"
+            )
         return result
+
+    # ------------------------------------------------------------------ #
+    # Introspection (live sessions query these mid-run)
+    # ------------------------------------------------------------------ #
+    @property
+    def steps_done(self) -> int:
+        """Number of time steps consumed so far."""
+        return self._t
+
+    def current_output(self) -> frozenset[int] | None:
+        """The algorithm's current ``F(t)`` (``None`` before step 0)."""
+        if not self._started or self._t == 0:
+            return None
+        return self.algorithm.output()
+
+    def output_changes_so_far(self) -> int:
+        """Output changes over the steps consumed so far."""
+        if self.record_outputs and not self._irregular and self._rows is not None:
+            return _count_changes(self._rows[: self._t])
+        return self._changes
+
+    # ------------------------------------------------------------------ #
+    # The per-step core (shared by run() and advance())
+    # ------------------------------------------------------------------ #
+    def _step(self, values: np.ndarray, validate: bool) -> None:
+        ledger = self.ledger
+        algorithm = self.algorithm
+        t = self._t
+        ledger.begin_step()
+        self.nodes.deliver(values, validate=validate)
+        if t == 0:
+            algorithm.on_start()
+        else:
+            algorithm.on_step()
+        ledger.end_step()
+        out = algorithm.output()
+        k = self.k
+        record = self.record_outputs
+        if not self._irregular and len(out) == k:
+            if record:
+                rows = self._rows
+                if t == rows.shape[0]:  # open-ended horizon: amortized growth
+                    rows = self._grow_rows()
+                row = rows[t]
+                row[:] = np.fromiter(out, dtype=np.int64, count=k)
+                row.sort()  # change counting happens in one batch at finalize
+            else:
+                cur = np.fromiter(out, dtype=np.int64, count=k)
+                cur.sort()
+                prev_row = self._prev_row
+                if prev_row is not None and not np.array_equal(cur, prev_row):
+                    self._changes += 1
+                self._prev_row = cur
+        else:
+            if not self._irregular:  # first irregular output: leave the fast path
+                self._irregular = True
+                if record:
+                    done = self._rows[:t]
+                    self._changes = _count_changes(done)
+                    self._outputs_list = [frozenset(r) for r in done.tolist()]
+                    self._previous = self._outputs_list[-1] if t else None
+                elif self._prev_row is not None:
+                    self._previous = frozenset(self._prev_row.tolist())
+            if record:
+                self._outputs_list.append(out)
+            if self._previous is not None and out != self._previous:
+                self._changes += 1
+            self._previous = out
+        self._t = t + 1
+        if self.check:
+            self._verify(t, out)
+
+    def _grow_rows(self) -> np.ndarray:
+        assert self._rows is not None
+        grown = np.empty((self._rows.shape[0] * 2, self.k), dtype=np.int64)
+        grown[: self._t] = self._rows
+        self._rows = grown
+        return grown
 
     # ------------------------------------------------------------------ #
     def _verify(self, t: int, out: frozenset[int]) -> None:

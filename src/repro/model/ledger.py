@@ -10,10 +10,19 @@ so the bound is auditable.
 The ledger additionally keeps
 
 - a per-time-step series of total messages (for the cumulative
-  communication-over-time figures), and
+  communication-over-time figures), backed by an amortized-growth int64
+  buffer so 10⁶-step sessions do not pay per-element ``list`` overhead,
+  and
 - per-scope counters: primitives run inside ``with ledger.scope("max")``
   attribute their costs to that scope, which the experiment tables use to
   break down where communication goes.
+
+The per-step series satisfies an accounting law the engine asserts at the
+end of every run: ``sum(per_step) == messages``.  Messages charged
+*between* ``end_step()`` and the next ``begin_step()`` (e.g. from a
+side effect of reading the algorithm's output) are folded into the step
+that just ended — they happened in reaction to that step — instead of
+silently vanishing from the series.
 """
 
 from __future__ import annotations
@@ -23,7 +32,9 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Iterator
 
-__all__ = ["CostLedger", "CostSnapshot"]
+import numpy as np
+
+__all__ = ["CostLedger", "CostSnapshot", "StepSeries"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -57,6 +68,90 @@ class CostSnapshot:
         )
 
 
+class StepSeries:
+    """The per-step message series: an amortized-growth int64 buffer.
+
+    Behaves like the ``list[int]`` it replaces — ``len``, indexing,
+    slicing, iteration, ``==`` against lists — while storing the counts
+    in one contiguous ``int64`` array (appending is amortized O(1) with
+    doubling growth, and ``np.asarray(series)`` is a zero-copy view, so
+    a 10⁶-step run neither boxes a million ints nor copies to cumsum).
+
+    Only the :class:`CostLedger` appends; consumers treat it as
+    read-only.
+    """
+
+    __slots__ = ("_buf", "_len")
+
+    _INITIAL_CAPACITY = 64
+
+    def __init__(self) -> None:
+        self._buf = np.zeros(self._INITIAL_CAPACITY, dtype=np.int64)
+        self._len = 0
+
+    # -------------------------------------------------------------- #
+    # Mutation (ledger-internal)
+    # -------------------------------------------------------------- #
+    def _append(self, value: int) -> None:
+        if self._len == self._buf.shape[0]:
+            grown = np.empty(self._buf.shape[0] * 2, dtype=np.int64)
+            grown[: self._len] = self._buf
+            self._buf = grown
+        self._buf[self._len] = value
+        self._len += 1
+
+    def _add_to_last(self, amount: int) -> None:
+        if self._len == 0:
+            raise IndexError("cannot fold into an empty step series")
+        self._buf[self._len - 1] += amount
+
+    # -------------------------------------------------------------- #
+    # Sequence protocol
+    # -------------------------------------------------------------- #
+    def __len__(self) -> int:
+        return self._len
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return self._buf[: self._len][index]
+        value = self._buf[: self._len][index]  # IndexError past the end
+        return int(value)
+
+    def __iter__(self):
+        return iter(self._buf[: self._len].tolist())
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, StepSeries):
+            return np.array_equal(np.asarray(self), np.asarray(other))
+        if isinstance(other, (list, tuple)):
+            return self.tolist() == list(other)
+        if isinstance(other, np.ndarray):
+            return bool(np.array_equal(np.asarray(self), other))
+        return NotImplemented
+
+    def __array__(self, dtype=None, copy=None):
+        view = self._buf[: self._len]
+        if dtype is not None and dtype != view.dtype:
+            return view.astype(dtype)
+        if copy:
+            return view.copy()
+        return view
+
+    def tolist(self) -> list[int]:
+        """The series as a plain list of Python ints."""
+        return self._buf[: self._len].tolist()
+
+    @property
+    def total(self) -> int:
+        """Sum of the series (one vectorized pass)."""
+        return int(self._buf[: self._len].sum())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        head = self._buf[: min(self._len, 8)].tolist()
+        tail = ", ..." if self._len > 8 else ""
+        return f"StepSeries([{', '.join(map(str, head))}{tail}], len={self._len})"
+
+
 class CostLedger:
     """Mutable account of all communication in one simulation run.
 
@@ -78,8 +173,9 @@ class CostLedger:
         self.broadcasts = 0
         self.rounds = 0
         #: messages charged during each completed time step
-        self.per_step: list[int] = []
-        self._step_start_messages = 0
+        self.per_step = StepSeries()
+        #: message total already recorded in ``per_step``
+        self._accounted = 0
         self._scopes: list[str] = []
         self._by_scope: dict[str, int] = defaultdict(int)
         self._max_rounds_in_step = 0
@@ -145,16 +241,45 @@ class CostLedger:
     # Time-step bookkeeping (driven by the engine)
     # ------------------------------------------------------------------ #
     def begin_step(self) -> None:
-        """Mark the start of a time step (engine hook)."""
-        self._step_start_messages = self.messages
+        """Mark the start of a time step (engine hook).
+
+        Any messages charged since the previous ``end_step()`` — e.g.
+        from a side effect of reading the algorithm's output after the
+        step was closed — are folded into the step that just ended, so
+        the series never loses charges (``sum(per_step) == messages``).
+        """
+        late = self.messages - self._accounted
+        if late and len(self.per_step):
+            self.per_step._add_to_last(late)
+            self._accounted = self.messages
         self._step_start_rounds = self.rounds
 
     def end_step(self) -> None:
         """Mark the end of a time step; append to the per-step series."""
-        self.per_step.append(self.messages - self._step_start_messages)
+        self.per_step._append(self.messages - self._accounted)
+        self._accounted = self.messages
         self._max_rounds_in_step = max(
             self._max_rounds_in_step, self.rounds - self._step_start_rounds
         )
+
+    def flush_late_charges(self) -> int:
+        """Fold post-``end_step()`` charges of the final step into the series.
+
+        The engine calls this once at finalize (there is no trailing
+        ``begin_step()`` to catch them).  Returns the folded amount.
+        Charges made when *no* step has completed cannot be attributed
+        and are left for the engine's accounting check to flag.
+        """
+        late = self.messages - self._accounted
+        if late and len(self.per_step):
+            self.per_step._add_to_last(late)
+            self._accounted = self.messages
+        return late
+
+    @property
+    def unaccounted(self) -> int:
+        """Messages not (yet) recorded in ``per_step``."""
+        return self.messages - self.per_step.total
 
     # ------------------------------------------------------------------ #
     # Scoping

@@ -1,0 +1,166 @@
+"""The algorithm registry: every monitor resolvable by slug.
+
+The service layer creates sessions from plain wire data — an algorithm
+slug plus scalar parameters — mirroring how
+:mod:`repro.streams.registry` resolves workloads.  Each
+:class:`AlgorithmSpec` wraps one of the paper's monitors with the
+constructor shape the service needs: ``factory(k, eps, **params)``.
+
+Slugs match the names the experiment tables use, so a served session
+and a table row are directly comparable:
+
+- ``exact-cor3.3`` — exact Top-k, Corollary 3.3 (existence-based).
+- ``exact-ipdps15`` — exact Top-k without the existence protocol
+  (the `[6]`-style baseline).
+- ``approx-monitor`` — the Theorem 5.8 dispatcher (needs ε).
+- ``topk-protocol`` — Section 4's TOP-K-PROTOCOL (needs ε).
+- ``halfeps-monitor`` — the Corollary 5.9 variant (needs ε).
+- ``send-always`` — the naive every-step baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+from repro.core import (
+    ApproxTopKMonitor,
+    ExactTopKMonitor,
+    HalfEpsMonitor,
+    SendAlwaysMonitor,
+    TopKMonitor,
+)
+from repro.model.protocol import MonitoringAlgorithm
+
+__all__ = [
+    "AlgorithmParamError",
+    "AlgorithmSpec",
+    "available",
+    "get",
+    "make_algorithm",
+]
+
+
+class AlgorithmParamError(ValueError):
+    """An algorithm was requested with out-of-range or unusable parameters.
+
+    A distinct type so the service can answer bad client input with a
+    protocol error instead of a server-side crash.
+    """
+
+
+@dataclass(frozen=True)
+class AlgorithmSpec:
+    """One registered monitoring algorithm."""
+
+    slug: str
+    summary: str
+    factory: Callable[..., MonitoringAlgorithm]
+    #: Whether the algorithm takes an output error ε in (0, 1).  Exact
+    #: monitors and naive baselines ignore ε (it must be left at 0).
+    uses_eps: bool = False
+    #: Extra keyword parameters the factory accepts, ``name -> default``.
+    extra_params: dict[str, Any] = field(default_factory=dict)
+
+
+_REGISTRY: dict[str, AlgorithmSpec] = {}
+
+
+def _register(spec: AlgorithmSpec) -> None:
+    if spec.slug in _REGISTRY:
+        raise ValueError(f"algorithm slug {spec.slug!r} already registered")
+    _REGISTRY[spec.slug] = spec
+
+
+def available() -> tuple[str, ...]:
+    """All registered slugs, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def get(slug: str) -> AlgorithmSpec:
+    """The spec for ``slug`` (raises with the valid slugs on a miss)."""
+    try:
+        return _REGISTRY[slug]
+    except KeyError:
+        raise KeyError(
+            f"unknown algorithm {slug!r}; registered: {', '.join(_REGISTRY)}"
+        ) from None
+
+
+def make_algorithm(
+    slug: str, k: int, eps: float = 0.0, params: Mapping[str, Any] | None = None
+) -> MonitoringAlgorithm:
+    """Instantiate a fresh monitor for one run/session.
+
+    Raises :class:`AlgorithmParamError` on any parameter problem (wrong
+    ε usage, unknown extras, or a rejection by the constructor itself).
+    """
+    spec = get(slug)
+    params = dict(params or {})
+    unknown = sorted(set(params) - set(spec.extra_params))
+    if unknown:
+        raise AlgorithmParamError(
+            f"algorithm {slug!r} got unknown params {unknown}; "
+            f"valid: {sorted(spec.extra_params)}"
+        )
+    if spec.uses_eps:
+        if not 0.0 < eps < 1.0:
+            raise AlgorithmParamError(
+                f"algorithm {slug!r} needs eps in (0, 1), got {eps}"
+            )
+    elif eps:
+        raise AlgorithmParamError(
+            f"algorithm {slug!r} is exact — leave eps at 0, got {eps}"
+        )
+    try:
+        if spec.uses_eps:
+            return spec.factory(int(k), float(eps), **params)
+        return spec.factory(int(k), **params)
+    except (ValueError, TypeError) as exc:
+        raise AlgorithmParamError(
+            f"algorithm {slug!r}: {exc.args[0] if exc.args else exc}"
+        ) from None
+
+
+# --------------------------------------------------------------------- #
+# Registrations
+# --------------------------------------------------------------------- #
+_register(AlgorithmSpec(
+    slug="exact-cor3.3",
+    summary="Exact Top-k monitor, Corollary 3.3 (existence-based violation detection)",
+    factory=lambda k: ExactTopKMonitor(k),
+))
+
+_register(AlgorithmSpec(
+    slug="exact-ipdps15",
+    summary="Exact Top-k monitor without the existence protocol ([6]-style baseline)",
+    factory=lambda k: ExactTopKMonitor(k, use_existence=False),
+))
+
+_register(AlgorithmSpec(
+    slug="approx-monitor",
+    summary="ε-approximate dispatcher of Theorem 5.8 (TOP-K / DENSE by density probe)",
+    factory=lambda k, eps, resolution=1.0: ApproxTopKMonitor(k, eps, resolution=resolution),
+    uses_eps=True,
+    extra_params={"resolution": 1.0},
+))
+
+_register(AlgorithmSpec(
+    slug="topk-protocol",
+    summary="Section 4 TOP-K-PROTOCOL with strategies (P1)–(P4) (Theorem 4.5)",
+    factory=lambda k, eps: TopKMonitor(k, eps),
+    uses_eps=True,
+))
+
+_register(AlgorithmSpec(
+    slug="halfeps-monitor",
+    summary="Corollary 5.9 one-round-dense variant (competitive vs ε/2 offline player)",
+    factory=lambda k, eps: HalfEpsMonitor(k, eps),
+    uses_eps=True,
+))
+
+_register(AlgorithmSpec(
+    slug="send-always",
+    summary="Naive baseline: every node reports every step",
+    factory=lambda k: SendAlwaysMonitor(k),
+))

@@ -1,0 +1,158 @@
+"""CLI entry points for the service layer: ``serve`` and ``loadgen``.
+
+Reached through the experiments CLI front door::
+
+    python -m repro.experiments serve  --port 7071
+    python -m repro.experiments loadgen --port 7071 --workload zipf \\
+        --sessions 8 --concurrency 4 --steps 5000
+
+``serve`` prints exactly one ``serving on <host>:<port>`` line once
+bound (machine-parseable — ``--port 0`` binds an OS-assigned port) and
+runs until a client sends the ``shutdown`` op.
+
+``loadgen --spawn`` owns the whole lifecycle for smoke tests and CI:
+it launches a server subprocess on a free port, drives it, sends
+``shutdown``, and fails unless the server exits cleanly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import subprocess
+import sys
+
+from repro.service import server as server_mod
+from repro.service.client import ServiceClient
+from repro.service.loadgen import run_loadgen
+from repro.streams import registry
+
+__all__ = ["main_serve", "main_loadgen"]
+
+
+def main_serve(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments serve",
+        description="Host monitoring sessions over the JSON-lines TCP protocol.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7071,
+                        help="TCP port (0 = OS-assigned, printed on the announce line)")
+    parser.add_argument("--max-sessions", type=int, default=1024,
+                        help="reject session creation beyond this many live sessions")
+    args = parser.parse_args(argv)
+    try:
+        asyncio.run(server_mod.serve(
+            args.host, args.port, max_sessions=args.max_sessions
+        ))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _spawn_server() -> tuple[subprocess.Popen, int]:
+    """Launch a server subprocess on a free port; returns (process, port)."""
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.experiments", "serve", "--port", "0"],
+        stdout=subprocess.PIPE,
+        text=True,
+    )
+    line = process.stdout.readline().strip()
+    prefix = "serving on "
+    if not line.startswith(prefix):
+        process.kill()
+        raise RuntimeError(f"server did not announce itself (got {line!r})")
+    port = int(line[len(prefix):].rsplit(":", 1)[1])
+    return process, port
+
+
+def main_loadgen(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments loadgen",
+        description="Replay a registry workload against a live monitoring server.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7071)
+    parser.add_argument("--spawn", action="store_true",
+                        help="launch (and cleanly shut down) a server subprocess; "
+                             "ignores --host/--port")
+    parser.add_argument("--workload", default="iid", metavar="SLUG",
+                        help="registry slug (must be block-streamable)")
+    parser.add_argument("--workload-param", action="append", default=[],
+                        metavar="KEY=VALUE",
+                        help="workload parameter, parsed against the registry schema")
+    parser.add_argument("--algorithm", default="approx-monitor",
+                        help="algorithm slug (see repro.service.algorithms)")
+    parser.add_argument("--sessions", type=int, default=4)
+    parser.add_argument("--concurrency", type=int, default=4)
+    parser.add_argument("--steps", type=int, default=2_000, help="steps per session")
+    parser.add_argument("--n", type=int, default=32)
+    parser.add_argument("--k", type=int, default=4)
+    parser.add_argument("--eps", type=float, default=0.1,
+                        help="output error for ε-algorithms (use 0 with exact ones)")
+    parser.add_argument("--block-size", type=int, default=256,
+                        help="rows per feed batch")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--encoding", choices=["b64", "json"], default="b64")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="print the full report as JSON")
+    args = parser.parse_args(argv)
+
+    try:
+        workload_params = registry.parse_cli_params(args.workload, args.workload_param)
+    except (KeyError, ValueError) as exc:
+        print(exc.args[0] if exc.args else exc, file=sys.stderr)
+        return 2
+
+    process = None
+    host, port = args.host, args.port
+    try:
+        if args.spawn:
+            process, port = _spawn_server()
+            host = "127.0.0.1"
+        report = asyncio.run(run_loadgen(
+            host, port,
+            workload=args.workload, workload_params=workload_params,
+            algorithm=args.algorithm,
+            sessions=args.sessions, concurrency=args.concurrency,
+            num_steps=args.steps, n=args.n, k=args.k, eps=args.eps,
+            block_size=args.block_size, seed=args.seed, encoding=args.encoding,
+        ))
+    except Exception as exc:
+        if process is not None:
+            process.kill()
+        print(f"loadgen failed: {exc}", file=sys.stderr)
+        return 1
+
+    clean_shutdown = None
+    if process is not None:
+        try:
+            with ServiceClient(host, port) as client:
+                client.shutdown()
+            process.wait(timeout=30)
+        except Exception as exc:
+            process.kill()
+            print(f"server shutdown failed: {exc}", file=sys.stderr)
+            return 1
+        clean_shutdown = process.returncode == 0
+        report["clean_shutdown"] = clean_shutdown
+
+    if args.as_json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(
+            f"{report['sessions']} sessions x {report['num_steps']} steps "
+            f"(concurrency {report['concurrency']}, workload {report['workload']}, "
+            f"algorithm {report['algorithm']})"
+        )
+        print(
+            f"  {report['total_steps']} steps in {report['wall_seconds']}s -> "
+            f"{report['steps_per_s']:,} steps/s, {report['values_per_s']:,} values/s"
+        )
+        print(f"  {report['messages_per_step']} messages/step (algorithmic cost)")
+        if clean_shutdown is not None:
+            print(f"  server shutdown: {'clean' if clean_shutdown else 'UNCLEAN'}")
+    if clean_shutdown is False:
+        return 1
+    return 0

@@ -1,0 +1,216 @@
+"""Client library for the monitoring service.
+
+:class:`AsyncServiceClient` speaks the JSON-lines protocol over one TCP
+connection; requests on a connection are serialized (the server answers
+in order), so concurrent load uses one client per worker — see
+:mod:`repro.service.loadgen`.  :class:`ServiceClient` wraps it for
+synchronous callers (examples, benchmarks, notebooks) by driving a
+private event loop.
+
+Every error response raises :class:`ServiceError` carrying the server's
+``error_type``, so callers can tell bad input (``AlgorithmParamError``,
+``WireError``…) from server-side failures.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any
+
+import numpy as np
+
+from repro.service import wire
+
+__all__ = ["AsyncServiceClient", "ServiceClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """An ``ok=false`` response from the server."""
+
+    def __init__(self, message: str, error_type: str = "") -> None:
+        super().__init__(message)
+        self.error_type = error_type
+
+
+class AsyncServiceClient:
+    """One JSON-lines connection to a :class:`~repro.service.server.MonitoringServer`."""
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._lock = asyncio.Lock()  # serialize request/response pairs
+        self._next_id = 0
+
+    @classmethod
+    async def connect(cls, host: str = "127.0.0.1", port: int = 0) -> "AsyncServiceClient":
+        reader, writer = await asyncio.open_connection(
+            host, port, limit=wire.MAX_LINE_BYTES
+        )
+        return cls(reader, writer)
+
+    async def aclose(self) -> None:
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+    async def __aenter__(self) -> "AsyncServiceClient":
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.aclose()
+
+    # ------------------------------------------------------------------ #
+    # Request plumbing
+    # ------------------------------------------------------------------ #
+    async def request(self, op: str, **fields: Any) -> dict[str, Any]:
+        """Send one op and return the ``ok=true`` payload (or raise)."""
+        async with self._lock:
+            self._next_id += 1
+            request_id = self._next_id
+            self._writer.write(wire.encode_line({"id": request_id, "op": op, **fields}))
+            await self._writer.drain()
+            line = await self._reader.readline()
+        if not line:
+            raise ServiceError("connection closed by server", "ConnectionClosed")
+        response = wire.decode_line(line)
+        if not response.get("ok"):
+            raise ServiceError(
+                response.get("error", "unknown error"),
+                response.get("error_type", ""),
+            )
+        if response.get("id") != request_id:
+            raise ServiceError(
+                f"response id {response.get('id')!r} does not match request "
+                f"{request_id!r} (protocol desync)",
+                "WireError",
+            )
+        return response
+
+    # ------------------------------------------------------------------ #
+    # Ops
+    # ------------------------------------------------------------------ #
+    async def ping(self) -> dict[str, Any]:
+        return await self.request("ping")
+
+    async def create_session(self, **spec: Any) -> str:
+        """Create a session from :class:`~repro.service.session.SessionConfig` fields."""
+        response = await self.request("create", spec=spec)
+        return response["session"]
+
+    async def feed(
+        self, session: str, values: np.ndarray, *, encoding: str = "b64"
+    ) -> dict[str, Any]:
+        """Push one observation batch; returns ``{step, messages}``."""
+        return await self.request(
+            "feed", session=session, values=wire.encode_values(values, encoding)
+        )
+
+    async def advance(self, session: str, steps: int | None = None) -> dict[str, Any]:
+        """Drive a workload-backed session forward by up to ``steps``."""
+        return await self.request("advance", session=session, steps=steps)
+
+    async def query(self, session: str) -> dict[str, Any]:
+        """Current status: step, messages, output ``F(t)``, done flags."""
+        return await self.request("query", session=session)
+
+    async def cost(self, session: str) -> dict[str, Any]:
+        """Cost snapshot totals plus the per-scope bill."""
+        return await self.request("cost", session=session)
+
+    async def snapshot(self, session: str) -> bytes:
+        """Checkpoint the session; returns the binary blob."""
+        response = await self.request("snapshot", session=session)
+        return wire.decode_blob(response["state"])
+
+    async def restore(self, blob: bytes) -> str:
+        """Create a new session resuming from a checkpoint blob."""
+        response = await self.request("restore", state=wire.encode_blob(blob))
+        return response["session"]
+
+    async def finalize(self, session: str) -> dict[str, Any]:
+        """Close the session and return its result summary."""
+        response = await self.request("finalize", session=session)
+        return response["result"]
+
+    async def close_session(self, session: str) -> None:
+        """Drop the session without a result."""
+        await self.request("close", session=session)
+
+    async def list_sessions(self) -> list[dict[str, Any]]:
+        return (await self.request("list"))["sessions"]
+
+    async def shutdown(self) -> dict[str, Any]:
+        """Ask the server to stop (it answers, then exits its serve loop)."""
+        return await self.request("shutdown")
+
+
+class ServiceClient:
+    """Synchronous facade over :class:`AsyncServiceClient`.
+
+    Owns a private event loop; not thread-safe.  Use as a context
+    manager so the connection and loop are released deterministically.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        self._loop = asyncio.new_event_loop()
+        try:
+            self._client = self._loop.run_until_complete(
+                AsyncServiceClient.connect(host, port)
+            )
+        except BaseException:
+            self._loop.close()
+            raise
+
+    def close(self) -> None:
+        if self._loop.is_closed():
+            return
+        self._loop.run_until_complete(self._client.aclose())
+        self._loop.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _call(self, coro):
+        return self._loop.run_until_complete(coro)
+
+    # One sync wrapper per op; signatures mirror AsyncServiceClient.
+    def ping(self) -> dict[str, Any]:
+        return self._call(self._client.ping())
+
+    def create_session(self, **spec: Any) -> str:
+        return self._call(self._client.create_session(**spec))
+
+    def feed(self, session: str, values: np.ndarray, *, encoding: str = "b64") -> dict[str, Any]:
+        return self._call(self._client.feed(session, values, encoding=encoding))
+
+    def advance(self, session: str, steps: int | None = None) -> dict[str, Any]:
+        return self._call(self._client.advance(session, steps))
+
+    def query(self, session: str) -> dict[str, Any]:
+        return self._call(self._client.query(session))
+
+    def cost(self, session: str) -> dict[str, Any]:
+        return self._call(self._client.cost(session))
+
+    def snapshot(self, session: str) -> bytes:
+        return self._call(self._client.snapshot(session))
+
+    def restore(self, blob: bytes) -> str:
+        return self._call(self._client.restore(blob))
+
+    def finalize(self, session: str) -> dict[str, Any]:
+        return self._call(self._client.finalize(session))
+
+    def close_session(self, session: str) -> None:
+        self._call(self._client.close_session(session))
+
+    def list_sessions(self) -> list[dict[str, Any]]:
+        return self._call(self._client.list_sessions())
+
+    def shutdown(self) -> dict[str, Any]:
+        return self._call(self._client.shutdown())

@@ -1,0 +1,380 @@
+"""The asyncio monitoring server: many sessions, one process.
+
+:class:`MonitoringServer` hosts concurrent :class:`~repro.service.
+session.Session` objects behind the JSON-lines TCP protocol of
+:mod:`repro.service.wire`.  Design points:
+
+- **Batched ingestion** — clients feed ``(B, n)`` blocks, so the
+  per-message protocol overhead amortizes over B time steps.
+- **Per-session locks, shared executor** — monitoring work is
+  synchronous CPU-bound Python; each request's heavy part runs in the
+  default thread-pool executor so the event loop keeps serving other
+  connections, and a per-session :class:`asyncio.Lock` serializes
+  mutations of one session (two clients feeding the same session
+  interleave at block granularity, never mid-step).
+- **Fail-closed error envelope** — any exception inside an op turns
+  into an ``ok=false`` response carrying the exception type and
+  message; the connection (and every other session) lives on.
+
+Op vocabulary (see docs/ARCHITECTURE.md for the full schema):
+
+``ping``, ``create``, ``feed``, ``advance``, ``query``, ``cost``,
+``snapshot``, ``restore``, ``finalize``, ``close``, ``list``,
+``shutdown``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any
+
+from repro.service import wire
+from repro.service.session import Session, session_from_wire
+
+__all__ = ["MonitoringServer", "serve"]
+
+
+class _SessionSlot:
+    """A hosted session plus its ingestion lock."""
+
+    __slots__ = ("session", "lock")
+
+    def __init__(self, session: Session) -> None:
+        self.session = session
+        self.lock = asyncio.Lock()
+
+
+class MonitoringServer:
+    """Session host + TCP front end.
+
+    Parameters
+    ----------
+    host, port:
+        Bind address.  ``port=0`` asks the OS for a free port; the
+        actual one is in :attr:`port` after :meth:`start`.
+    max_sessions:
+        Upper bound on concurrently hosted sessions; ``create`` beyond
+        it fails with an error response (protecting the process from
+        unbounded per-session state).
+    """
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 0, *, max_sessions: int = 1024
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.max_sessions = int(max_sessions)
+        self._slots: dict[str, _SessionSlot] = {}
+        self._next_id = 0
+        self._server: asyncio.AbstractServer | None = None
+        self._stop = asyncio.Event()
+        self._connections: set[asyncio.Task] = set()
+        #: Totals for ``ping`` and the shutdown log line.
+        self.stats = {"connections": 0, "requests": 0, "steps_ingested": 0}
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    async def start(self) -> tuple[str, int]:
+        """Bind and start accepting; returns the actual ``(host, port)``."""
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port, limit=wire.MAX_LINE_BYTES
+        )
+        sock = self._server.sockets[0]
+        self.port = sock.getsockname()[1]
+        return self.host, self.port
+
+    async def serve_until_shutdown(self) -> None:
+        """Run until a ``shutdown`` op (or :meth:`request_shutdown`)."""
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        await self._stop.wait()
+        self._server.close()
+        # Cancel parked connection readers BEFORE wait_closed(): since
+        # Python 3.12.1 wait_closed blocks until every handler finishes,
+        # so an idle connection would otherwise hang the shutdown.
+        await self._drain_connections()
+        await self._server.wait_closed()
+
+    def request_shutdown(self) -> None:
+        """Ask the serve loop to exit after in-flight responses."""
+        self._stop.set()
+
+    async def aclose(self) -> None:
+        """Stop accepting and drop all sessions (tests / embedding)."""
+        self.request_shutdown()
+        if self._server is not None:
+            self._server.close()
+        await self._drain_connections()
+        if self._server is not None:
+            await self._server.wait_closed()
+        self._slots.clear()
+
+    async def _drain_connections(self) -> None:
+        """Cancel and reap open connection handlers (idle readers hang forever)."""
+        tasks = [t for t in self._connections if t is not asyncio.current_task()]
+        for task in tasks:
+            task.cancel()
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+
+    # ------------------------------------------------------------------ #
+    # Connection handling
+    # ------------------------------------------------------------------ #
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.stats["connections"] += 1
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+        try:
+            while not self._stop.is_set():
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    writer.write(wire.encode_line({
+                        "id": None, "ok": False,
+                        "error": f"frame exceeds {wire.MAX_LINE_BYTES} bytes",
+                        "error_type": "WireError",
+                    }))
+                    await writer.drain()
+                    break
+                if not line:
+                    break  # peer closed
+                response = await self._respond(line)
+                writer.write(wire.encode_line(response))
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # peer vanished mid-response; nothing to answer
+        except asyncio.CancelledError:
+            pass  # server shutdown cancelled us — exit quietly, closing below
+        finally:
+            if task is not None:
+                self._connections.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+                pass
+
+    #: Frames above this size are JSON-decoded off the event loop.
+    _INLINE_DECODE_BYTES = 64 * 1024
+
+    async def _respond(self, line: bytes) -> dict[str, Any]:
+        request_id: Any = None
+        try:
+            if len(line) > self._INLINE_DECODE_BYTES:
+                message = await self._run_sync(wire.decode_line, line)
+            else:
+                message = wire.decode_line(line)
+            request_id = message.get("id")
+            op = message.get("op")
+            handler = self._OPS.get(op)
+            if handler is None:
+                raise wire.WireError(
+                    f"unknown op {op!r}; valid: {', '.join(self._OPS)}"
+                )
+            self.stats["requests"] += 1
+            payload = await handler(self, message)
+            return {"id": request_id, "ok": True, **payload}
+        except Exception as exc:  # every failure becomes a protocol error
+            return {
+                "id": request_id,
+                "ok": False,
+                "error": str(exc) or type(exc).__name__,
+                "error_type": type(exc).__name__,
+            }
+
+    # ------------------------------------------------------------------ #
+    # Session bookkeeping
+    # ------------------------------------------------------------------ #
+    def _admit(self, session: Session) -> str:
+        if len(self._slots) >= self.max_sessions:
+            raise RuntimeError(
+                f"session limit reached ({self.max_sessions}); finalize or "
+                "close sessions before creating more"
+            )
+        self._next_id += 1
+        sid = f"s{self._next_id}"
+        self._slots[sid] = _SessionSlot(session)
+        return sid
+
+    def _slot(self, message: dict[str, Any]) -> tuple[str, _SessionSlot]:
+        sid = message.get("session")
+        slot = self._slots.get(sid)
+        if slot is None:
+            raise KeyError(f"no such session {sid!r}")
+        return sid, slot
+
+    @staticmethod
+    async def _run_sync(fn, *args):
+        """Run CPU-bound session work off the event loop."""
+        return await asyncio.get_running_loop().run_in_executor(None, fn, *args)
+
+    # ------------------------------------------------------------------ #
+    # Ops
+    # ------------------------------------------------------------------ #
+    async def _op_ping(self, message: dict[str, Any]) -> dict[str, Any]:
+        return {
+            "pong": True,
+            "version": wire.PROTOCOL_VERSION,
+            "sessions": len(self._slots),
+            "stats": dict(self.stats),
+        }
+
+    async def _op_create(self, message: dict[str, Any]) -> dict[str, Any]:
+        spec = message.get("spec")
+        if not isinstance(spec, dict):
+            raise wire.WireError("create needs a 'spec' object")
+        session = await self._run_sync(session_from_wire, spec)
+        sid = self._admit(session)
+        return {"session": sid, "step": session.step}
+
+    async def _op_feed(self, message: dict[str, Any]) -> dict[str, Any]:
+        sid, slot = self._slot(message)
+        payload = message.get("values")
+        session = slot.session
+
+        def ingest() -> tuple[int, int, int]:
+            # Decode in the executor too — a near-cap b64 batch is tens of
+            # MB and would stall every other connection on the event loop.
+            block = wire.decode_values(payload)
+            step = session.feed(block)
+            return block.shape[0], step, session.messages
+
+        async with slot.lock:
+            rows, step, messages = await self._run_sync(ingest)
+        self.stats["steps_ingested"] += rows
+        return {"session": sid, "step": step, "messages": messages}
+
+    async def _op_advance(self, message: dict[str, Any]) -> dict[str, Any]:
+        sid, slot = self._slot(message)
+        steps = message.get("steps")
+        if steps is not None and not isinstance(steps, int):
+            raise wire.WireError(f"advance steps must be an int, got {steps!r}")
+        session = slot.session
+        async with slot.lock:
+            before = session.step
+            step = await self._run_sync(session.advance, steps)
+            messages, done = session.messages, session.done
+        self.stats["steps_ingested"] += step - before
+        return {"session": sid, "step": step, "messages": messages, "done": done}
+
+    async def _op_query(self, message: dict[str, Any]) -> dict[str, Any]:
+        sid, slot = self._slot(message)
+        async with slot.lock:  # a concurrent feed mutates mid-status otherwise
+            return {"session": sid, **slot.session.status()}
+
+    async def _op_cost(self, message: dict[str, Any]) -> dict[str, Any]:
+        sid, slot = self._slot(message)
+        async with slot.lock:
+            snap = slot.session.cost()
+            by_scope = slot.session.bill()
+        return {
+            "session": sid,
+            "messages": snap.messages,
+            "node_to_server": snap.node_to_server,
+            "server_to_node": snap.server_to_node,
+            "broadcasts": snap.broadcasts,
+            "rounds": snap.rounds,
+            "broadcast_cost": snap.broadcast_cost,
+            "by_scope": by_scope,
+        }
+
+    async def _op_snapshot(self, message: dict[str, Any]) -> dict[str, Any]:
+        sid, slot = self._slot(message)
+        session = slot.session
+
+        def checkpoint() -> tuple[int, str]:
+            return session.step, wire.encode_blob(session.snapshot())
+
+        async with slot.lock:  # step captured with the blob, not after
+            step, state = await self._run_sync(checkpoint)
+        return {"session": sid, "step": step, "state": state}
+
+    async def _op_restore(self, message: dict[str, Any]) -> dict[str, Any]:
+        state = message.get("state")
+        if not isinstance(state, str):
+            raise wire.WireError("restore needs a base64 'state' string")
+
+        def rebuild() -> Session:
+            return Session.restore(wire.decode_blob(state))
+
+        session = await self._run_sync(rebuild)
+        sid = self._admit(session)
+        return {"session": sid, "step": session.step}
+
+    async def _op_finalize(self, message: dict[str, Any]) -> dict[str, Any]:
+        sid, slot = self._slot(message)
+        async with slot.lock:
+            result = await self._run_sync(slot.session.finalize)
+        del self._slots[sid]
+        return {
+            "session": sid,
+            "result": {
+                "algorithm": result.algorithm_name,
+                "num_steps": result.num_steps,
+                "n": result.n,
+                "k": result.k,
+                "messages": result.messages,
+                "output_changes": result.output_changes,
+                "max_rounds_per_step": result.ledger.max_rounds_per_step,
+                "by_scope": result.ledger.by_scope(),
+            },
+        }
+
+    async def _op_close(self, message: dict[str, Any]) -> dict[str, Any]:
+        sid, _slot = self._slot(message)
+        del self._slots[sid]
+        return {"session": sid, "closed": True}
+
+    async def _op_list(self, message: dict[str, Any]) -> dict[str, Any]:
+        sessions = []
+        for sid, slot in list(self._slots.items()):
+            async with slot.lock:
+                sessions.append({"session": sid, **slot.session.status()})
+        return {"sessions": sessions}
+
+    async def _op_shutdown(self, message: dict[str, Any]) -> dict[str, Any]:
+        self.request_shutdown()
+        return {"stopping": True, "stats": dict(self.stats)}
+
+    _OPS = {
+        "ping": _op_ping,
+        "create": _op_create,
+        "feed": _op_feed,
+        "advance": _op_advance,
+        "query": _op_query,
+        "cost": _op_cost,
+        "snapshot": _op_snapshot,
+        "restore": _op_restore,
+        "finalize": _op_finalize,
+        "close": _op_close,
+        "list": _op_list,
+        "shutdown": _op_shutdown,
+    }
+
+
+async def serve(
+    host: str = "127.0.0.1", port: int = 0, *, max_sessions: int = 1024,
+    announce=None,
+) -> None:
+    """Start a server and run it until a ``shutdown`` op.
+
+    ``announce`` receives the single ``serving on host:port`` line once
+    the socket is bound — the CLI prints it (callers like
+    ``loadgen --spawn`` parse it to learn an OS-assigned port); tests
+    pass a capture function or ``lambda _: None``.
+    """
+    server = MonitoringServer(host, port, max_sessions=max_sessions)
+    bound_host, bound_port = await server.start()
+    line = f"serving on {bound_host}:{bound_port}"
+    if announce is None:
+        print(line, flush=True)
+    else:
+        announce(line)
+    await server.serve_until_shutdown()

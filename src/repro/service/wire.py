@@ -1,0 +1,140 @@
+"""The service's wire protocol: JSON lines over TCP.
+
+Every message is one JSON object terminated by ``\\n``.  Requests carry
+``{"id": <client-chosen>, "op": <name>, ...operands}``; the server
+answers each with exactly one ``{"id": <echoed>, "ok": true, ...}`` or
+``{"id": <echoed>, "ok": false, "error": str, "error_type": str}``
+line, in request order per connection.
+
+Observation batches travel in one of two encodings, chosen per call:
+
+- ``json`` — a plain nested list (``[[...], ...]``): readable,
+  interoperable, slow;
+- ``b64`` — ``{"b64": <base64>, "shape": [B, n]}`` wrapping the raw
+  little-endian float64 buffer: the load generator's fast path (one
+  decode per batch instead of B·n float parses).
+
+Checkpoints travel base64-encoded (the blob format is
+:mod:`repro.service.session`'s pickle-based snapshot; the server
+restores through a restricted unpickler).
+
+The op vocabulary is defined by :mod:`repro.service.server`; this
+module owns only framing and value encoding, shared by server, client
+and load generator.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+from typing import Any
+
+import numpy as np
+
+__all__ = [
+    "MAX_LINE_BYTES",
+    "PROTOCOL_VERSION",
+    "WireError",
+    "decode_line",
+    "decode_values",
+    "encode_line",
+    "encode_values",
+]
+
+#: Protocol version announced by ``ping``; bumped on incompatible change.
+PROTOCOL_VERSION = 1
+
+#: Hard per-line cap — bounds a batch at ~2M float64 values, and bounds
+#: what a misbehaving peer can make the reader buffer.
+MAX_LINE_BYTES = 32 * 1024 * 1024
+
+
+class WireError(ValueError):
+    """A frame or value payload violates the wire protocol."""
+
+
+def encode_line(message: dict[str, Any]) -> bytes:
+    """One protocol message as a newline-terminated JSON line."""
+    return json.dumps(message, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+def decode_line(line: bytes) -> dict[str, Any]:
+    """Parse one received line; raises :class:`WireError` on bad frames."""
+    if len(line) > MAX_LINE_BYTES:
+        raise WireError(f"frame of {len(line)} bytes exceeds the {MAX_LINE_BYTES} cap")
+    try:
+        message = json.loads(line)
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise WireError(f"frame is not valid JSON: {exc}") from None
+    if not isinstance(message, dict):
+        raise WireError(f"frame must be a JSON object, got {type(message).__name__}")
+    return message
+
+
+def encode_values(block: np.ndarray, encoding: str = "b64") -> Any:
+    """An observation batch as its wire representation."""
+    block = np.asarray(block, dtype=np.float64)
+    if block.ndim == 1:
+        block = block[None, :]
+    if block.ndim != 2:
+        raise WireError(f"values must be a (B, n) batch, got shape {block.shape}")
+    if encoding == "b64":
+        buf = np.ascontiguousarray(block, dtype="<f8")
+        return {
+            "b64": base64.b64encode(buf.tobytes()).decode("ascii"),
+            "shape": [int(block.shape[0]), int(block.shape[1])],
+        }
+    if encoding == "json":
+        return block.tolist()
+    raise WireError(f"unknown values encoding {encoding!r} (use 'b64' or 'json')")
+
+
+def decode_values(payload: Any) -> np.ndarray:
+    """An observation batch back from either wire encoding.
+
+    Returns a float64 ``(B, n)`` array.  Shape/finiteness validation is
+    the engine's job (:meth:`MonitoringEngine.advance` checks pushed
+    blocks once); this only undoes the transport encoding.
+    """
+    if isinstance(payload, dict):
+        try:
+            raw = base64.b64decode(payload["b64"], validate=True)
+            shape = payload["shape"]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise WireError(f"bad b64 values payload: {exc}") from None
+        if (
+            not isinstance(shape, (list, tuple))
+            or len(shape) != 2
+            or not all(isinstance(s, int) and s > 0 for s in shape)
+        ):
+            raise WireError(f"bad values shape {shape!r}")
+        expected = shape[0] * shape[1] * 8
+        if len(raw) != expected:
+            raise WireError(
+                f"values buffer holds {len(raw)} bytes, shape {shape} needs {expected}"
+            )
+        return np.frombuffer(raw, dtype="<f8").reshape(shape[0], shape[1])
+    if isinstance(payload, list):
+        try:
+            block = np.asarray(payload, dtype=np.float64)
+        except (ValueError, TypeError) as exc:
+            raise WireError(f"bad json values payload: {exc}") from None
+        if block.ndim == 1:
+            block = block[None, :]
+        if block.ndim != 2:
+            raise WireError(f"values must be a (B, n) batch, got shape {block.shape}")
+        return block
+    raise WireError(f"values must be a list or a b64 object, got {type(payload).__name__}")
+
+
+def encode_blob(blob: bytes) -> str:
+    """A binary checkpoint as transportable text."""
+    return base64.b64encode(blob).decode("ascii")
+
+
+def decode_blob(text: str) -> bytes:
+    """The checkpoint bytes back from :func:`encode_blob`."""
+    try:
+        return base64.b64decode(text, validate=True)
+    except (TypeError, ValueError) as exc:
+        raise WireError(f"bad checkpoint payload: {exc}") from None

@@ -103,3 +103,40 @@ class TestCli:
         warm = {p: p.stat().st_mtime_ns for p in (tmp_path / "cache").rglob("*.json")}
         # A recomputation would rewrite entries (new mtime) or add files.
         assert warm == cold, "warm run must serve every cell from the cache"
+
+
+class TestServiceSubcommands:
+    """The serve/loadgen front door (the in-depth coverage lives in
+    tests/service/; here: dispatch, argument surface, end-to-end spawn)."""
+
+    def test_serve_help_reaches_service_parser(self, capsys):
+        with pytest.raises(SystemExit) as exit_info:
+            main(["serve", "--help"])
+        assert exit_info.value.code == 0
+        assert "JSON-lines" in capsys.readouterr().out
+
+    def test_loadgen_help_reaches_service_parser(self, capsys):
+        with pytest.raises(SystemExit) as exit_info:
+            main(["loadgen", "--help"])
+        assert exit_info.value.code == 0
+        out = capsys.readouterr().out
+        assert "--sessions" in out and "--spawn" in out
+
+    def test_loadgen_bad_workload_param(self, capsys):
+        assert main(["loadgen", "--workload", "zipf",
+                     "--workload-param", "alpah=1.2"]) == 2
+        assert "no param" in capsys.readouterr().err
+
+    def test_loadgen_spawn_end_to_end(self, capsys):
+        """Smoke: spawn a real server subprocess, drive 2 tiny sessions,
+        require a clean shutdown and a JSON report."""
+        import json
+
+        assert main([
+            "loadgen", "--spawn", "--workload", "iid",
+            "--sessions", "2", "--concurrency", "2", "--steps", "120",
+            "--n", "8", "--k", "2", "--block-size", "40", "--json",
+        ]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["total_steps"] == 240
+        assert report["clean_shutdown"] is True

@@ -1,0 +1,305 @@
+"""The incremental engine drive: start()/advance()/finalize().
+
+Three concerns:
+
+1. **Parity** — driving a run in arbitrary chunks (including a pushed,
+   source-less engine) must reproduce ``run()`` exactly: messages,
+   per-step series, outputs, change counts.
+2. **Irregular-output fallback** — outputs of size ≠ k must leave the
+   vectorized fast path and keep counting correctly, in all four
+   record/no-record × regular-prefix combinations, pinned against a
+   reference loop.
+3. **Accounting law** — messages charged after ``end_step()`` (e.g.
+   from ``output()`` side effects) are folded into the step they
+   reacted to, and finalize audits ``sum(per_step) == messages``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ApproxTopKMonitor
+from repro.model.engine import MonitoringEngine
+from repro.model.protocol import MonitoringAlgorithm
+from repro.streams import registry
+from repro.streams.base import Trace
+
+
+class ScriptedOutputs(MonitoringAlgorithm):
+    """Emits a pre-scripted output per step; no filters, no messages."""
+
+    name = "scripted"
+    filter_based = False
+
+    def __init__(self, script: list[frozenset[int]]):
+        super().__init__()
+        self._script = script
+        self._t = -1
+
+    def on_start(self) -> None:
+        self._t = 0
+
+    def on_step(self) -> None:
+        self._t += 1
+
+    def output(self) -> frozenset[int]:
+        return self._script[self._t]
+
+
+class ChargesInOutput(ScriptedOutputs):
+    """Additionally polls node 0 inside output() — a post-end_step charge."""
+
+    name = "charges-in-output"
+
+    def __init__(self, script, every: int = 3):
+        super().__init__(script)
+        self.every = every
+
+    def output(self) -> frozenset[int]:
+        if self._t % self.every == 0:
+            self.channel.request_value(0)  # cost 2, charged after end_step()
+        return super().output()
+
+
+def reference_changes(outputs: list[frozenset[int]]) -> int:
+    """The definition: one change per step whose output differs from its
+    predecessor's."""
+    return sum(1 for a, b in zip(outputs, outputs[1:]) if a != b)
+
+
+def small_trace(T=20, n=6, seed=0):
+    rng = np.random.default_rng(seed)
+    return Trace(np.round(rng.uniform(10, 1000, size=(T, n))))
+
+
+def run_result_fields(res):
+    return (
+        res.messages,
+        res.num_steps,
+        res.output_changes,
+        res.outputs,
+        res.ledger.per_step.tolist(),
+        res.ledger.by_scope(),
+    )
+
+
+class TestIncrementalParity:
+    @pytest.mark.parametrize("block_sizes", [[1] * 40, [7, 13, 20], [40], [39, 1]])
+    def test_chunked_drive_matches_run(self, block_sizes):
+        assert sum(block_sizes) == 40
+        T, n, k, eps = 40, 12, 3, 0.2
+        trace = registry.make("zipf", T, n, rng=5)
+        ref = MonitoringEngine(
+            trace, ApproxTopKMonitor(k, eps), k=k, eps=eps, seed=11
+        ).run()
+
+        engine = MonitoringEngine(
+            None, ApproxTopKMonitor(k, eps), k=k, eps=eps, seed=11, n=n
+        )
+        engine.start()
+        pos = 0
+        for size in block_sizes:
+            engine.advance(trace.data[pos : pos + size])
+            pos += size
+        res = engine.finalize()
+        assert run_result_fields(res) == run_result_fields(ref)
+
+    def test_single_rows_accepted(self):
+        trace = small_trace(T=8)
+        ref = MonitoringEngine(
+            trace, ScriptedOutputs([frozenset({0})] * 8), k=1
+        ).run()
+        engine = MonitoringEngine(
+            None, ScriptedOutputs([frozenset({0})] * 8), k=1, n=trace.n
+        )
+        engine.start()
+        for t in range(8):
+            engine.advance(trace.data[t])  # 1-D row == 1-row block
+        res = engine.finalize()
+        assert run_result_fields(res) == run_result_fields(ref)
+
+    def test_open_ended_buffer_growth(self):
+        # More steps than the initial row capacity; exact-capacity run as ref.
+        from repro.model import engine as engine_mod
+
+        T = engine_mod._INITIAL_ROWS + 300
+        n, k = 4, 2
+        script = [frozenset({t % 2, 2 + t % 2}) for t in range(T)]
+        rows = np.tile(np.array([9.0, 8.0, 7.0, 6.0]), (T, 1))
+        ref = MonitoringEngine(Trace(rows), ScriptedOutputs(list(script)), k=k).run()
+
+        engine = MonitoringEngine(None, ScriptedOutputs(list(script)), k=k, n=n)
+        engine.start()  # no expect_steps: growth path
+        engine.advance(rows)
+        res = engine.finalize()
+        assert res.num_steps == T
+        assert res.output_changes == ref.output_changes == T - 1
+        assert res.outputs == ref.outputs
+
+    def test_mid_run_introspection(self):
+        script = [frozenset({0}), frozenset({1}), frozenset({1}), frozenset({0})]
+        engine = MonitoringEngine(None, ScriptedOutputs(script), k=1, n=3)
+        engine.start()
+        assert engine.steps_done == 0
+        assert engine.current_output() is None
+        engine.advance(np.ones((2, 3)))
+        assert engine.steps_done == 2
+        assert engine.current_output() == frozenset({1})
+        assert engine.output_changes_so_far() == 1
+        engine.advance(np.ones((2, 3)))
+        assert engine.output_changes_so_far() == 2  # {0}->{1} and {1}->{0}
+
+
+class TestLifecycleErrors:
+    def test_push_engine_needs_n(self):
+        with pytest.raises(TypeError, match="n="):
+            MonitoringEngine(None, ScriptedOutputs([]), k=1)
+
+    def test_n_contradicting_source(self):
+        with pytest.raises(ValueError, match="contradicts"):
+            MonitoringEngine(small_trace(n=6), ScriptedOutputs([]), k=1, n=4)
+
+    def test_run_requires_source(self):
+        engine = MonitoringEngine(None, ScriptedOutputs([]), k=1, n=3)
+        with pytest.raises(RuntimeError, match="needs a value source"):
+            engine.run()
+
+    def test_advance_before_start(self):
+        engine = MonitoringEngine(None, ScriptedOutputs([]), k=1, n=3)
+        with pytest.raises(RuntimeError, match="start"):
+            engine.advance(np.ones((1, 3)))
+
+    def test_double_start(self):
+        engine = MonitoringEngine(None, ScriptedOutputs([]), k=1, n=3)
+        engine.start()
+        with pytest.raises(RuntimeError, match="already started"):
+            engine.start()
+
+    def test_finalize_twice(self):
+        engine = MonitoringEngine(None, ScriptedOutputs([frozenset({0})]), k=1, n=3)
+        engine.start()
+        engine.advance(np.ones((1, 3)))
+        engine.finalize()
+        with pytest.raises(RuntimeError, match="finalized"):
+            engine.finalize()
+
+    def test_advance_after_finalize(self):
+        engine = MonitoringEngine(None, ScriptedOutputs([frozenset({0})]), k=1, n=3)
+        engine.start()
+        engine.advance(np.ones((1, 3)))
+        engine.finalize()
+        with pytest.raises(RuntimeError, match="finalized"):
+            engine.advance(np.ones((1, 3)))
+
+    def test_advance_validates_pushed_blocks(self):
+        engine = MonitoringEngine(None, ScriptedOutputs([frozenset({0})] * 4), k=1, n=3)
+        engine.start()
+        with pytest.raises(ValueError, match="shape"):
+            engine.advance(np.ones((2, 4)))
+        with pytest.raises(ValueError, match="finite"):
+            engine.advance(np.array([[1.0, np.inf, 3.0]]))
+
+
+#: The four fallback combinations: record_outputs × whether a regular
+#: (size == k) prefix precedes the first irregular output.
+IRREGULAR_SCRIPTS = {
+    "prefix": [
+        frozenset({0, 1}), frozenset({0, 2}), frozenset({0, 2}),  # regular, k=2
+        frozenset({0, 1, 2}),  # first irregular (size 3)
+        frozenset({0, 1, 2}), frozenset({4}), frozenset({0, 3}), frozenset({0, 3}),
+    ],
+    "from-start": [
+        frozenset({0, 1, 2}),  # irregular at t=0
+        frozenset({0, 1}), frozenset({0, 1}), frozenset({4}),
+        frozenset({4}), frozenset({2, 3}),
+    ],
+}
+
+
+class TestIrregularOutputFallback:
+    """Satellite: pin the size≠k fallback against the reference loop."""
+
+    @pytest.mark.parametrize("record", [True, False], ids=["record", "no-record"])
+    @pytest.mark.parametrize("shape", ["prefix", "from-start"])
+    def test_run_matches_reference(self, record, shape):
+        script = IRREGULAR_SCRIPTS[shape]
+        T = len(script)
+        trace = small_trace(T=T, n=6)
+        res = MonitoringEngine(
+            trace, ScriptedOutputs(list(script)), k=2, record_outputs=record
+        ).run()
+        assert res.output_changes == reference_changes(script)
+        assert res.outputs == (script if record else [])
+        assert res.outputs_array is None  # fallback left the compact path
+
+    @pytest.mark.parametrize("record", [True, False], ids=["record", "no-record"])
+    @pytest.mark.parametrize("shape", ["prefix", "from-start"])
+    def test_incremental_matches_run(self, record, shape):
+        script = IRREGULAR_SCRIPTS[shape]
+        T = len(script)
+        trace = small_trace(T=T, n=6)
+        ref = MonitoringEngine(
+            trace, ScriptedOutputs(list(script)), k=2, record_outputs=record
+        ).run()
+        engine = MonitoringEngine(
+            None, ScriptedOutputs(list(script)), k=2, record_outputs=record, n=6
+        )
+        engine.start()
+        # Split right at the first irregular step to stress the transition.
+        split = 4 if shape == "prefix" else 1
+        engine.advance(trace.data[:split])
+        engine.advance(trace.data[split:])
+        res = engine.finalize()
+        assert run_result_fields(res) == run_result_fields(ref)
+
+    def test_regular_run_keeps_compact_path(self):
+        script = [frozenset({0, 1})] * 5
+        res = MonitoringEngine(
+            small_trace(T=5, n=6), ScriptedOutputs(script), k=2
+        ).run()
+        assert res.outputs_array is not None
+        assert res.outputs == script
+
+
+class TestLedgerAccounting:
+    """Satellite: post-end_step charges must not vanish from per_step."""
+
+    def test_output_side_effect_charges_are_folded(self):
+        T, n = 10, 4
+        script = [frozenset({0})] * T
+        algo = ChargesInOutput(list(script), every=3)
+        res = MonitoringEngine(small_trace(T=T, n=n), algo, k=1).run()
+        # t = 0, 3, 6, 9 polled: 4 polls x cost 2.
+        assert res.messages == 8
+        # The accounting law — nothing vanished.
+        assert sum(res.ledger.per_step) == res.messages
+        # Each charge is attributed to the step whose output triggered it.
+        assert res.ledger.per_step == [2, 0, 0, 2, 0, 0, 2, 0, 0, 2]
+
+    def test_final_step_charge_is_flushed(self):
+        # A charge on the very last step's output() has no following
+        # begin_step(); finalize must fold it.
+        T = 4
+        algo = ChargesInOutput([frozenset({0})] * T, every=T - 1)  # t=0 and t=3
+        res = MonitoringEngine(small_trace(T=T, n=4), algo, k=1).run()
+        assert res.messages == 4
+        assert res.ledger.per_step == [2, 0, 0, 2]
+
+    def test_incremental_parity_with_output_charges(self):
+        T, n = 12, 4
+        trace = small_trace(T=T, n=n)
+        script = [frozenset({0})] * T
+        ref = MonitoringEngine(trace, ChargesInOutput(list(script)), k=1).run()
+        engine = MonitoringEngine(None, ChargesInOutput(list(script)), k=1, n=n)
+        engine.start()
+        engine.advance(trace.data[:5])
+        engine.advance(trace.data[5:])
+        res = engine.finalize()
+        assert run_result_fields(res) == run_result_fields(ref)
+
+    def test_cumulative_messages_cached_and_correct(self):
+        T = 6
+        algo = ChargesInOutput([frozenset({0})] * T, every=2)
+        res = MonitoringEngine(small_trace(T=T, n=4), algo, k=1).run()
+        first = res.cumulative_messages
+        assert first.tolist() == np.cumsum(res.ledger.per_step.tolist()).tolist()
+        assert res.cumulative_messages is first  # cached object

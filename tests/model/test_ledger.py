@@ -1,8 +1,9 @@
 """Unit tests for :mod:`repro.model.ledger`."""
 
+import numpy as np
 import pytest
 
-from repro.model.ledger import CostLedger
+from repro.model.ledger import CostLedger, StepSeries
 
 
 class TestCharging:
@@ -81,6 +82,107 @@ class TestPerStep:
         led.charge_rounds(3)
         led.end_step()
         assert led.max_rounds_per_step == 7
+
+    def test_late_charges_fold_into_the_ended_step(self):
+        """Charges between end_step() and the next begin_step() belong to
+        the step they reacted to — they must not vanish from the series."""
+        led = CostLedger()
+        led.begin_step()
+        led.charge_up(2)
+        led.end_step()
+        led.charge_down(3)  # e.g. an output() side effect
+        led.begin_step()
+        led.charge_up(1)
+        led.end_step()
+        assert led.per_step == [5, 1]
+        assert led.unaccounted == 0
+
+    def test_flush_late_charges_closes_the_final_step(self):
+        led = CostLedger()
+        led.begin_step()
+        led.end_step()
+        led.charge_broadcast(2)
+        assert led.unaccounted == 2
+        assert led.flush_late_charges() == 2
+        assert led.per_step == [2]
+        assert led.unaccounted == 0
+        assert led.flush_late_charges() == 0  # idempotent
+
+    def test_accounting_law_holds(self):
+        led = CostLedger()
+        for t in range(5):
+            led.begin_step()
+            led.charge_up(t)
+            led.end_step()
+            led.charge_down()  # a late charge every step
+        led.flush_late_charges()
+        assert sum(led.per_step) == led.messages
+
+
+class TestStepSeries:
+    """The per-step buffer must stay list-compatible while growing in
+    amortized int64 chunks."""
+
+    def test_growth_past_initial_capacity(self):
+        series = StepSeries()
+        count = StepSeries._INITIAL_CAPACITY * 4 + 3
+        for i in range(count):
+            series._append(i)
+        assert len(series) == count
+        assert series[0] == 0
+        assert series[count - 1] == count - 1
+        assert series.tolist() == list(range(count))
+
+    def test_list_compatibility(self):
+        led = CostLedger()
+        for cost in (4, 0, 1):
+            led.begin_step()
+            led.charge_up(cost)
+            led.end_step()
+        series = led.per_step
+        assert series == [4, 0, 1]
+        assert not (series == [4, 0])
+        assert len(series) == 3
+        assert series[1] == 0
+        assert series[-1] == 1
+        assert sum(series[1:]) == 1
+        assert list(series) == [4, 0, 1]
+        assert isinstance(series[0], int)
+
+    def test_asarray_is_zero_copy_int64(self):
+        series = StepSeries()
+        for i in range(10):
+            series._append(i)
+        arr = np.asarray(series)
+        assert arr.dtype == np.int64
+        assert arr.base is series._buf  # a view, not a copy
+        assert np.cumsum(arr).tolist() == np.cumsum(list(range(10))).tolist()
+
+    def test_eq_against_arrays_and_series(self):
+        a, b = StepSeries(), StepSeries()
+        for value in (3, 1):
+            a._append(value)
+            b._append(value)
+        assert a == b
+        assert a == np.array([3, 1])
+        b._append(0)
+        assert not (a == b)
+
+    def test_total(self):
+        series = StepSeries()
+        for value in (5, 7, 11):
+            series._append(value)
+        assert series.total == 23
+
+    def test_out_of_range_index(self):
+        series = StepSeries()
+        series._append(1)
+        with pytest.raises(IndexError):
+            series[5]
+
+    def test_fold_into_empty_rejected(self):
+        with pytest.raises(IndexError):
+            StepSeries()._add_to_last(1)
 
 
 class TestScopes:

@@ -1,0 +1,247 @@
+"""Sessions: parity with run(), checkpoint/resume, config validation."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.model.engine import MonitoringEngine
+from repro.service import Session, SessionConfig, SnapshotError
+from repro.service import algorithms
+from repro.service.algorithms import AlgorithmParamError, make_algorithm
+from repro.service.session import session_from_wire
+from repro.streams import registry
+
+T, N, K, EPS = 600, 16, 3, 0.15
+
+
+@pytest.fixture(scope="module")
+def reference():
+    """In-process run() on the exact stream the sessions will see."""
+    source = registry.stream("zipf", T, N, block_size=64, rng=21)
+    result = MonitoringEngine(
+        source, make_algorithm("approx-monitor", K, EPS),
+        k=K, eps=EPS, seed=5, record_outputs=True,
+    ).run()
+    blocks = list(source.iter_blocks())
+    return result, blocks
+
+
+def push_config(**overrides):
+    base = dict(
+        algorithm="approx-monitor", n=N, k=K, eps=EPS, seed=5, record_outputs=True
+    )
+    base.update(overrides)
+    return SessionConfig(**base)
+
+
+def workload_config(**overrides):
+    return push_config(
+        workload="zipf", num_steps=T, block_size=64, workload_seed=21, **overrides
+    )
+
+
+def assert_same_result(a, b):
+    assert a.messages == b.messages
+    assert a.num_steps == b.num_steps
+    assert a.output_changes == b.output_changes
+    assert a.outputs == b.outputs
+    assert a.ledger.per_step == b.ledger.per_step
+
+
+class TestPushMode:
+    def test_block_by_block_matches_run(self, reference):
+        ref, blocks = reference
+        session = Session(push_config())
+        for block in blocks:
+            session.feed(block)
+        assert_same_result(session.finalize(), ref)
+
+    def test_queries_track_the_run(self, reference):
+        _ref, blocks = reference
+        session = Session(push_config())
+        assert session.step == 0
+        assert session.output() is None
+        session.feed(blocks[0])
+        status = session.status()
+        assert status["step"] == blocks[0].shape[0]
+        assert len(status["output"]) == K
+        assert status["messages"] == session.cost().messages
+        assert isinstance(session.bill(), dict)
+        assert not session.done  # push mode is open-ended
+
+    def test_feed_after_finalize_rejected(self, reference):
+        _ref, blocks = reference
+        session = Session(push_config())
+        session.feed(blocks[0])
+        session.finalize()
+        with pytest.raises(RuntimeError, match="finalized"):
+            session.feed(blocks[1])
+        # finalize is idempotent
+        assert session.finalize().num_steps == blocks[0].shape[0]
+
+    def test_advance_on_push_session_rejected(self, reference):
+        session = Session(push_config())
+        with pytest.raises(RuntimeError, match="feed"):
+            session.advance(10)
+
+
+class TestWorkloadMode:
+    def test_advance_to_horizon_matches_run(self, reference):
+        ref, _blocks = reference
+        session = Session(workload_config())
+        session.advance()
+        assert session.done
+        assert_same_result(session.finalize(), ref)
+
+    def test_uneven_advance_steps_match(self, reference):
+        ref, _blocks = reference
+        session = Session(workload_config())
+        for steps in (1, 37, 100, None):  # cuts inside and across blocks
+            session.advance(steps)
+        assert_same_result(session.finalize(), ref)
+
+    def test_advance_past_horizon_is_noop(self):
+        session = Session(workload_config())
+        session.advance()
+        assert session.advance(50) == T
+
+    def test_feed_on_workload_session_rejected(self):
+        session = Session(workload_config())
+        with pytest.raises(RuntimeError, match="advance"):
+            session.feed(np.ones((1, N)))
+
+    def test_bad_workload_params_fail_at_create(self):
+        with pytest.raises(registry.WorkloadParamError):
+            Session(workload_config(workload_params={"alpha": -1.0}))
+
+    def test_non_streamable_workload_rejected(self):
+        with pytest.raises(ValueError, match="not block-streamable"):
+            Session(push_config(workload="levels", num_steps=100))
+
+
+class TestCheckpointRestore:
+    @pytest.mark.parametrize("cut", [1, 100, 599])
+    def test_push_mode_resume_is_bit_identical(self, reference, cut):
+        ref, blocks = reference
+        session = Session(push_config())
+        fed = 0
+        blob = None
+        for block in blocks:
+            if blob is None and fed + block.shape[0] > cut:
+                split = cut - fed
+                session.feed(block[:split])
+                blob = session.snapshot()
+                session = Session.restore(blob)
+                session.feed(block[split:])
+            else:
+                session.feed(block)
+            fed += block.shape[0]
+        assert blob is not None
+        assert_same_result(session.finalize(), ref)
+
+    def test_workload_mode_resume_is_bit_identical(self, reference):
+        ref, _blocks = reference
+        session = Session(workload_config())
+        session.advance(123)  # cuts inside a generator block
+        resumed = Session.restore(session.snapshot())
+        assert resumed.step == 123
+        resumed.advance()
+        assert_same_result(resumed.finalize(), ref)
+
+    def test_snapshot_after_finalize_rejected(self, reference):
+        _ref, blocks = reference
+        session = Session(push_config())
+        session.feed(blocks[0])
+        session.finalize()
+        with pytest.raises(RuntimeError, match="finalized"):
+            session.snapshot()
+
+    def test_restore_rejects_garbage(self):
+        with pytest.raises(SnapshotError, match="unreadable"):
+            Session.restore(b"not a checkpoint")
+
+    def test_restore_rejects_wrong_format(self):
+        blob = pickle.dumps({"format": 999})
+        with pytest.raises(SnapshotError, match="format"):
+            Session.restore(blob)
+
+    def test_restore_rejects_untrusted_callables(self):
+        # A classic pickle gadget: os.system via reduce.
+        class Evil:
+            def __reduce__(self):
+                import os
+                return (os.system, ("true",))
+
+        blob = pickle.dumps({"format": 1, "config": {}, "engine": Evil()})
+        with pytest.raises(SnapshotError, match="outside the trusted"):
+            Session.restore(blob)
+
+    def test_restore_rejects_trusted_module_functions(self):
+        # Module-level *functions* inside numpy/repro are callable gadgets
+        # too (file writers, savers); only classes and the explicit
+        # reconstructor allowlist may load.
+        class SaverGadget:
+            def __reduce__(self):
+                import numpy
+                return (numpy.save, ("/tmp/pwned.npy", [1]))
+
+        blob = pickle.dumps({"format": 1, "config": {}, "engine": SaverGadget()})
+        with pytest.raises(SnapshotError, match="callable"):
+            Session.restore(blob)
+
+    @pytest.mark.parametrize("slug", algorithms.available())
+    def test_every_algorithm_checkpoints_and_resumes(self, slug):
+        """The unpickler allowlist must cover each algorithm's object
+        graph — a new monitor that pickles an unlisted function should
+        fail here, not in production restore."""
+        spec = algorithms.get(slug)
+        eps = 0.2 if spec.uses_eps else 0.0
+        config = SessionConfig(algorithm=slug, n=8, k=2, eps=eps, seed=6)
+        rng = np.random.default_rng(3)
+        blocks = [np.round(rng.uniform(10, 500, size=(15, 8))) for _ in range(2)]
+
+        full = Session(config)
+        for block in blocks:
+            full.feed(block)
+        want = full.finalize().messages
+
+        session = Session(config)
+        session.feed(blocks[0])
+        resumed = Session.restore(session.snapshot())
+        resumed.feed(blocks[1])
+        assert resumed.finalize().messages == want
+
+
+class TestConfigValidation:
+    def test_wire_spec_round_trip(self):
+        session = session_from_wire(
+            {"algorithm": "send-always", "n": 8, "k": 2, "seed": 1}
+        )
+        session.feed(np.ones((3, 8)))
+        assert session.step == 3
+
+    def test_wire_spec_unknown_key(self):
+        with pytest.raises(ValueError, match="unknown session fields"):
+            session_from_wire({"algorithm": "send-always", "n": 8, "k": 2, "nope": 1})
+
+    def test_bad_k(self):
+        with pytest.raises(ValueError, match="out of range"):
+            SessionConfig(algorithm="send-always", n=4, k=5)
+
+    def test_workload_needs_horizon(self):
+        with pytest.raises(ValueError, match="num_steps"):
+            SessionConfig(algorithm="send-always", n=4, k=2, workload="zipf")
+
+    def test_eps_rules(self):
+        with pytest.raises(AlgorithmParamError, match="eps"):
+            Session(SessionConfig(algorithm="approx-monitor", n=8, k=2))  # missing eps
+        with pytest.raises(AlgorithmParamError, match="exact"):
+            Session(SessionConfig(algorithm="exact-cor3.3", n=8, k=2, eps=0.1))
+
+    def test_unknown_algorithm_param(self):
+        with pytest.raises(AlgorithmParamError, match="unknown params"):
+            Session(SessionConfig(
+                algorithm="approx-monitor", n=8, k=2, eps=0.1,
+                algorithm_params={"warp": 9},
+            ))

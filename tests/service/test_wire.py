@@ -1,0 +1,84 @@
+"""Wire protocol: framing and value-encoding round trips."""
+
+import numpy as np
+import pytest
+
+from repro.service import wire
+
+
+class TestFraming:
+    def test_line_round_trip(self):
+        message = {"id": 3, "op": "feed", "session": "s1"}
+        line = wire.encode_line(message)
+        assert line.endswith(b"\n")
+        assert wire.decode_line(line) == message
+
+    def test_non_object_rejected(self):
+        with pytest.raises(wire.WireError, match="JSON object"):
+            wire.decode_line(b"[1, 2]\n")
+
+    def test_bad_json_rejected(self):
+        with pytest.raises(wire.WireError, match="not valid JSON"):
+            wire.decode_line(b"{nope\n")
+
+    def test_oversize_frame_rejected(self):
+        with pytest.raises(wire.WireError, match="cap"):
+            wire.decode_line(b"x" * (wire.MAX_LINE_BYTES + 1))
+
+
+class TestValues:
+    @pytest.mark.parametrize("encoding", ["b64", "json"])
+    def test_round_trip(self, encoding):
+        block = np.arange(12, dtype=np.float64).reshape(3, 4) * 1.5
+        payload = wire.encode_values(block, encoding)
+        decoded = wire.decode_values(payload)
+        assert decoded.dtype == np.float64
+        np.testing.assert_array_equal(decoded, block)
+
+    @pytest.mark.parametrize("encoding", ["b64", "json"])
+    def test_single_row_becomes_batch(self, encoding):
+        row = np.array([1.0, 2.0, 3.0])
+        decoded = wire.decode_values(wire.encode_values(row, encoding))
+        assert decoded.shape == (1, 3)
+
+    def test_b64_survives_json_framing(self):
+        block = np.random.default_rng(0).uniform(0, 1e6, size=(7, 5))
+        line = wire.encode_line({"values": wire.encode_values(block, "b64")})
+        decoded = wire.decode_values(wire.decode_line(line)["values"])
+        np.testing.assert_array_equal(decoded, block)  # bit-exact, not approx
+
+    def test_unknown_encoding(self):
+        with pytest.raises(wire.WireError, match="unknown values encoding"):
+            wire.encode_values(np.ones((2, 2)), "pickle")
+
+    def test_b64_shape_mismatch(self):
+        payload = wire.encode_values(np.ones((2, 3)))
+        payload["shape"] = [2, 4]
+        with pytest.raises(wire.WireError, match="needs"):
+            wire.decode_values(payload)
+
+    def test_b64_bad_payloads(self):
+        with pytest.raises(wire.WireError, match="bad b64"):
+            wire.decode_values({"b64": "!!!", "shape": [1, 1]})
+        with pytest.raises(wire.WireError, match="shape"):
+            wire.decode_values({"b64": "", "shape": [0, -1]})
+
+    def test_wrong_container(self):
+        with pytest.raises(wire.WireError, match="list or a b64"):
+            wire.decode_values("1,2,3")
+
+    def test_3d_rejected(self):
+        with pytest.raises(wire.WireError, match="batch"):
+            wire.encode_values(np.ones((2, 2, 2)))
+        with pytest.raises(wire.WireError, match="batch"):
+            wire.decode_values([[[1.0]]])
+
+
+class TestBlobs:
+    def test_round_trip(self):
+        blob = bytes(range(256))
+        assert wire.decode_blob(wire.encode_blob(blob)) == blob
+
+    def test_bad_blob(self):
+        with pytest.raises(wire.WireError, match="checkpoint"):
+            wire.decode_blob("@@@not-base64@@@")
