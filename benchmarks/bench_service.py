@@ -9,7 +9,13 @@ Measures what serving costs and buys relative to the in-process engine:
 - **scaling**: N concurrent served sessions driven by the load
   generator at concurrency N — how aggregate steps/s behaves as the
   session count grows (on a single-CPU container this is flat by
-  construction; the number is the honest baseline for bigger boxes).
+  construction; the number is the honest baseline for bigger boxes);
+- **shard_scaling**: the same loadgen sweep against the sharded
+  supervisor (``serve --shards N``) at 1/2/4 shards — whether served
+  aggregate steps/s scales with worker processes.  On a >= 4-core
+  machine 4 shards should clear 2x the 1-shard aggregate at high
+  session counts; on a 1-CPU container the curve is flat and the
+  sweep is a correctness/no-regression gate instead.
 
 Results go to ``BENCH_service.json`` at the repository root so
 successive PRs leave a perf trajectory (CI runs the ``--ci`` variant on
@@ -27,6 +33,7 @@ from __future__ import annotations
 import argparse
 import asyncio
 import json
+import os
 import platform
 import time
 from pathlib import Path
@@ -40,19 +47,37 @@ from repro.service.client import ServiceClient
 from repro.service.loadgen import run_loadgen
 from repro.streams import registry
 
-#: (T, n, k, eps, block_size) of the single-session comparison.
+#: (T, n, k, eps, block_size) of the single-session comparison.  The CI
+#: horizon stays large enough to amortize startup, and both modes use
+#: the same n (the regression gate only compares equal-n cells).
 FULL_SINGLE = (20_000, 32, 4, 0.1, 512)
-CI_SINGLE = (3_000, 32, 4, 0.1, 256)
+CI_SINGLE = (8_000, 32, 4, 0.1, 256)
 
 #: (T per session, session counts) of the scaling sweep.
 FULL_SCALING = (5_000, (1, 2, 4, 8))
-CI_SCALING = (800, (1, 2, 4))
+CI_SCALING = (2_500, (1, 2, 4))
+
+#: (T per session, shard counts, session counts) of the shard sweep.
+#: CI keeps T large enough that per-run fixed costs (connection setup,
+#: worker warmup) amortize — the regression gate compares steps/s
+#: against the committed full-size baseline, and sub-second cells are
+#: too noisy to gate on.
+FULL_SHARDS = (3_000, (1, 2, 4), (1, 2, 4, 8, 16))
+CI_SHARDS = (2_500, (1, 2), (1, 4))
 
 WORKLOAD = "zipf"
 ALGORITHM = "approx-monitor"
 
 
 def bench_in_process(T: int, n: int, k: int, eps: float, block: int) -> dict:
+    # Warm numpy/engine first-call paths so the measured run is steady
+    # state — small CI horizons would otherwise misreport the warmup as
+    # a throughput regression.
+    warm = registry.stream(WORKLOAD, 1_000, n, block_size=block, rng=9)
+    MonitoringEngine(
+        warm, make_algorithm(ALGORITHM, k, eps), k=k, eps=eps, seed=9,
+        record_outputs=False,
+    ).run()
     source = registry.stream(WORKLOAD, T, n, block_size=block, rng=0)
     algorithm = make_algorithm(ALGORITHM, k, eps)
     engine = MonitoringEngine(
@@ -103,6 +128,83 @@ def bench_scaling(host: str, port: int, T: int, counts: tuple[int, ...],
     return out
 
 
+def _drain_or_kill(process, port: int) -> None:
+    """Error-path teardown: graceful shutdown first, SIGKILL as last resort.
+
+    A SIGKILLed sharded supervisor cannot reap its spawned worker
+    processes (atexit never runs), so always try the shutdown op —
+    it drains the whole worker fleet before the process exits.
+    """
+    try:
+        with ServiceClient("127.0.0.1", port) as client:
+            client.shutdown()
+        process.wait(timeout=15)
+    except Exception:
+        process.kill()
+        try:
+            process.wait(timeout=5)
+        except Exception:
+            pass
+
+
+def bench_shard_scaling(T: int, shard_counts: tuple[int, ...],
+                        session_counts: tuple[int, ...],
+                        n: int, k: int, eps: float, block: int) -> dict:
+    """Aggregate loadgen throughput per (shard count, session count)."""
+    out = {}
+    for shards in shard_counts:
+        process, port = _spawn_server(shards)
+        try:
+            # Warm the freshly spawned workers (imports, allocator, numpy
+            # first-call paths) so the measured runs compare across sizes;
+            # 4 sessions per shard make it likely every worker gets hit
+            # through the consistent-hash placement.
+            asyncio.run(run_loadgen(
+                "127.0.0.1", port,
+                workload=WORKLOAD, algorithm=ALGORITHM,
+                sessions=4 * shards, concurrency=4 * shards,
+                num_steps=200, n=n, k=k, eps=eps, block_size=block, seed=1,
+            ))
+            per_sessions = {}
+            for sessions in session_counts:
+                report = asyncio.run(run_loadgen(
+                    "127.0.0.1", port,
+                    workload=WORKLOAD, algorithm=ALGORITHM,
+                    sessions=sessions, concurrency=sessions,
+                    num_steps=T, n=n, k=k, eps=eps, block_size=block, seed=0,
+                ))
+                per_sessions[str(sessions)] = {
+                    "total_steps": report["total_steps"],
+                    "wall_seconds": report["wall_seconds"],
+                    "steps_per_s": report["steps_per_s"],
+                    "messages_per_step": report["messages_per_step"],
+                }
+            with ServiceClient("127.0.0.1", port) as client:
+                client.shutdown()
+            process.wait(timeout=60)
+            out[str(shards)] = {
+                "sessions": per_sessions,
+                "clean_shutdown": process.returncode == 0,
+            }
+        except BaseException:
+            _drain_or_kill(process, port)
+            raise
+    return out
+
+
+def _shard_speedup(shard_scaling: dict) -> float | None:
+    """Aggregate steps/s of the largest vs the smallest shard count,
+    at the largest common session count (the ISSUE-4 scaling gate)."""
+    shard_counts = sorted(shard_scaling, key=int)
+    if len(shard_counts) < 2:
+        return None
+    low, high = shard_counts[0], shard_counts[-1]
+    sessions = sorted(shard_scaling[high]["sessions"], key=int)[-1]
+    base = shard_scaling[low]["sessions"][sessions]["steps_per_s"]
+    top = shard_scaling[high]["sessions"][sessions]["steps_per_s"]
+    return round(top / base, 2) if base else None
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--ci", action="store_true", help="small sizes for CI")
@@ -114,6 +216,7 @@ def main(argv: list[str] | None = None) -> int:
 
     T, n, k, eps, block = CI_SINGLE if args.ci else FULL_SINGLE
     scale_T, counts = CI_SCALING if args.ci else FULL_SCALING
+    shard_T, shard_counts, shard_sessions = CI_SHARDS if args.ci else FULL_SHARDS
 
     t0 = time.perf_counter()
     in_process = bench_in_process(T, n, k, eps, block)
@@ -127,14 +230,20 @@ def main(argv: list[str] | None = None) -> int:
         process.wait(timeout=30)
         clean = process.returncode == 0
     except BaseException:
-        process.kill()
+        _drain_or_kill(process, port)
         raise
 
+    shard_scaling = bench_shard_scaling(
+        shard_T, shard_counts, shard_sessions, n, k, eps, block
+    )
+    clean = clean and all(row["clean_shutdown"] for row in shard_scaling.values())
+
     report = {
-        "schema": 1,
+        "schema": 2,
         "mode": "ci" if args.ci else "full",
         "python": platform.python_version(),
         "numpy": np.__version__,
+        "cpu_count": os.cpu_count(),
         "workload": WORKLOAD,
         "algorithm": ALGORITHM,
         "single_session": {
@@ -145,6 +254,8 @@ def main(argv: list[str] | None = None) -> int:
             ),
         },
         "scaling": scaling,
+        "shard_scaling": shard_scaling,
+        "shard_speedup_x": _shard_speedup(shard_scaling),
         "clean_shutdown": clean,
     }
     report["total_seconds"] = round(time.perf_counter() - t0, 2)
@@ -156,6 +267,11 @@ def main(argv: list[str] | None = None) -> int:
           f"({report['single_session']['serving_overhead_x']}x overhead)")
     for sessions, row in scaling.items():
         print(f"  {sessions:>2} sessions: {row['steps_per_s']:>9,} steps/s aggregate")
+    for shards, row in shard_scaling.items():
+        for sessions, cell in row["sessions"].items():
+            print(f"  {shards} shard(s) x {sessions:>2} sessions: "
+                  f"{cell['steps_per_s']:>9,} steps/s aggregate")
+    print(f"  shard speedup ({os.cpu_count()} CPUs): {report['shard_speedup_x']}x")
     print(f"  server shutdown: {'clean' if clean else 'UNCLEAN'}")
     return 0 if clean else 1
 

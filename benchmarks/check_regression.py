@@ -1,0 +1,145 @@
+"""Benchmark regression gate: fresh BENCH_*.json vs the committed baseline.
+
+CI regenerates ``/tmp/BENCH_streams.json`` / ``/tmp/BENCH_service.json``
+on every push (``--ci`` sizes); this script compares every *throughput*
+metric they share with the committed repo-root baselines and fails when
+one dropped by more than the allowed ratio (default: 30%).
+
+Design points, all in the name of CI-runner noise tolerance:
+
+- only *per-step* throughput leaves are compared (``steps_per_s`` and
+  friends) — wall-clock seconds and message counts are redundant or
+  size-dependent, and per-*value* rates (``values_per_s``) are skipped
+  because no single rate is size-invariant for every workload (cost per
+  step scales with the node count ``n`` for vectorized generators, cost
+  per value scales with ``1/n`` for per-step-bound ones);
+- metrics are matched by their *path* into the JSON tree **plus the
+  cell's node count**: a dict carrying an ``n`` sibling stamps its
+  throughput leaves with ``(n=...)``, so a cell measured at a different
+  ``n`` than the baseline simply does not overlap instead of comparing
+  apples to oranges (the ``--ci`` benchmark grids therefore shrink the
+  horizon ``T``, never ``n``);
+- only paths present in both files count — the ``--ci`` runs use
+  smaller sweep grids than the committed ``full`` baselines, so each
+  side may have extra cells;
+- the threshold is a ratio, not an absolute: a ``--min-ratio 0.7``
+  gate trips only when fresh throughput falls below 70% of baseline
+  (GitHub runners are faster than the container that produced the
+  baselines, so headroom is real);
+- zero overlapping metrics is an *error*, not a pass — a renamed
+  schema must not silently disable the gate.
+
+Usage::
+
+    python benchmarks/check_regression.py \
+        --baseline BENCH_service.json --fresh /tmp/BENCH_service.json
+
+Exit codes: 0 ok, 1 regression (or no overlap), 2 unreadable input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: JSON leaf keys that count as throughput (bigger is better).  All are
+#: per-step rates: per-value rates are excluded because they scale with
+#: the workload's node count, which differs between CI and full sizes.
+THROUGHPUT_KEYS = frozenset(
+    {
+        "steps_per_s",
+        "deliver_steps_per_s",
+        "generate_steps_per_s",
+    }
+)
+
+
+def collect_metrics(tree: object, prefix: str = "") -> dict[str, float]:
+    """Flatten a report to ``{"a.b.steps_per_s(n=64)": value}`` leaves.
+
+    Throughput leaves whose enclosing dict records a node count ``n``
+    carry it in the key, so metrics measured at different sizes never
+    pair up in :func:`compare`.
+    """
+    out: dict[str, float] = {}
+    if isinstance(tree, dict):
+        n = tree.get("n")
+        stamp = f"(n={n})" if isinstance(n, int) else ""
+        for key, value in tree.items():
+            path = f"{prefix}.{key}" if prefix else str(key)
+            if key in THROUGHPUT_KEYS:
+                if isinstance(value, (int, float)) and not isinstance(value, bool):
+                    out[path + stamp] = float(value)
+            else:
+                out.update(collect_metrics(value, path))
+    elif isinstance(tree, list):
+        for index, value in enumerate(tree):
+            out.update(collect_metrics(value, f"{prefix}[{index}]"))
+    return out
+
+
+def compare(
+    baseline: dict[str, float], fresh: dict[str, float], min_ratio: float
+) -> tuple[list[tuple[str, float, float, float]], list[str]]:
+    """Shared-path comparison; returns (rows, failing paths)."""
+    rows = []
+    failures = []
+    for path in sorted(set(baseline) & set(fresh)):
+        base, new = baseline[path], fresh[path]
+        ratio = new / base if base else float("inf")
+        rows.append((path, base, new, ratio))
+        if ratio < min_ratio:
+            failures.append(path)
+    return rows, failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", type=Path, required=True)
+    parser.add_argument("--fresh", type=Path, required=True)
+    parser.add_argument(
+        "--min-ratio",
+        type=float,
+        default=0.7,
+        help="fail when fresh/baseline falls below this (default 0.7 = 30%% drop)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        baseline = collect_metrics(json.loads(args.baseline.read_text()))
+        fresh = collect_metrics(json.loads(args.fresh.read_text()))
+    except (OSError, ValueError) as exc:
+        print(f"cannot read benchmark reports: {exc}", file=sys.stderr)
+        return 2
+
+    rows, failures = compare(baseline, fresh, args.min_ratio)
+    if not rows:
+        print(
+            f"no overlapping throughput metrics between {args.baseline} and "
+            f"{args.fresh} — the gate cannot run (schema drift?)",
+            file=sys.stderr,
+        )
+        return 1
+
+    width = max(len(path) for path, *_ in rows)
+    for path, base, new, ratio in rows:
+        flag = "  <-- REGRESSION" if path in failures else ""
+        print(f"  {path:<{width}}  {base:>12,.0f} -> {new:>12,.0f}  x{ratio:.2f}{flag}")
+    print(
+        f"{len(rows)} shared metrics, min allowed ratio {args.min_ratio}, "
+        f"{len(failures)} below it"
+    )
+    if failures:
+        print(
+            f"throughput regression (>{(1 - args.min_ratio) * 100:.0f}% drop) in: "
+            + ", ".join(failures),
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

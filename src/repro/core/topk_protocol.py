@@ -35,7 +35,6 @@ import numpy as np
 from repro.core.phased import PhaseCore, PhaseOutcome, PhasedMonitor, two_filter_groups
 from repro.model.channel import Channel, Violation
 from repro.util.checks import check_epsilon
-from repro.util.intervals import Interval
 from repro.util.mathx import double_exp, geometric_midpoint, phase_p1
 
 __all__ = ["TopKMonitor", "TopKCore"]

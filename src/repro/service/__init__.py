@@ -12,6 +12,9 @@ This package hosts them that way:
   batch encodings, checkpoint transport).
 - :mod:`repro.service.server` — the asyncio TCP server hosting many
   concurrent sessions.
+- :mod:`repro.service.shard` — sharded serving: a supervisor process
+  consistent-hashing sessions onto N shared-nothing worker processes
+  (same wire protocol, scales with cores).
 - :mod:`repro.service.client` — async + sync client libraries.
 - :mod:`repro.service.loadgen` — workload replay against a live server,
   with throughput reporting.
@@ -37,6 +40,7 @@ from repro.service.algorithms import AlgorithmParamError, make_algorithm
 from repro.service.client import AsyncServiceClient, ServiceClient, ServiceError
 from repro.service.server import MonitoringServer
 from repro.service.session import Session, SessionConfig, SnapshotError
+from repro.service.shard import ShardedMonitoringServer, ShardError, ShardRing
 
 __all__ = [
     "AlgorithmParamError",
@@ -46,6 +50,9 @@ __all__ = [
     "ServiceError",
     "Session",
     "SessionConfig",
+    "ShardError",
+    "ShardRing",
+    "ShardedMonitoringServer",
     "SnapshotError",
     "make_algorithm",
 ]

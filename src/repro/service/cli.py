@@ -41,20 +41,35 @@ def main_serve(argv: list[str] | None = None) -> int:
                         help="TCP port (0 = OS-assigned, printed on the announce line)")
     parser.add_argument("--max-sessions", type=int, default=1024,
                         help="reject session creation beyond this many live sessions")
+    parser.add_argument("--shards", type=int, default=0,
+                        help="host sessions in N worker processes behind a "
+                             "supervisor (0 = single process, the default); "
+                             "see docs/ARCHITECTURE.md §5")
     args = parser.parse_args(argv)
+    if args.shards < 0:
+        parser.error(f"--shards must be >= 0, got {args.shards}")
     try:
         asyncio.run(server_mod.serve(
-            args.host, args.port, max_sessions=args.max_sessions
+            args.host, args.port, max_sessions=args.max_sessions,
+            shards=args.shards,
         ))
     except KeyboardInterrupt:
         pass
     return 0
 
 
-def _spawn_server() -> tuple[subprocess.Popen, int]:
-    """Launch a server subprocess on a free port; returns (process, port)."""
+def _spawn_server(shards: int = 0) -> tuple[subprocess.Popen, int]:
+    """Launch a server subprocess on a free port; returns (process, port).
+
+    With ``shards > 0`` the subprocess runs the sharded supervisor; the
+    announce line is only printed once every worker process is up, so
+    waiting for it below covers the whole topology.
+    """
+    command = [sys.executable, "-m", "repro.experiments", "serve", "--port", "0"]
+    if shards:
+        command += ["--shards", str(shards)]
     process = subprocess.Popen(
-        [sys.executable, "-m", "repro.experiments", "serve", "--port", "0"],
+        command,
         stdout=subprocess.PIPE,
         text=True,
     )
@@ -77,6 +92,9 @@ def main_loadgen(argv: list[str] | None = None) -> int:
     parser.add_argument("--spawn", action="store_true",
                         help="launch (and cleanly shut down) a server subprocess; "
                              "ignores --host/--port")
+    parser.add_argument("--shards", type=int, default=0,
+                        help="with --spawn: launch the server with N shard "
+                             "worker processes (0 = single process)")
     parser.add_argument("--workload", default="iid", metavar="SLUG",
                         help="registry slug (must be block-streamable)")
     parser.add_argument("--workload-param", action="append", default=[],
@@ -98,6 +116,11 @@ def main_loadgen(argv: list[str] | None = None) -> int:
     parser.add_argument("--json", action="store_true", dest="as_json",
                         help="print the full report as JSON")
     args = parser.parse_args(argv)
+    if args.shards < 0:
+        parser.error(f"--shards must be >= 0, got {args.shards}")
+    if args.shards and not args.spawn:
+        parser.error("--shards only applies with --spawn (the server owns "
+                     "its shard count; pass --shards to `serve` instead)")
 
     try:
         workload_params = registry.parse_cli_params(args.workload, args.workload_param)
@@ -109,7 +132,7 @@ def main_loadgen(argv: list[str] | None = None) -> int:
     host, port = args.host, args.port
     try:
         if args.spawn:
-            process, port = _spawn_server()
+            process, port = _spawn_server(args.shards)
             host = "127.0.0.1"
         report = asyncio.run(run_loadgen(
             host, port,
@@ -126,6 +149,8 @@ def main_loadgen(argv: list[str] | None = None) -> int:
         return 1
 
     clean_shutdown = None
+    if args.spawn:
+        report["shards"] = args.shards
     if process is not None:
         try:
             with ServiceClient(host, port) as client:
@@ -141,10 +166,11 @@ def main_loadgen(argv: list[str] | None = None) -> int:
     if args.as_json:
         print(json.dumps(report, indent=2, sort_keys=True))
     else:
+        topology = f", shards {args.shards}" if args.shards else ""
         print(
             f"{report['sessions']} sessions x {report['num_steps']} steps "
             f"(concurrency {report['concurrency']}, workload {report['workload']}, "
-            f"algorithm {report['algorithm']})"
+            f"algorithm {report['algorithm']}{topology})"
         )
         print(
             f"  {report['total_steps']} steps in {report['wall_seconds']}s -> "

@@ -32,6 +32,27 @@ class ServiceError(RuntimeError):
         self.error_type = error_type
 
 
+#: Frames above this size are JSON-encoded/decoded off the event loop
+#: (the client-side twin of the server's ``_INLINE_DECODE_BYTES``): a
+#: near-cap b64 batch is tens of MB, and serializing it inline would
+#: stall every other coroutine sharing the loop — in particular the
+#: shard supervisor, which forwards feed batches through this client.
+_INLINE_CODEC_BYTES = 64 * 1024
+
+
+def _payload_size_hint(fields: dict[str, Any]) -> int:
+    """Rough request-payload size without serializing (b64/state dominate)."""
+    values = fields.get("values")
+    if isinstance(values, dict):
+        b64 = values.get("b64")
+        if isinstance(b64, str):
+            return len(b64)
+    state = fields.get("state")
+    if isinstance(state, str):
+        return len(state)
+    return 0
+
+
 class AsyncServiceClient:
     """One JSON-lines connection to a :class:`~repro.service.server.MonitoringServer`."""
 
@@ -47,6 +68,14 @@ class AsyncServiceClient:
             host, port, limit=wire.MAX_LINE_BYTES
         )
         return cls(reader, writer)
+
+    def close(self) -> None:
+        """Synchronously drop the transport (no drain).
+
+        For pool management (e.g. the shard supervisor discarding a
+        poisoned link); ordinary callers should ``await aclose()``.
+        """
+        self._writer.close()
 
     async def aclose(self) -> None:
         self._writer.close()
@@ -66,15 +95,24 @@ class AsyncServiceClient:
     # ------------------------------------------------------------------ #
     async def request(self, op: str, **fields: Any) -> dict[str, Any]:
         """Send one op and return the ``ok=true`` payload (or raise)."""
+        loop = asyncio.get_running_loop()
         async with self._lock:
             self._next_id += 1
             request_id = self._next_id
-            self._writer.write(wire.encode_line({"id": request_id, "op": op, **fields}))
+            message = {"id": request_id, "op": op, **fields}
+            if _payload_size_hint(fields) > _INLINE_CODEC_BYTES:
+                encoded = await loop.run_in_executor(None, wire.encode_line, message)
+            else:
+                encoded = wire.encode_line(message)
+            self._writer.write(encoded)
             await self._writer.drain()
             line = await self._reader.readline()
         if not line:
             raise ServiceError("connection closed by server", "ConnectionClosed")
-        response = wire.decode_line(line)
+        if len(line) > _INLINE_CODEC_BYTES:
+            response = await loop.run_in_executor(None, wire.decode_line, line)
+        else:
+            response = wire.decode_line(line)
         if not response.get("ok"):
             raise ServiceError(
                 response.get("error", "unknown error"),
@@ -128,6 +166,17 @@ class AsyncServiceClient:
         """Create a new session resuming from a checkpoint blob."""
         response = await self.request("restore", state=wire.encode_blob(blob))
         return response["session"]
+
+    async def migrate(self, session: str, shard: int | None = None) -> dict[str, Any]:
+        """Move a session to another shard (sharded servers only).
+
+        ``shard=None`` lets the supervisor pick the next shard; the
+        session id stays valid across the move.
+        """
+        fields: dict[str, Any] = {"session": session}
+        if shard is not None:
+            fields["shard"] = shard
+        return await self.request("migrate", **fields)
 
     async def finalize(self, session: str) -> dict[str, Any]:
         """Close the session and return its result summary."""
@@ -202,6 +251,9 @@ class ServiceClient:
 
     def restore(self, blob: bytes) -> str:
         return self._call(self._client.restore(blob))
+
+    def migrate(self, session: str, shard: int | None = None) -> dict[str, Any]:
+        return self._call(self._client.migrate(session, shard))
 
     def finalize(self, session: str) -> dict[str, Any]:
         return self._call(self._client.finalize(session))

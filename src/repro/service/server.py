@@ -146,7 +146,14 @@ class MonitoringServer:
                 if not line:
                     break  # peer closed
                 response = await self._respond(line)
-                writer.write(wire.encode_line(response))
+                # A snapshot response carries a multi-MB b64 state blob;
+                # serialize it off the loop like the inbound decode path.
+                state = response.get("state")
+                if isinstance(state, str) and len(state) > self._INLINE_DECODE_BYTES:
+                    encoded = await self._run_sync(wire.encode_line, response)
+                else:
+                    encoded = wire.encode_line(response)
+                writer.write(encoded)
                 await writer.drain()
         except (ConnectionResetError, BrokenPipeError):
             pass  # peer vanished mid-response; nothing to answer
@@ -182,11 +189,14 @@ class MonitoringServer:
             payload = await handler(self, message)
             return {"id": request_id, "ok": True, **payload}
         except Exception as exc:  # every failure becomes a protocol error
+            # A forwarded error (sharded serving) already carries the
+            # worker-side error_type; preserve it so clients see the same
+            # type regardless of how many processes served them.
             return {
                 "id": request_id,
                 "ok": False,
                 "error": str(exc) or type(exc).__name__,
-                "error_type": type(exc).__name__,
+                "error_type": getattr(exc, "error_type", "") or type(exc).__name__,
             }
 
     # ------------------------------------------------------------------ #
@@ -361,16 +371,29 @@ class MonitoringServer:
 
 async def serve(
     host: str = "127.0.0.1", port: int = 0, *, max_sessions: int = 1024,
-    announce=None,
+    shards: int = 0, announce=None,
 ) -> None:
     """Start a server and run it until a ``shutdown`` op.
+
+    ``shards=0`` (the default) hosts every session in this process;
+    ``shards=N`` starts the sharded supervisor of
+    :mod:`repro.service.shard` with N worker processes — same wire
+    protocol, served throughput scales with cores.
 
     ``announce`` receives the single ``serving on host:port`` line once
     the socket is bound — the CLI prints it (callers like
     ``loadgen --spawn`` parse it to learn an OS-assigned port); tests
-    pass a capture function or ``lambda _: None``.
+    pass a capture function or ``lambda _: None``.  With shards, the
+    line is only printed once every worker process is up.
     """
-    server = MonitoringServer(host, port, max_sessions=max_sessions)
+    if shards:
+        from repro.service.shard import ShardedMonitoringServer
+
+        server: MonitoringServer = ShardedMonitoringServer(
+            host, port, shards=shards, max_sessions=max_sessions
+        )
+    else:
+        server = MonitoringServer(host, port, max_sessions=max_sessions)
     bound_host, bound_port = await server.start()
     line = f"serving on {bound_host}:{bound_port}"
     if announce is None:

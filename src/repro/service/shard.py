@@ -1,0 +1,712 @@
+"""Sharded serving: one front end, N shared-nothing worker processes.
+
+PR 3's :class:`~repro.service.server.MonitoringServer` hosts every
+session in a single asyncio process, so served throughput is capped at
+one core no matter how many sessions connect.  This module adds the
+next scaling step, mirroring how the paper's protocol treats
+monitoring instances as independent units behind one broadcast
+channel: sessions are *shared-nothing*, so they scale horizontally by
+placing them in separate OS processes.
+
+- :class:`ShardRing` — a consistent-hash ring (64 virtual points per
+  shard by default) mapping session ids onto shard indices, so
+  growing or shrinking the shard count relocates only ``~1/N`` of the
+  sessions instead of reshuffling everything.
+- :func:`shard_worker_main` — the entry point of one shard worker
+  process: a plain single-process :class:`MonitoringServer` bound to a
+  per-shard localhost socket, reached only by the supervisor.
+- :class:`ShardedMonitoringServer` — the supervisor: an asyncio
+  acceptor speaking the *unchanged* client wire protocol, which
+  rewrites session ids and forwards each op to the owning shard over a
+  bounded per-shard connection pool (the pool bound is the
+  backpressure: at most ``links_per_shard`` requests are in flight per
+  shard, later requests wait).
+
+Sessions stay *bit-identical* to single-process serving: a shard
+worker runs the very same ``Session``/engine stack, and the supervisor
+never touches payload bytes beyond the ``id``/``session`` envelope
+fields.  Checkpoint-based migration (the ``migrate`` op /
+:meth:`ShardedMonitoringServer.migrate_session`) moves a live session
+between shards through the PR 3 snapshot format, and
+:meth:`ShardedMonitoringServer.restart_shard` rebuilds a whole worker
+process around checkpoints of its sessions — both without losing a
+step or a message of session state.  See docs/ARCHITECTURE.md §5.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import bisect
+import hashlib
+import multiprocessing
+import time
+from typing import Any
+
+from repro.service import wire
+from repro.service.client import AsyncServiceClient, ServiceError
+from repro.service.server import MonitoringServer
+
+__all__ = [
+    "ShardError",
+    "ShardRing",
+    "ShardedMonitoringServer",
+    "shard_worker_main",
+]
+
+#: Spawned (never forked) workers: the supervisor runs an event loop,
+#: and forking a live loop is undefined behavior; spawn also gives the
+#: worker a pristine interpreter, matching production process managers.
+_MP = multiprocessing.get_context("spawn")
+
+#: How long a worker process may take to bind its socket and report.
+_WORKER_START_TIMEOUT = 120.0
+
+#: How long a worker may take to exit after a shutdown request.
+_WORKER_STOP_TIMEOUT = 15.0
+
+#: Per-request ceiling on a supervisor->worker round trip.  Generous —
+#: a near-cap feed batch takes well under a second even on one core —
+#: but finite, so a *hung* (not dead) worker turns into ShardError
+#: responses instead of wedging route locks (and, transitively, the
+#: placement lock and every restart_shard) forever.
+_FORWARD_TIMEOUT = 60.0
+
+
+class ShardError(RuntimeError):
+    """A shard worker is unreachable or failed mid-request."""
+
+
+def _hash64(key: str) -> int:
+    """A stable (process-independent) 64-bit hash of ``key``."""
+    digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class ShardRing:
+    """Consistent-hash ring: session id -> shard index.
+
+    Each shard owns ``points`` pseudo-random positions on a 64-bit
+    ring; a key belongs to the shard owning the first position at or
+    after the key's hash (wrapping at the top).  Placement is a pure
+    function of ``(key, shards, points)`` — every process computes the
+    same ring, nothing needs to be gossiped.
+    """
+
+    def __init__(self, shards: int, *, points: int = 64) -> None:
+        if shards < 1:
+            raise ValueError(f"need at least 1 shard, got {shards}")
+        if points < 1:
+            raise ValueError(f"need at least 1 point per shard, got {points}")
+        self.shards = shards
+        self.points = points
+        pairs = sorted(
+            (_hash64(f"shard-{shard}#{point}"), shard)
+            for shard in range(shards)
+            for point in range(points)
+        )
+        self._hashes = [h for h, _ in pairs]
+        self._owners = [s for _, s in pairs]
+
+    def owner(self, key: str) -> int:
+        """The shard index owning ``key``."""
+        index = bisect.bisect_right(self._hashes, _hash64(key))
+        return self._owners[index % len(self._owners)]
+
+
+def shard_worker_main(ready, max_sessions: int) -> None:
+    """Entry point of one shard worker process.
+
+    Runs a plain :class:`MonitoringServer` on an OS-assigned localhost
+    port, reports that port through the ``ready`` pipe, then serves
+    until the supervisor sends the ``shutdown`` op.  Exit code 0 means
+    a clean drain.
+    """
+
+    async def run() -> None:
+        server = MonitoringServer("127.0.0.1", 0, max_sessions=max_sessions)
+        await server.start()
+        ready.send(server.port)
+        ready.close()
+        await server.serve_until_shutdown()
+
+    asyncio.run(run())
+
+
+class _ShardWorker:
+    """One worker process plus the supervisor's link pool to it."""
+
+    def __init__(self, index: int, links_per_shard: int) -> None:
+        self.index = index
+        self.process: multiprocessing.process.BaseProcess | None = None
+        self.port: int | None = None
+        #: Bumped by :meth:`drop_links`; a link checked out before the
+        #: bump must not re-enter the pool (it points at the old port).
+        self.generation = 0
+        #: Pool slots; ``None`` means "connect lazily on first use".
+        self.links: asyncio.Queue[AsyncServiceClient | None] = asyncio.Queue()
+        for _ in range(links_per_shard):
+            self.links.put_nowait(None)
+
+    async def acquire(self) -> AsyncServiceClient:
+        """Check a link out of the pool (the per-shard backpressure)."""
+        link = await self.links.get()
+        if link is None:
+            if self.port is None:
+                self.links.put_nowait(None)
+                raise ShardError(f"shard {self.index} is not running")
+            try:
+                link = await AsyncServiceClient.connect("127.0.0.1", self.port)
+            except OSError as exc:
+                self.links.put_nowait(None)
+                raise ShardError(f"shard {self.index} unreachable: {exc}") from exc
+        return link
+
+    def release(self, link: AsyncServiceClient, *, broken: bool = False) -> None:
+        """Return a link; a broken one becomes a lazy reconnect slot."""
+        if broken:
+            link.close()
+            self.links.put_nowait(None)
+        else:
+            self.links.put_nowait(link)
+
+    def drop_links(self) -> None:
+        """Close every pooled link (worker restart or shutdown)."""
+        self.generation += 1
+        drained = []
+        while True:
+            try:
+                drained.append(self.links.get_nowait())
+            except asyncio.QueueEmpty:
+                break
+        for link in drained:
+            if link is not None:
+                link.close()
+            self.links.put_nowait(None)
+
+
+class _Route:
+    """Where one supervisor-visible session lives right now."""
+
+    __slots__ = ("shard", "local", "step", "lock")
+
+    def __init__(self, shard: int, local: str, step: int = 0) -> None:
+        self.shard = shard
+        self.local = local  # the worker's own session id
+        self.step = step
+        self.lock = asyncio.Lock()
+
+
+class ShardedMonitoringServer(MonitoringServer):
+    """Supervisor: consistent-hash sessions onto N worker processes.
+
+    Clients are unchanged on the wire — the supervisor answers the same
+    op vocabulary as :class:`MonitoringServer` (plus ``migrate``),
+    assigns the session ids, and forwards each session op to the shard
+    owning it.  Worker processes host the actual
+    :class:`~repro.service.session.Session` stack, shared-nothing, one
+    event loop + executor each, so served throughput scales with cores.
+
+    Parameters
+    ----------
+    shards:
+        Worker process count (>= 1).
+    links_per_shard:
+        Supervisor connections per shard; bounds in-flight requests
+        per shard (backpressure — excess requests queue).
+    ring_points:
+        Virtual ring positions per shard (placement granularity).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        shards: int,
+        max_sessions: int = 1024,
+        links_per_shard: int = 4,
+        ring_points: int = 64,
+    ) -> None:
+        super().__init__(host, port, max_sessions=max_sessions)
+        if shards < 1:
+            raise ValueError(f"need at least 1 shard, got {shards}")
+        self.num_shards = shards
+        self.ring = ShardRing(shards, points=ring_points)
+        self._links_per_shard = links_per_shard
+        self._workers = [_ShardWorker(i, links_per_shard) for i in range(shards)]
+        self._routes: dict[str, _Route] = {}
+        # Serializes every operation that changes *where sessions live*
+        # (create, restore, migrate, shard restart), so the session
+        # budget is enforced atomically and a restart can never race a
+        # concurrent placement onto the worker it is replacing.  Lock
+        # order is always placement -> route.lock, never the reverse.
+        self._placement = asyncio.Lock()
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    async def start(self) -> tuple[str, int]:
+        """Spawn the shard workers, then bind the front-end listener."""
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        try:
+            await asyncio.gather(*(self._spawn_worker(w) for w in self._workers))
+            return await super().start()
+        except BaseException:
+            await self._stop_workers()
+            raise
+
+    async def _spawn_worker(self, worker: _ShardWorker) -> None:
+        """Start one worker process and wait for its announced port."""
+        receiver, sender = _MP.Pipe(duplex=False)
+        process = _MP.Process(
+            target=shard_worker_main,
+            args=(sender, self.max_sessions),
+            name=f"repro-shard-{worker.index}",
+            daemon=True,
+        )
+        process.start()
+        sender.close()
+        worker.process = process
+        loop = asyncio.get_running_loop()
+        try:
+            worker.port = await loop.run_in_executor(
+                None, _receive_port, receiver, process
+            )
+        finally:
+            receiver.close()
+
+    async def serve_until_shutdown(self) -> None:
+        """Serve, then drain: front end first, then every worker."""
+        try:
+            await super().serve_until_shutdown()
+        finally:
+            await self._stop_workers()
+
+    async def aclose(self) -> None:
+        try:
+            await super().aclose()
+        finally:
+            self._routes.clear()
+            await self._stop_workers()
+
+    async def _stop_workers(self) -> None:
+        await asyncio.gather(*(self._stop_worker(w) for w in self._workers))
+
+    async def _stop_worker(self, worker: _ShardWorker) -> None:
+        """Gracefully drain one worker; escalate to terminate/kill."""
+        worker.drop_links()
+        process = worker.process
+        if process is None:
+            return
+        if process.is_alive() and worker.port is not None:
+            try:
+                link = await asyncio.wait_for(
+                    AsyncServiceClient.connect("127.0.0.1", worker.port), timeout=5
+                )
+                try:
+                    await asyncio.wait_for(link.request("shutdown"), timeout=5)
+                finally:
+                    await link.aclose()
+            except Exception:
+                pass  # worker already gone or wedged; escalate below
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, process.join, _WORKER_STOP_TIMEOUT)
+        if process.is_alive():
+            process.terminate()
+            await loop.run_in_executor(None, process.join, 5)
+            if process.is_alive():
+                process.kill()
+                await loop.run_in_executor(None, process.join, 5)
+        worker.port = None
+
+    # ------------------------------------------------------------------ #
+    # Forwarding
+    # ------------------------------------------------------------------ #
+    async def _forward(self, shard: int, op: str, **fields: Any) -> dict[str, Any]:
+        """One request/response round trip to a shard worker.
+
+        Protocol-level errors from the worker re-raise as
+        :class:`ServiceError` (the envelope preserves their original
+        ``error_type``); transport failures become :class:`ShardError`
+        and poison the link so the pool reconnects lazily.
+        """
+        worker = self._workers[shard]
+        link = await worker.acquire()
+        generation = worker.generation
+        broken = False
+        try:
+            response = await asyncio.wait_for(
+                link.request(op, **fields), timeout=_FORWARD_TIMEOUT
+            )
+            # The worker's envelope (its request id, ok flag) is link-local;
+            # the supervisor re-wraps the payload under the client's own id.
+            response.pop("id", None)
+            response.pop("ok", None)
+            return response
+        except ServiceError as exc:
+            if exc.error_type == "ConnectionClosed":
+                broken = True
+                raise ShardError(f"shard {shard} closed the connection") from exc
+            raise  # clean worker-side error; the link is still in sync
+        except BaseException as exc:
+            broken = True  # cancelled, timed out, or failed mid-exchange
+            if isinstance(exc, asyncio.TimeoutError):
+                raise ShardError(
+                    f"shard {shard} did not respond within {_FORWARD_TIMEOUT:.0f}s"
+                ) from exc
+            if isinstance(exc, (ConnectionError, OSError, asyncio.IncompleteReadError)):
+                raise ShardError(f"shard {shard} unavailable: {exc}") from exc
+            raise
+        finally:
+            # A generation bump mid-request means the worker was replaced
+            # under us: the link points at the old port and must not be
+            # re-pooled even though this exchange happened to succeed.
+            worker.release(link, broken=broken or worker.generation != generation)
+
+    def _new_sid(self) -> str:
+        if len(self._routes) >= self.max_sessions:
+            raise RuntimeError(
+                f"session limit reached ({self.max_sessions}); finalize or "
+                "close sessions before creating more"
+            )
+        self._next_id += 1
+        return f"s{self._next_id}"
+
+    def _route(self, message: dict[str, Any]) -> tuple[str, _Route]:
+        sid = message.get("session")
+        route = self._routes.get(sid)
+        if route is None:
+            raise KeyError(f"no such session {sid!r}")
+        return sid, route
+
+    # ------------------------------------------------------------------ #
+    # Migration
+    # ------------------------------------------------------------------ #
+    async def migrate_session(
+        self, sid: str, target: int | None = None
+    ) -> dict[str, Any]:
+        """Move one session to ``target`` (default: the next shard).
+
+        The move is checkpoint-based: snapshot on the owning shard,
+        restore on the target, close the original — the session id the
+        client holds does not change, and the restored session
+        continues bit-identically (PR 3's checkpoint guarantee).
+        """
+        route = self._routes.get(sid)
+        if route is None:
+            raise KeyError(f"no such session {sid!r}")
+        async with self._placement:
+            async with route.lock:
+                return await self._migrate_locked(sid, route, target)
+
+    async def _migrate_locked(
+        self, sid: str, route: _Route, target: int | None
+    ) -> dict[str, Any]:
+        source = route.shard
+        if target is None:
+            target = (source + 1) % self.num_shards
+        if not 0 <= target < self.num_shards:
+            raise ValueError(
+                f"target shard {target} out of range [0, {self.num_shards})"
+            )
+        if target == source:
+            return {
+                "session": sid,
+                "from_shard": source,
+                "to_shard": target,
+                "step": route.step,
+                "moved": False,
+            }
+        snap = await self._forward(source, "snapshot", session=route.local)
+        restored = await self._forward(target, "restore", state=snap["state"])
+        try:
+            await self._forward(source, "close", session=route.local)
+        except (ShardError, ServiceError):
+            # The restored copy is authoritative either way (identical at
+            # the snapshot step; route.lock blocks feeds during the move).
+            # A failed close at worst leaves a stale twin on a broken
+            # source worker — cleared by restart_shard — and must not
+            # orphan the reachable copy on the healthy target.
+            pass
+        route.shard = target
+        route.local = restored["session"]
+        route.step = restored["step"]
+        return {
+            "session": sid,
+            "from_shard": source,
+            "to_shard": target,
+            "step": route.step,
+            "moved": True,
+        }
+
+    async def restart_shard(self, index: int) -> dict[str, Any]:
+        """Checkpoint a shard's sessions, restart its process, restore.
+
+        Rebalancing/maintenance *and* recovery primitive: every session
+        hosted on shard ``index`` is snapshotted to the supervisor, the
+        worker process is drained and replaced, and the sessions are
+        restored into the fresh process — placement and session ids
+        unchanged, state bit-identical.  If the worker is already dead
+        (snapshots unreachable), the process is still replaced and the
+        unsaveable sessions' routes are dropped so their slots return
+        to the session budget — the ``lost`` count reports them.
+        """
+        if not 0 <= index < self.num_shards:
+            raise ValueError(f"shard {index} out of range [0, {self.num_shards})")
+        worker = self._workers[index]
+        async with self._placement:
+            # No placement can race us onto the dying worker: create,
+            # restore and migrate all hold the same lock.
+            resident = [
+                (sid, route)
+                for sid, route in self._routes.items()
+                if route.shard == index
+            ]
+            acquired = []
+            try:
+                for _sid, route in resident:
+                    await route.lock.acquire()
+                    acquired.append(route)
+                blobs = []
+                lost = []
+                worker_dead = False
+                for sid, route in resident:
+                    if self._routes.get(sid) is not route:
+                        continue  # finalized/closed while we awaited its lock
+                    if worker_dead:
+                        lost.append(sid)
+                        continue
+                    try:
+                        snap = await self._forward(
+                            index, "snapshot", session=route.local
+                        )
+                    except ShardError:
+                        worker_dead = True  # no point probing per session
+                        lost.append(sid)
+                        continue
+                    except ServiceError:
+                        lost.append(sid)  # gone on the worker: route is stale
+                        continue
+                    blobs.append((sid, route, snap["state"]))
+                await self._stop_worker(worker)
+                await self._spawn_worker(worker)
+                for sid, route, state in blobs:
+                    restored = await self._forward(index, "restore", state=state)
+                    route.local = restored["session"]
+                    route.step = restored["step"]
+                for sid in lost:
+                    self._routes.pop(sid, None)
+            finally:
+                for route in acquired:
+                    route.lock.release()
+        return {
+            "shard": index,
+            "sessions": len(blobs),
+            "lost": len(lost),
+            "port": worker.port,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Ops (same vocabulary as MonitoringServer, plus ``migrate``)
+    # ------------------------------------------------------------------ #
+    async def _op_ping(self, message: dict[str, Any]) -> dict[str, Any]:
+        shard_info = []
+        for worker in self._workers:
+            try:
+                pong = await self._forward(worker.index, "ping")
+            except ShardError:
+                shard_info.append({"shard": worker.index, "alive": False})
+                continue
+            shard_info.append(
+                {
+                    "shard": worker.index,
+                    "alive": True,
+                    "sessions": pong["sessions"],
+                    "stats": pong["stats"],
+                }
+            )
+        return {
+            "pong": True,
+            "version": wire.PROTOCOL_VERSION,
+            "sessions": len(self._routes),
+            "shards": self.num_shards,
+            "shard_info": shard_info,
+            "stats": dict(self.stats),
+        }
+
+    async def _op_create(self, message: dict[str, Any]) -> dict[str, Any]:
+        spec = message.get("spec")
+        if not isinstance(spec, dict):
+            raise wire.WireError("create needs a 'spec' object")
+        async with self._placement:
+            sid = self._new_sid()
+            shard = self.ring.owner(sid)
+            payload = await self._forward(shard, "create", spec=spec)
+            self._routes[sid] = _Route(shard, payload["session"])
+        return {"session": sid, "step": payload["step"], "shard": shard}
+
+    async def _op_feed(self, message: dict[str, Any]) -> dict[str, Any]:
+        sid, route = self._route(message)
+        async with route.lock:
+            payload = await self._forward(
+                route.shard,
+                "feed",
+                session=route.local,
+                values=message.get("values"),
+            )
+            self.stats["steps_ingested"] += payload["step"] - route.step
+            route.step = payload["step"]
+        return {
+            "session": sid,
+            "step": payload["step"],
+            "messages": payload["messages"],
+        }
+
+    async def _op_advance(self, message: dict[str, Any]) -> dict[str, Any]:
+        sid, route = self._route(message)
+        async with route.lock:
+            payload = await self._forward(
+                route.shard,
+                "advance",
+                session=route.local,
+                steps=message.get("steps"),
+            )
+            self.stats["steps_ingested"] += payload["step"] - route.step
+            route.step = payload["step"]
+        return {
+            "session": sid,
+            "step": payload["step"],
+            "messages": payload["messages"],
+            "done": payload["done"],
+        }
+
+    async def _op_query(self, message: dict[str, Any]) -> dict[str, Any]:
+        sid, route = self._route(message)
+        async with route.lock:
+            payload = await self._forward(route.shard, "query", session=route.local)
+        return {**payload, "session": sid}
+
+    async def _op_cost(self, message: dict[str, Any]) -> dict[str, Any]:
+        sid, route = self._route(message)
+        async with route.lock:
+            payload = await self._forward(route.shard, "cost", session=route.local)
+        return {**payload, "session": sid}
+
+    async def _op_snapshot(self, message: dict[str, Any]) -> dict[str, Any]:
+        sid, route = self._route(message)
+        async with route.lock:
+            payload = await self._forward(
+                route.shard,
+                "snapshot",
+                session=route.local,
+            )
+        return {**payload, "session": sid}
+
+    async def _op_restore(self, message: dict[str, Any]) -> dict[str, Any]:
+        state = message.get("state")
+        if not isinstance(state, str):
+            raise wire.WireError("restore needs a base64 'state' string")
+        async with self._placement:
+            sid = self._new_sid()
+            shard = self.ring.owner(sid)
+            payload = await self._forward(shard, "restore", state=state)
+            self._routes[sid] = _Route(shard, payload["session"], step=payload["step"])
+        return {"session": sid, "step": payload["step"], "shard": shard}
+
+    async def _op_finalize(self, message: dict[str, Any]) -> dict[str, Any]:
+        sid, route = self._route(message)
+        async with route.lock:
+            payload = await self._forward(
+                route.shard,
+                "finalize",
+                session=route.local,
+            )
+            self._routes.pop(sid, None)  # a concurrent close may have won
+        return {"session": sid, "result": payload["result"]}
+
+    async def _op_close(self, message: dict[str, Any]) -> dict[str, Any]:
+        sid, route = self._route(message)
+        async with route.lock:
+            try:
+                await self._forward(route.shard, "close", session=route.local)
+            except (ShardError, ServiceError):
+                # Unreachable worker or already-gone worker session: the
+                # route is garbage either way, and dropping it is the only
+                # way to hand the slot back to the session budget — close
+                # must stay the client's escape hatch for a dead shard.
+                pass
+            self._routes.pop(sid, None)  # a concurrent close may have won
+        return {"session": sid, "closed": True}
+
+    async def _op_list(self, message: dict[str, Any]) -> dict[str, Any]:
+        reverse = {
+            (route.shard, route.local): sid for sid, route in self._routes.items()
+        }
+        sessions = []
+        unreachable = []
+        for worker in self._workers:
+            try:
+                payload = await self._forward(worker.index, "list")
+            except ShardError:
+                # A dead shard degrades only its own rows, matching the
+                # per-session failure semantics (and _op_ping's shape).
+                unreachable.append(worker.index)
+                continue
+            for row in payload["sessions"]:
+                sid = reverse.get((worker.index, row["session"]))
+                if sid is not None:
+                    sessions.append({**row, "session": sid, "shard": worker.index})
+        sessions.sort(key=lambda row: int(row["session"][1:]))
+        return {"sessions": sessions, "unreachable_shards": unreachable}
+
+    async def _op_migrate(self, message: dict[str, Any]) -> dict[str, Any]:
+        sid, route = self._route(message)
+        target = message.get("shard")
+        if target is not None and not isinstance(target, int):
+            raise wire.WireError(f"migrate shard must be an int, got {target!r}")
+        async with self._placement:
+            async with route.lock:
+                return await self._migrate_locked(sid, route, target)
+
+    _OPS = {
+        "ping": _op_ping,
+        "create": _op_create,
+        "feed": _op_feed,
+        "advance": _op_advance,
+        "query": _op_query,
+        "cost": _op_cost,
+        "snapshot": _op_snapshot,
+        "restore": _op_restore,
+        "finalize": _op_finalize,
+        "close": _op_close,
+        "list": _op_list,
+        "migrate": _op_migrate,
+        "shutdown": MonitoringServer._op_shutdown,
+    }
+
+
+def _receive_port(receiver, process) -> int:
+    """Wait (in an executor thread) for a worker's announced port."""
+    deadline = time.monotonic() + _WORKER_START_TIMEOUT
+    while time.monotonic() < deadline:
+        if receiver.poll(0.2):
+            try:
+                return int(receiver.recv())
+            except EOFError:
+                # Death before the announce closes the pipe, and poll()
+                # reports the EOF as readable — same diagnosis as below.
+                process.join(5)
+                raise ShardError(
+                    f"worker {process.name} died during startup "
+                    f"(exit code {process.exitcode})"
+                ) from None
+        if not process.is_alive():
+            raise ShardError(
+                f"worker {process.name} died during startup "
+                f"(exit code {process.exitcode})"
+            )
+    raise ShardError(
+        f"worker {process.name} did not announce a port within "
+        f"{_WORKER_START_TIMEOUT:.0f}s"
+    )

@@ -5,7 +5,6 @@ import numpy as np
 from repro.core.topk_protocol import TopKCore, TopKMonitor
 from repro.model.engine import MonitoringEngine
 from repro.offline.opt import offline_opt
-from repro.streams.base import Trace
 from repro.streams.synthetic import random_walk
 from repro.streams.transforms import make_distinct
 

@@ -5,7 +5,6 @@ Running a real experiment through the sweep runner with ``jobs=1``,
 compared, not just row equality).
 """
 
-import pytest
 
 from repro.experiments import run_experiment
 from repro.runner import RunnerConfig

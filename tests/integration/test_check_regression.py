@@ -1,0 +1,133 @@
+"""The benchmark regression gate (benchmarks/check_regression.py).
+
+The gate script lives outside the package (it is a CI helper, not
+library code), so it is loaded by path here.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SCRIPT = Path(__file__).resolve().parents[2] / "benchmarks" / "check_regression.py"
+_spec = importlib.util.spec_from_file_location("check_regression", _SCRIPT)
+check_regression = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(check_regression)
+
+
+class TestCollectMetrics:
+    def test_flattens_only_throughput_leaves(self):
+        report = {
+            "mode": "ci",
+            "single": {"steps_per_s": 100, "seconds": 2.5, "messages": 42},
+            "scaling": {"1": {"steps_per_s": 90}, "4": {"steps_per_s": 80}},
+        }
+        assert check_regression.collect_metrics(report) == {
+            "single.steps_per_s": 100.0,
+            "scaling.1.steps_per_s": 90.0,
+            "scaling.4.steps_per_s": 80.0,
+        }
+
+    def test_walks_lists_and_skips_non_numeric(self):
+        report = {"runs": [{"steps_per_s": 10}, {"steps_per_s": "n/a"}]}
+        assert check_regression.collect_metrics(report) == {
+            "runs[0].steps_per_s": 10.0
+        }
+
+    def test_stamps_node_count_into_the_key(self):
+        report = {
+            "generation": {
+                "iid": {"T": 100, "n": 64, "steps_per_s": 50},
+                "zipf": {"steps_per_s": 40},
+            }
+        }
+        assert check_regression.collect_metrics(report) == {
+            "generation.iid.steps_per_s(n=64)": 50.0,
+            "generation.zipf.steps_per_s": 40.0,
+        }
+
+    def test_different_node_counts_never_pair_up(self):
+        """A cell measured at another n must not compare (per-step rates
+        scale with n for vectorized workloads)."""
+        base = check_regression.collect_metrics({"x": {"n": 64, "steps_per_s": 100}})
+        fresh = check_regression.collect_metrics({"x": {"n": 32, "steps_per_s": 100}})
+        rows, failures = check_regression.compare(base, fresh, min_ratio=0.7)
+        assert rows == []
+        assert failures == []
+
+
+class TestCompare:
+    def test_only_shared_paths_count(self):
+        rows, failures = check_regression.compare(
+            {"a.steps_per_s": 100.0, "full_only.steps_per_s": 5.0},
+            {"a.steps_per_s": 95.0, "ci_only.steps_per_s": 1.0},
+            min_ratio=0.7,
+        )
+        assert [row[0] for row in rows] == ["a.steps_per_s"]
+        assert failures == []
+
+    def test_detects_a_drop_beyond_tolerance(self):
+        rows, failures = check_regression.compare(
+            {"a.steps_per_s": 100.0, "b.steps_per_s": 100.0},
+            {"a.steps_per_s": 69.0, "b.steps_per_s": 71.0},
+            min_ratio=0.7,
+        )
+        assert failures == ["a.steps_per_s"]
+        assert len(rows) == 2
+
+
+class TestMain:
+    def run(self, tmp_path, baseline, fresh, *extra):
+        base = tmp_path / "base.json"
+        new = tmp_path / "new.json"
+        base.write_text(json.dumps(baseline))
+        new.write_text(json.dumps(fresh))
+        return check_regression.main(
+            ["--baseline", str(base), "--fresh", str(new), *extra]
+        )
+
+    def test_passes_within_tolerance(self, tmp_path, capsys):
+        ok = {"x": {"steps_per_s": 100}}
+        assert self.run(tmp_path, ok, {"x": {"steps_per_s": 80}}) == 0
+        assert "1 shared metrics" in capsys.readouterr().out
+
+    def test_fails_on_regression(self, tmp_path, capsys):
+        base = {"x": {"steps_per_s": 100}}
+        assert self.run(tmp_path, base, {"x": {"steps_per_s": 50}}) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_min_ratio_is_configurable(self, tmp_path):
+        base = {"x": {"steps_per_s": 100}}
+        fresh = {"x": {"steps_per_s": 50}}
+        assert self.run(tmp_path, base, fresh, "--min-ratio", "0.4") == 0
+
+    def test_zero_overlap_is_an_error(self, tmp_path, capsys):
+        code = self.run(tmp_path, {"a": {"steps_per_s": 1}}, {"b": {"steps_per_s": 1}})
+        assert code == 1
+        assert "no overlapping" in capsys.readouterr().err
+
+    def test_unreadable_input_is_exit_2(self, tmp_path):
+        base = tmp_path / "base.json"
+        base.write_text("{not json")
+        code = check_regression.main(["--baseline", str(base), "--fresh", str(base)])
+        assert code == 2
+
+    def test_real_baselines_pass_against_themselves(self):
+        repo = _SCRIPT.parents[1]
+        for name in ("BENCH_streams.json", "BENCH_service.json"):
+            path = repo / name
+            code = check_regression.main(
+                ["--baseline", str(path), "--fresh", str(path)]
+            )
+            assert code == 0, name
+
+
+@pytest.mark.parametrize("key", sorted(check_regression.THROUGHPUT_KEYS))
+def test_throughput_keys_appear_in_committed_baselines(key):
+    """Every gated key exists somewhere in a committed baseline, so the
+    allowlist cannot silently rot as benchmark schemas evolve."""
+    repo = _SCRIPT.parents[1]
+    streams = (repo / "BENCH_streams.json").read_text()
+    service = (repo / "BENCH_service.json").read_text()
+    assert f'"{key}"' in streams + service

@@ -5,7 +5,6 @@ measurement in the experiment suite rests on.
 """
 
 import numpy as np
-import pytest
 
 from repro.model.channel import Channel
 from repro.model.ledger import CostLedger

@@ -50,7 +50,7 @@ class TestLinePlot:
 
     def test_grid_dimensions(self):
         out = line_plot([Series("a", [0, 1], [0, 1])], width=40, height=10)
-        grid_rows = [l for l in out.splitlines() if l.rstrip().endswith("|")]
+        grid_rows = [row for row in out.splitlines() if row.rstrip().endswith("|")]
         assert len(grid_rows) == 10
 
 
