@@ -2,14 +2,24 @@
 
 Measures what serving costs and buys relative to the in-process engine:
 
-- **single-session**: the same workload/algorithm run (a) in-process
-  through ``MonitoringEngine.run()`` and (b) as a served session fed
-  block-by-block over localhost TCP — the ratio is the protocol +
-  transport overhead per step;
+- **wire_microbench**: raw codec throughput (MB/s of float64 payload)
+  for the v1 JSON-lines encoding vs the v2 binary frames, encode and
+  decode separately — the protocol tax with everything else removed;
+- **single_session**: the same workload/algorithm run (a) in-process
+  through ``MonitoringEngine.run()``, (b) as a served session fed
+  block-by-block over localhost TCP with v1 lockstep framing, and
+  (c) served over v2 binary frames with pipelined feeds — the ratios
+  are the protocol + transport overhead per step, and
+  ``v2_speedup_x`` / ``v2_vs_in_process_x`` are the headline wins;
 - **scaling**: N concurrent served sessions driven by the load
-  generator at concurrency N — how aggregate steps/s behaves as the
-  session count grows (on a single-CPU container this is flat by
-  construction; the number is the honest baseline for bigger boxes);
+  generator at concurrency N (v2 + pipelining, the serving default) —
+  how aggregate steps/s behaves as the session count grows, with
+  p50/p95/p99 request latency per cell;
+- **supervisor_hop**: loadgen throughput of one session against a
+  single-process server vs a 1-shard supervisor, per wire version —
+  ``overhead_x`` isolates what the extra supervisor hop costs, and the
+  v2 pass-through (header-only routing, spliced payloads) should show
+  a much smaller hop tax than v1's decode→re-encode;
 - **shard_scaling**: the same loadgen sweep against the sharded
   supervisor (``serve --shards N``) at 1/2/4 shards — whether served
   aggregate steps/s scales with worker processes.  On a >= 4-core
@@ -35,12 +45,14 @@ import asyncio
 import json
 import os
 import platform
+import statistics
 import time
 from pathlib import Path
 
 import numpy as np
 
 from repro.model.engine import MonitoringEngine
+from repro.service import wire
 from repro.service.algorithms import make_algorithm
 from repro.service.cli import _spawn_server
 from repro.service.client import ServiceClient
@@ -48,14 +60,17 @@ from repro.service.loadgen import run_loadgen
 from repro.streams import registry
 
 #: (T, n, k, eps, block_size) of the single-session comparison.  The CI
-#: horizon stays large enough to amortize startup, and both modes use
-#: the same n (the regression gate only compares equal-n cells).
+#: variant shrinks only the horizon T — never n (the regression gate
+#: only compares equal-n cells) and never the feed block size (the
+#: per-request overhead share, and so steps/s, depends on it: a CI run
+#: at a smaller block would compare against a committed full-size cell
+#: measured under structurally lighter per-step protocol cost).
 FULL_SINGLE = (20_000, 32, 4, 0.1, 512)
-CI_SINGLE = (8_000, 32, 4, 0.1, 256)
+CI_SINGLE = (8_000, 32, 4, 0.1, 512)
 
 #: (T per session, session counts) of the scaling sweep.
 FULL_SCALING = (5_000, (1, 2, 4, 8))
-CI_SCALING = (2_500, (1, 2, 4))
+CI_SCALING = (3_000, (1, 2, 4))
 
 #: (T per session, shard counts, session counts) of the shard sweep.
 #: CI keeps T large enough that per-run fixed costs (connection setup,
@@ -65,8 +80,104 @@ CI_SCALING = (2_500, (1, 2, 4))
 FULL_SHARDS = (3_000, (1, 2, 4), (1, 2, 4, 8, 16))
 CI_SHARDS = (2_500, (1, 2), (1, 4))
 
+#: T of the supervisor-hop comparison (sessions=1, per wire version).
+FULL_HOP = 10_000
+CI_HOP = 3_000
+
+#: In-flight feed window for pipelined (v2) cells.
+PIPELINE = 16
+
+#: Rounds per headline cell (single-session and supervisor-hop): each
+#: round measures every variant once, interleaved, and the best round
+#: per variant is reported.  Throttling (CI runners, burstable VMs)
+#: only ever slows a cell down, so max-of-rounds is the denoised
+#: estimate, and interleaving keeps slow windows from biasing the
+#: v1-vs-v2 ratios the acceptance gates read.
+FULL_ROUNDS = 3
+CI_ROUNDS = 2
+
+#: Extra rounds for the supervisor-hop contrast: overhead_x is a ratio
+#: of two ~equal rates, so it needs more samples than a plain
+#: throughput cell to sit stably inside host-noise bands.
+FULL_HOP_ROUNDS = 5
+CI_HOP_ROUNDS = 2
+
+
+def _best(rows: list[dict]) -> dict:
+    return max(rows, key=lambda row: row["steps_per_s"])
+
+#: (rows, n) of the wire micro-benchmark block; shared by --ci and full
+#: runs so the regression gate always finds matching cells.
+WIRE_BLOCK = (512, 32)
+
 WORKLOAD = "zipf"
 ALGORITHM = "approx-monitor"
+
+
+def bench_wire_microbench(repeats: int = 200) -> dict:
+    """Codec-only MB/s (of raw float64 payload) for v1 vs v2 framing."""
+    rows, n = WIRE_BLOCK
+    block = np.random.default_rng(7).uniform(0.0, 1e6, size=(rows, n))
+    mb = block.nbytes / 2**20
+
+    def timed(fn) -> float:
+        # Best of several timing batches (timeit-style): the v2 codec
+        # is fast enough per call that a single scheduler blip inside
+        # one batch would otherwise dominate the reported rate.
+        fn()  # warm
+        best = float("inf")
+        for _ in range(5):
+            start = time.perf_counter()
+            for _ in range(repeats):
+                fn()
+            best = min(best, (time.perf_counter() - start) / repeats)
+        return best
+
+    v1_line = wire.encode_line(
+        {"id": 1, "op": "feed", "session": "s1", "values": wire.encode_values(block)}
+    )
+    v2_frame = wire.encode_frame(
+        {"id": 1, "op": "feed", "session": "s1", "values": block}
+    )
+    v2_header = wire.parse_header(v2_frame)
+    v2_meta = v2_frame[wire.HEADER_SIZE:wire.HEADER_SIZE + v2_header.meta_len]
+    v2_payload = v2_frame[wire.HEADER_SIZE + v2_header.meta_len:]
+
+    seconds = {
+        "v1_encode": timed(lambda: wire.encode_line({
+            "id": 1, "op": "feed", "session": "s1",
+            "values": wire.encode_values(block),
+        })),
+        "v1_decode": timed(
+            lambda: wire.decode_values(wire.decode_line(v1_line)["values"])
+        ),
+        "v2_encode": timed(lambda: wire.encode_frame({
+            "id": 1, "op": "feed", "session": "s1", "values": block,
+        })),
+        "v2_decode": timed(
+            lambda: wire.decode_frame(v2_header, v2_meta, v2_payload)
+        ),
+    }
+    report = {
+        "n": n,
+        "rows": rows,
+        "payload_bytes": block.nbytes,
+        "bytes_on_wire": {"v1": len(v1_line), "v2": len(v2_frame)},
+        "v1": {
+            "encode_mb_per_s": round(mb / seconds["v1_encode"], 1),
+            "decode_mb_per_s": round(mb / seconds["v1_decode"], 1),
+        },
+        "v2": {
+            "encode_mb_per_s": round(mb / seconds["v2_encode"], 1),
+            "decode_mb_per_s": round(mb / seconds["v2_decode"], 1),
+        },
+    }
+    report["v2_codec_speedup_x"] = round(
+        (seconds["v1_encode"] + seconds["v1_decode"])
+        / (seconds["v2_encode"] + seconds["v2_decode"]),
+        1,
+    )
+    return report
 
 
 def bench_in_process(T: int, n: int, k: int, eps: float, block: int) -> dict:
@@ -93,17 +204,28 @@ def bench_in_process(T: int, n: int, k: int, eps: float, block: int) -> dict:
     }
 
 
-def bench_served(host: str, port: int, T: int, n: int, k: int, eps: float, block: int) -> dict:
+def bench_served(host: str, port: int, T: int, n: int, k: int, eps: float,
+                 block: int, *, wire_protocol: str = "v1",
+                 pipeline: int = 0) -> dict:
     source = registry.stream(WORKLOAD, T, n, block_size=block, rng=0)
-    with ServiceClient(host, port) as client:
+    with ServiceClient(
+        host, port, wire_protocol=wire_protocol, window=max(pipeline, 1)
+    ) as client:
         sid = client.create_session(algorithm=ALGORITHM, n=n, k=k, eps=eps, seed=1)
         start = time.perf_counter()
-        for chunk in source.iter_blocks():
-            client.feed(sid, chunk)
+        if pipeline:
+            for chunk in source.iter_blocks():
+                client.feed_nowait(sid, chunk)
+            client.flush()
+        else:
+            for chunk in source.iter_blocks():
+                client.feed(sid, chunk)
         result = client.finalize(sid)
         seconds = time.perf_counter() - start
+        negotiated = client.wire_version
     return {
         "T": T, "n": n, "block_size": block, "seconds": round(seconds, 4),
+        "wire": negotiated, "pipeline": pipeline,
         "steps_per_s": round(T / seconds),
         "messages": result["messages"],
     }
@@ -118,12 +240,14 @@ def bench_scaling(host: str, port: int, T: int, counts: tuple[int, ...],
             workload=WORKLOAD, algorithm=ALGORITHM,
             sessions=sessions, concurrency=sessions,
             num_steps=T, n=n, k=k, eps=eps, block_size=block, seed=0,
+            wire_protocol="auto", pipeline=PIPELINE,
         ))
         out[str(sessions)] = {
             "total_steps": report["total_steps"],
             "wall_seconds": report["wall_seconds"],
             "steps_per_s": report["steps_per_s"],
             "messages_per_step": report["messages_per_step"],
+            "latency_ms": report["latency_ms"],
         }
     return out
 
@@ -145,6 +269,76 @@ def _drain_or_kill(process, port: int) -> None:
             process.wait(timeout=5)
         except Exception:
             pass
+
+
+def bench_supervisor_hop(
+    T: int, n: int, k: int, eps: float, block: int, rounds: int
+) -> dict:
+    """One-session loadgen vs a single process and a 1-shard supervisor.
+
+    The per-wire ``overhead_x`` (single-process steps/s divided by
+    1-shard steps/s) is the cost of the extra supervisor hop alone —
+    same worker code, same session, one more process in the path.  v1
+    pays a JSON decode + re-encode per forwarded frame; v2 routes on
+    the fixed header and splices the payload bytes through.
+    """
+    # Both topologies live at once and every (wire, topology) cell is
+    # measured in every round; overhead_x is the median of the
+    # *per-round* single/sharded ratios, so host-speed drift between
+    # rounds cannot masquerade as hop overhead (the per-cell steps/s
+    # still report each cell's best round).
+    topologies = {"single_process": 0, "one_shard": 1}
+    servers: dict[str, tuple] = {}
+    rows: dict[tuple[str, str], list[dict]] = {}
+    try:
+        for label, shards in topologies.items():
+            servers[label] = _spawn_server(shards)
+        for label, (process, port) in servers.items():
+            # Warm the topology (imports, allocator, numpy first-call).
+            asyncio.run(run_loadgen(
+                "127.0.0.1", port,
+                workload=WORKLOAD, algorithm=ALGORITHM,
+                sessions=1, concurrency=1,
+                num_steps=500, n=n, k=k, eps=eps, block_size=block, seed=1,
+            ))
+        for _ in range(rounds):
+            for wire_name, pipeline in (("v1", 0), ("v2", PIPELINE)):
+                for label, (process, port) in servers.items():
+                    report = asyncio.run(run_loadgen(
+                        "127.0.0.1", port,
+                        workload=WORKLOAD, algorithm=ALGORITHM,
+                        sessions=1, concurrency=1,
+                        num_steps=T, n=n, k=k, eps=eps, block_size=block, seed=0,
+                        wire_protocol=wire_name, pipeline=pipeline,
+                    ))
+                    rows.setdefault((wire_name, label), []).append({
+                        "n": n,
+                        "steps_per_s": report["steps_per_s"],
+                        "latency_ms": report["latency_ms"],
+                    })
+        for label, (process, port) in servers.items():
+            with ServiceClient("127.0.0.1", port) as client:
+                client.shutdown()
+            process.wait(timeout=60)
+    except BaseException:
+        for process, port in servers.values():
+            _drain_or_kill(process, port)
+        raise
+    out: dict = {}
+    for (wire_name, label), cells in rows.items():
+        out.setdefault(wire_name, {})[label] = _best(cells)
+    for wire_name, cells in out.items():
+        ratios = [
+            single["steps_per_s"] / sharded["steps_per_s"]
+            for single, sharded in zip(
+                rows[(wire_name, "single_process")], rows[(wire_name, "one_shard")]
+            )
+            if sharded["steps_per_s"]
+        ]
+        cells["overhead_x"] = (
+            round(statistics.median(ratios), 3) if ratios else None
+        )
+    return out
 
 
 def bench_shard_scaling(T: int, shard_counts: tuple[int, ...],
@@ -172,12 +366,14 @@ def bench_shard_scaling(T: int, shard_counts: tuple[int, ...],
                     workload=WORKLOAD, algorithm=ALGORITHM,
                     sessions=sessions, concurrency=sessions,
                     num_steps=T, n=n, k=k, eps=eps, block_size=block, seed=0,
+                    wire_protocol="auto", pipeline=PIPELINE,
                 ))
                 per_sessions[str(sessions)] = {
                     "total_steps": report["total_steps"],
                     "wall_seconds": report["wall_seconds"],
                     "steps_per_s": report["steps_per_s"],
                     "messages_per_step": report["messages_per_step"],
+                    "latency_ms": report["latency_ms"],
                 }
             with ServiceClient("127.0.0.1", port) as client:
                 client.shutdown()
@@ -217,13 +413,37 @@ def main(argv: list[str] | None = None) -> int:
     T, n, k, eps, block = CI_SINGLE if args.ci else FULL_SINGLE
     scale_T, counts = CI_SCALING if args.ci else FULL_SCALING
     shard_T, shard_counts, shard_sessions = CI_SHARDS if args.ci else FULL_SHARDS
+    hop_T = CI_HOP if args.ci else FULL_HOP
+    rounds = CI_ROUNDS if args.ci else FULL_ROUNDS
+    hop_rounds = CI_HOP_ROUNDS if args.ci else FULL_HOP_ROUNDS
 
     t0 = time.perf_counter()
-    in_process = bench_in_process(T, n, k, eps, block)
+    microbench = bench_wire_microbench(50 if args.ci else 200)
 
     process, port = _spawn_server()
     try:
-        served = bench_served("127.0.0.1", port, T, n, k, eps, block)
+        # Warm the freshly spawned server (imports, allocator, numpy
+        # first-call paths) so the v1 cell measures steady state, not
+        # process cold start — the v1-vs-v2 ratio is only honest if
+        # both sides run warm.
+        bench_served("127.0.0.1", port, 2_000, n, k, eps, block,
+                     wire_protocol="v1", pipeline=0)
+        single_rows: dict[str, list[dict]] = {
+            "in_process": [], "served": [], "served_v2": [],
+        }
+        for _ in range(rounds):
+            single_rows["in_process"].append(bench_in_process(T, n, k, eps, block))
+            single_rows["served"].append(
+                bench_served("127.0.0.1", port, T, n, k, eps, block,
+                             wire_protocol="v1", pipeline=0)
+            )
+            single_rows["served_v2"].append(
+                bench_served("127.0.0.1", port, T, n, k, eps, block,
+                             wire_protocol="v2", pipeline=PIPELINE)
+            )
+        in_process = _best(single_rows["in_process"])
+        served = _best(single_rows["served"])
+        served_v2 = _best(single_rows["served_v2"])
         scaling = bench_scaling("127.0.0.1", port, scale_T, counts, n, k, eps, block)
         with ServiceClient("127.0.0.1", port) as client:
             client.shutdown()
@@ -233,38 +453,72 @@ def main(argv: list[str] | None = None) -> int:
         _drain_or_kill(process, port)
         raise
 
+    supervisor_hop = bench_supervisor_hop(hop_T, n, k, eps, block, hop_rounds)
     shard_scaling = bench_shard_scaling(
         shard_T, shard_counts, shard_sessions, n, k, eps, block
     )
     clean = clean and all(row["clean_shutdown"] for row in shard_scaling.values())
 
     report = {
-        "schema": 2,
+        "schema": 3,
         "mode": "ci" if args.ci else "full",
         "python": platform.python_version(),
         "numpy": np.__version__,
         "cpu_count": os.cpu_count(),
         "workload": WORKLOAD,
         "algorithm": ALGORITHM,
+        "wire_microbench": microbench,
         "single_session": {
             "in_process": in_process,
             "served": served,
+            "served_v2": served_v2,
             "serving_overhead_x": round(
                 in_process["steps_per_s"] / served["steps_per_s"], 2
             ),
+            "v2_speedup_x": round(
+                served_v2["steps_per_s"] / served["steps_per_s"], 2
+            ),
+            "v2_vs_in_process_x": round(
+                served_v2["steps_per_s"] / in_process["steps_per_s"], 2
+            ),
         },
         "scaling": scaling,
+        "supervisor_hop": supervisor_hop,
         "shard_scaling": shard_scaling,
         "shard_speedup_x": _shard_speedup(shard_scaling),
         "clean_shutdown": clean,
     }
+    if not args.ci:
+        # Historical anchor: the served steps/s this repo shipped before
+        # wire v2 (PR 4's committed full-size baseline, v1 lockstep as
+        # the only protocol, same container lineage as the committed
+        # file).  Full mode only — it matches this grid's (T, n, block),
+        # and it is a same-lineage trajectory marker, not a portable
+        # cross-machine metric.
+        report["single_session"]["pr4_committed_v1_steps_per_s"] = 29_888
+        report["single_session"]["v2_vs_pr4_committed_x"] = round(
+            served_v2["steps_per_s"] / 29_888, 2
+        )
     report["total_seconds"] = round(time.perf_counter() - t0, 2)
 
     args.out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     print(f"wrote {args.out} ({report['total_seconds']}s)")
+    print(f"  wire codec:  v1 {microbench['v1']['encode_mb_per_s']}/"
+          f"{microbench['v1']['decode_mb_per_s']} MB/s enc/dec, "
+          f"v2 {microbench['v2']['encode_mb_per_s']}/"
+          f"{microbench['v2']['decode_mb_per_s']} MB/s "
+          f"({microbench['v2_codec_speedup_x']}x)")
     print(f"  in-process: {in_process['steps_per_s']:>9,} steps/s  (T={T}, n={n})")
-    print(f"  served:     {served['steps_per_s']:>9,} steps/s  "
+    print(f"  served v1:  {served['steps_per_s']:>9,} steps/s  "
           f"({report['single_session']['serving_overhead_x']}x overhead)")
+    print(f"  served v2:  {served_v2['steps_per_s']:>9,} steps/s  "
+          f"({report['single_session']['v2_speedup_x']}x v1, "
+          f"{report['single_session']['v2_vs_in_process_x']}x in-process, "
+          f"pipeline {PIPELINE})")
+    for wire_name, cells in supervisor_hop.items():
+        print(f"  hop {wire_name}: single {cells['single_process']['steps_per_s']:,} "
+              f"vs 1-shard {cells['one_shard']['steps_per_s']:,} steps/s "
+              f"-> {cells['overhead_x']}x")
     for sessions, row in scaling.items():
         print(f"  {sessions:>2} sessions: {row['steps_per_s']:>9,} steps/s aggregate")
     for shards, row in shard_scaling.items():

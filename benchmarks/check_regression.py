@@ -44,14 +44,19 @@ import json
 import sys
 from pathlib import Path
 
-#: JSON leaf keys that count as throughput (bigger is better).  All are
-#: per-step rates: per-value rates are excluded because they scale with
-#: the workload's node count, which differs between CI and full sizes.
+#: JSON leaf keys that count as throughput (bigger is better).  The
+#: ``*_steps_per_s`` family are per-step rates: per-value rates are
+#: excluded because they scale with the workload's node count, which
+#: differs between CI and full sizes.  The ``*_mb_per_s`` pair gates
+#: the wire codec micro-benchmark, whose block shape is pinned
+#: (``bench_service.WIRE_BLOCK``) so CI and full cells always match.
 THROUGHPUT_KEYS = frozenset(
     {
         "steps_per_s",
         "deliver_steps_per_s",
         "generate_steps_per_s",
+        "encode_mb_per_s",
+        "decode_mb_per_s",
     }
 )
 

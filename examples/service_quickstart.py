@@ -78,10 +78,13 @@ async def served_tour(T: int, n: int, k: int, eps: float) -> None:
     ).run()
 
     async with await AsyncServiceClient.connect(host, port) as client:
+        # connect() negotiated the binary v2 framing via `hello`
+        # (wire_protocol="v1" would keep the connection on JSON lines)
+        print(f"   negotiated wire v{client.wire_version}")
         sid = await client.create_session(algorithm="approx-monitor", n=n, k=k, eps=eps, seed=1)
         for block in source.iter_blocks():
-            await client.feed(sid, block)
-        status = await client.query(sid)
+            await client.feed_nowait(sid, block)  # pipelined, windowed acks
+        status = await client.query(sid)  # implicit flush barrier
         print(f"   session {sid} at step {status['step']}, F(t) = {status['output']}")
         result = await client.finalize(sid)
         verdict = "matches run()" if result["messages"] == reference.messages else "MISMATCH"

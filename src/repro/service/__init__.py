@@ -8,14 +8,17 @@ This package hosts them that way:
   (the algorithm-side twin of :mod:`repro.streams.registry`).
 - :mod:`repro.service.session` — :class:`Session`: one incremental run,
   fed in batches, queryable at any time, checkpoint/resumable.
-- :mod:`repro.service.wire` — the JSON-lines wire protocol (framing,
-  batch encodings, checkpoint transport).
+- :mod:`repro.service.wire` — the wire protocols: v1 JSON lines and
+  the v2 binary framing (raw float64/blob payloads, ``hello``
+  negotiation), shared by every peer.
 - :mod:`repro.service.server` — the asyncio TCP server hosting many
   concurrent sessions.
 - :mod:`repro.service.shard` — sharded serving: a supervisor process
   consistent-hashing sessions onto N shared-nothing worker processes
-  (same wire protocol, scales with cores).
-- :mod:`repro.service.client` — async + sync client libraries.
+  (same wire protocols; v2 session frames are spliced through the
+  supervisor undecoded; scales with cores).
+- :mod:`repro.service.client` — async + sync client libraries, with
+  windowed feed pipelining over either framing.
 - :mod:`repro.service.loadgen` — workload replay against a live server,
   with throughput reporting.
 - :mod:`repro.service.cli` — the ``serve`` / ``loadgen`` subcommands of

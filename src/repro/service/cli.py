@@ -45,27 +45,34 @@ def main_serve(argv: list[str] | None = None) -> int:
                         help="host sessions in N worker processes behind a "
                              "supervisor (0 = single process, the default); "
                              "see docs/ARCHITECTURE.md §5")
+    parser.add_argument("--wire", choices=["v1", "v2"], default="v2",
+                        help="highest wire framing hello may grant: v2 binary "
+                             "frames (default) or v1 JSON lines only; v1 "
+                             "clients work either way (DESIGN.md §8)")
     args = parser.parse_args(argv)
     if args.shards < 0:
         parser.error(f"--shards must be >= 0, got {args.shards}")
     try:
         asyncio.run(server_mod.serve(
             args.host, args.port, max_sessions=args.max_sessions,
-            shards=args.shards,
+            shards=args.shards, accept_wire=2 if args.wire == "v2" else 1,
         ))
     except KeyboardInterrupt:
         pass
     return 0
 
 
-def _spawn_server(shards: int = 0) -> tuple[subprocess.Popen, int]:
+def _spawn_server(
+    shards: int = 0, accept_wire: str = "v2"
+) -> tuple[subprocess.Popen, int]:
     """Launch a server subprocess on a free port; returns (process, port).
 
     With ``shards > 0`` the subprocess runs the sharded supervisor; the
     announce line is only printed once every worker process is up, so
     waiting for it below covers the whole topology.
     """
-    command = [sys.executable, "-m", "repro.experiments", "serve", "--port", "0"]
+    command = [sys.executable, "-m", "repro.experiments", "serve", "--port", "0",
+               "--wire", accept_wire]
     if shards:
         command += ["--shards", str(shards)]
     process = subprocess.Popen(
@@ -112,12 +119,22 @@ def main_loadgen(argv: list[str] | None = None) -> int:
     parser.add_argument("--block-size", type=int, default=256,
                         help="rows per feed batch")
     parser.add_argument("--seed", type=int, default=0)
-    parser.add_argument("--encoding", choices=["b64", "json"], default="b64")
+    parser.add_argument("--encoding", choices=["b64", "json"], default="b64",
+                        help="v1 batch encoding (a v2 connection ships raw "
+                             "binary frames regardless)")
+    parser.add_argument("--wire", choices=["v1", "v2", "auto"], default="auto",
+                        help="wire framing to negotiate per connection "
+                             "(auto = v2 when the server grants it)")
+    parser.add_argument("--pipeline", type=int, default=0, metavar="W",
+                        help="stream up to W in-flight feed frames per "
+                             "session (0 = request-response lockstep)")
     parser.add_argument("--json", action="store_true", dest="as_json",
                         help="print the full report as JSON")
     args = parser.parse_args(argv)
     if args.shards < 0:
         parser.error(f"--shards must be >= 0, got {args.shards}")
+    if args.pipeline < 0:
+        parser.error(f"--pipeline must be >= 0, got {args.pipeline}")
     if args.shards and not args.spawn:
         parser.error("--shards only applies with --spawn (the server owns "
                      "its shard count; pass --shards to `serve` instead)")
@@ -132,7 +149,12 @@ def main_loadgen(argv: list[str] | None = None) -> int:
     host, port = args.host, args.port
     try:
         if args.spawn:
-            process, port = _spawn_server(args.shards)
+            # --wire v1 pins the spawned server too, so the smoke
+            # measures a v1-only topology end to end; v2/auto spawn the
+            # v2-default server and let each connection negotiate.
+            process, port = _spawn_server(
+                args.shards, accept_wire="v1" if args.wire == "v1" else "v2"
+            )
             host = "127.0.0.1"
         report = asyncio.run(run_loadgen(
             host, port,
@@ -141,6 +163,7 @@ def main_loadgen(argv: list[str] | None = None) -> int:
             sessions=args.sessions, concurrency=args.concurrency,
             num_steps=args.steps, n=args.n, k=args.k, eps=args.eps,
             block_size=args.block_size, seed=args.seed, encoding=args.encoding,
+            wire_protocol=args.wire, pipeline=args.pipeline,
         ))
     except Exception as exc:
         if process is not None:
@@ -167,16 +190,27 @@ def main_loadgen(argv: list[str] | None = None) -> int:
         print(json.dumps(report, indent=2, sort_keys=True))
     else:
         topology = f", shards {args.shards}" if args.shards else ""
+        pipelining = f", pipeline {report['pipeline']}" if report["pipeline"] else ""
         print(
             f"{report['sessions']} sessions x {report['num_steps']} steps "
             f"(concurrency {report['concurrency']}, workload {report['workload']}, "
-            f"algorithm {report['algorithm']}{topology})"
+            f"algorithm {report['algorithm']}, wire v{report['wire']}"
+            f"{pipelining}{topology})"
         )
         print(
             f"  {report['total_steps']} steps in {report['wall_seconds']}s -> "
             f"{report['steps_per_s']:,} steps/s, {report['values_per_s']:,} values/s"
         )
         print(f"  {report['messages_per_step']} messages/step (algorithmic cost)")
+        latency = report.get("latency_ms")
+        if latency:
+            # Queue-inclusive under --pipeline: the clock stops when the
+            # client reads the ack, not when the server answered.
+            kind = "completion" if report["pipeline"] else "request"
+            print(
+                f"  {kind} latency p50/p95/p99: {latency['p50']}/"
+                f"{latency['p95']}/{latency['p99']} ms ({latency['count']} requests)"
+            )
         if clean_shutdown is not None:
             print(f"  server shutdown: {'clean' if clean_shutdown else 'UNCLEAN'}")
     if clean_shutdown is False:

@@ -9,7 +9,23 @@ per-session throughput:
   service's headline number;
 - ``values_per_s`` — ``steps_per_s × n`` observations;
 - ``messages_per_step`` — the *algorithmic* cost of the monitored
-  stream (what the paper bounds), per session and aggregated.
+  stream (what the paper bounds), per session and aggregated;
+- ``latency_ms`` — p50/p95/p99 *client-observed completion* latency
+  (send → the client reading the response) pooled across every request
+  of every worker.  Under pipelining an ack can sit in the socket
+  buffer until the window fills or a barrier drains it, so these
+  numbers include queueing behind the client's own in-flight feeds —
+  the latency a pipelined producer actually experiences, NOT the
+  server's per-request service time (compare pipelined cells only
+  with pipelined cells).
+
+Feeding is **pipelined** when ``pipeline > 0``: each worker streams up
+to that many feed frames before awaiting the oldest ack
+(:meth:`~repro.service.client.AsyncServiceClient.feed_nowait`), with a
+:meth:`~repro.service.client.AsyncServiceClient.flush` barrier before
+``finalize``.  ``pipeline=0`` feeds in request-response lockstep — the
+v1-era behavior, kept for apples-to-apples benchmarking.  The wire
+framing (``v1``/``v2``/``auto``) is negotiated per connection.
 
 Each session gets its own channel seed and stream seed (derived from
 ``seed`` and the session index), so concurrent sessions monitor
@@ -22,6 +38,8 @@ from __future__ import annotations
 import asyncio
 import time
 from typing import Any
+
+import numpy as np
 
 from repro.service.client import AsyncServiceClient
 from repro.streams import registry
@@ -45,9 +63,14 @@ async def _drive_one(
     block_size: int,
     seed: int,
     encoding: str,
+    wire_protocol: str | None,
+    pipeline: int,
 ) -> dict[str, Any]:
     """One worker: create a session, stream every block into it, finalize."""
-    client = await AsyncServiceClient.connect(host, port)
+    client = await AsyncServiceClient.connect(
+        host, port, wire_protocol=wire_protocol, window=max(pipeline, 1)
+    )
+    client.record_latency = True
     try:
         sid = await client.create_session(
             algorithm=algorithm,
@@ -62,20 +85,44 @@ async def _drive_one(
             block_size=block_size, rng=seed + 7919 * (index + 1), **workload_params,
         )
         start = time.perf_counter()
-        for block in source.iter_blocks():
-            await client.feed(sid, block, encoding=encoding)
+        if pipeline > 0:
+            for block in source.iter_blocks():
+                await client.feed_nowait(sid, block, encoding=encoding)
+            await client.flush()
+        else:
+            for block in source.iter_blocks():
+                await client.feed(sid, block, encoding=encoding)
         result = await client.finalize(sid)
         elapsed = time.perf_counter() - start
         return {
             "session": sid,
+            "wire": client.wire_version,
             "steps": result["num_steps"],
             "messages": result["messages"],
             "messages_per_step": round(result["messages"] / result["num_steps"], 3),
             "seconds": round(elapsed, 4),
             "steps_per_s": round(result["num_steps"] / elapsed) if elapsed else None,
+            "latencies": list(client.latencies),
         }
     finally:
         await client.aclose()
+
+
+def _latency_summary(latencies: list[float]) -> dict[str, Any] | None:
+    """p50/p95/p99 client-observed completion latency in milliseconds
+    (pooled requests; queue-inclusive under pipelining — see module
+    docstring)."""
+    if not latencies:
+        return None
+    ms = np.asarray(latencies) * 1e3
+    p50, p95, p99 = np.percentile(ms, [50, 95, 99])
+    return {
+        "count": int(ms.size),
+        "p50": round(float(p50), 3),
+        "p95": round(float(p95), 3),
+        "p99": round(float(p99), 3),
+        "max": round(float(ms.max()), 3),
+    }
 
 
 async def run_loadgen(
@@ -95,12 +142,16 @@ async def run_loadgen(
     block_size: int = 256,
     seed: int = 0,
     encoding: str = "b64",
+    wire_protocol: str | None = None,
+    pipeline: int = 0,
 ) -> dict[str, Any]:
     """Replay ``workload`` into ``sessions`` served sessions; return the report."""
     if sessions < 1:
         raise ValueError(f"sessions must be >= 1, got {sessions}")
     if concurrency < 1:
         raise ValueError(f"concurrency must be >= 1, got {concurrency}")
+    if pipeline < 0:
+        raise ValueError(f"pipeline window must be >= 0, got {pipeline}")
     workload_params = dict(workload_params or {})
     algorithm_params = dict(algorithm_params or {})
     # Surface bad workload input before opening any connection.
@@ -115,6 +166,7 @@ async def run_loadgen(
                 algorithm=algorithm, algorithm_params=algorithm_params,
                 num_steps=num_steps, n=n, k=k, eps=eps,
                 block_size=block_size, seed=seed, encoding=encoding,
+                wire_protocol=wire_protocol, pipeline=pipeline,
             )
 
     wall_start = time.perf_counter()
@@ -123,6 +175,7 @@ async def run_loadgen(
 
     total_steps = sum(row["steps"] for row in per_session)
     total_messages = sum(row["messages"] for row in per_session)
+    all_latencies = [t for row in per_session for t in row.pop("latencies")]
     return {
         "workload": workload,
         "workload_params": workload_params,
@@ -135,12 +188,15 @@ async def run_loadgen(
         "eps": eps,
         "block_size": block_size,
         "encoding": encoding,
+        "wire": max(row["wire"] for row in per_session),
+        "pipeline": pipeline,
         "total_steps": total_steps,
         "total_messages": total_messages,
         "wall_seconds": round(wall, 4),
         "steps_per_s": round(total_steps / wall) if wall else None,
         "values_per_s": round(total_steps * n / wall) if wall else None,
         "messages_per_step": round(total_messages / total_steps, 3) if total_steps else None,
+        "latency_ms": _latency_summary(all_latencies),
         "per_session": list(per_session),
     }
 

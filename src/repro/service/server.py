@@ -1,8 +1,10 @@
 """The asyncio monitoring server: many sessions, one process.
 
 :class:`MonitoringServer` hosts concurrent :class:`~repro.service.
-session.Session` objects behind the JSON-lines TCP protocol of
-:mod:`repro.service.wire`.  Design points:
+session.Session` objects behind the TCP protocols of
+:mod:`repro.service.wire` — every connection starts as JSON lines (v1)
+and may upgrade to binary frames (v2) through the ``hello`` op.
+Design points:
 
 - **Batched ingestion** — clients feed ``(B, n)`` blocks, so the
   per-message protocol overhead amortizes over B time steps.
@@ -12,15 +14,21 @@ session.Session` objects behind the JSON-lines TCP protocol of
   connections, and a per-session :class:`asyncio.Lock` serializes
   mutations of one session (two clients feeding the same session
   interleave at block granularity, never mid-step).
+- **Small-op fast path** — cheap ops (:data:`MonitoringServer.
+  INLINE_OPS`) are served entirely on the event loop: no executor
+  round trip, no off-loop codec, just a dict and a write.
 - **Fail-closed error envelope** — any exception inside an op turns
   into an ``ok=false`` response carrying the exception type and
-  message; the connection (and every other session) lives on.
+  message; the connection (and every other session) lives on.  A v2
+  *framing* violation (bad magic/version/length) is the one fatal
+  case: the stream cannot be resynchronized, so the server answers
+  once and closes that connection.
 
 Op vocabulary (see docs/ARCHITECTURE.md for the full schema):
 
-``ping``, ``create``, ``feed``, ``advance``, ``query``, ``cost``,
-``snapshot``, ``restore``, ``finalize``, ``close``, ``list``,
-``shutdown``.
+``hello``, ``ping``, ``create``, ``feed``, ``advance``, ``query``,
+``cost``, ``snapshot``, ``restore``, ``finalize``, ``close``,
+``list``, ``shutdown``.
 """
 
 from __future__ import annotations
@@ -56,14 +64,27 @@ class MonitoringServer:
         Upper bound on concurrently hosted sessions; ``create`` beyond
         it fails with an error response (protecting the process from
         unbounded per-session state).
+    accept_wire:
+        Highest framing version ``hello`` may grant (default
+        :data:`wire.WIRE_V2`).  ``accept_wire=1`` pins the server to
+        JSON lines: upgrade requests are answered with ``wire: 1`` and
+        well-behaved clients fall back.
     """
 
     def __init__(
-        self, host: str = "127.0.0.1", port: int = 0, *, max_sessions: int = 1024
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        max_sessions: int = 1024,
+        accept_wire: int = wire.WIRE_V2,
     ) -> None:
         self.host = host
         self.port = port
         self.max_sessions = int(max_sessions)
+        if accept_wire not in (wire.WIRE_V1, wire.WIRE_V2):
+            raise ValueError(f"accept_wire must be 1 or 2, got {accept_wire}")
+        self.accept_wire = accept_wire
         self._slots: dict[str, _SessionSlot] = {}
         self._next_id = 0
         self._server: asyncio.AbstractServer | None = None
@@ -128,33 +149,14 @@ class MonitoringServer:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         self.stats["connections"] += 1
+        wire.set_nodelay(writer)
         task = asyncio.current_task()
         if task is not None:
             self._connections.add(task)
         try:
-            while not self._stop.is_set():
-                try:
-                    line = await reader.readline()
-                except (asyncio.LimitOverrunError, ValueError):
-                    writer.write(wire.encode_line({
-                        "id": None, "ok": False,
-                        "error": f"frame exceeds {wire.MAX_LINE_BYTES} bytes",
-                        "error_type": "WireError",
-                    }))
-                    await writer.drain()
-                    break
-                if not line:
-                    break  # peer closed
-                response = await self._respond(line)
-                # A snapshot response carries a multi-MB b64 state blob;
-                # serialize it off the loop like the inbound decode path.
-                state = response.get("state")
-                if isinstance(state, str) and len(state) > self._INLINE_DECODE_BYTES:
-                    encoded = await self._run_sync(wire.encode_line, response)
-                else:
-                    encoded = wire.encode_line(response)
-                writer.write(encoded)
-                await writer.drain()
+            upgraded = await self._serve_v1(reader, writer)
+            if upgraded:
+                await self._serve_v2(reader, writer)
         except (ConnectionResetError, BrokenPipeError):
             pass  # peer vanished mid-response; nothing to answer
         except asyncio.CancelledError:
@@ -168,8 +170,95 @@ class MonitoringServer:
             except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
                 pass
 
+    async def _serve_v1(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> bool:
+        """The JSON-lines loop every connection starts in.
+
+        Returns ``True`` when a granted ``hello`` upgrade hands the
+        (still open) connection to the v2 loop.
+        """
+        while not self._stop.is_set():
+            try:
+                line = await reader.readline()
+            except (asyncio.LimitOverrunError, ValueError):
+                writer.write(wire.encode_line({
+                    "id": None, "ok": False,
+                    "error": f"frame exceeds {wire.MAX_LINE_BYTES} bytes",
+                    "error_type": "WireError",
+                }))
+                await writer.drain()
+                break
+            if not line:
+                break  # peer closed
+            response = await self._respond(line)
+            # A snapshot response carries a multi-MB state blob; base64
+            # it and serialize off the loop like the inbound decode path.
+            state = response.get("state")
+            if (
+                isinstance(state, (str, bytes))
+                and len(state) > self._INLINE_DECODE_BYTES
+            ):
+                encoded = await self._run_sync(wire.encode_v1_message, response)
+            else:
+                encoded = wire.encode_v1_message(response)
+            writer.write(encoded)
+            await writer.drain()
+            # Only _op_hello emits a "wire" field: a granted v2 upgrade
+            # switches this connection to binary frames from here on.
+            if response.get("ok") and response.get("wire") == wire.WIRE_V2:
+                return True
+        return False
+
+    async def _serve_v2(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """The binary-frame loop an upgraded connection runs in."""
+        while not self._stop.is_set():
+            try:
+                frame = await wire.read_frame(reader)
+            except wire.WireError as exc:
+                # Framing is broken — answer once, then close: there is
+                # no way to find the next frame boundary, and leaving
+                # the connection open would hang the peer instead.
+                writer.write(wire.encode_error_frame(0, exc))
+                await writer.drain()
+                break
+            except asyncio.IncompleteReadError:
+                break  # peer died mid-frame
+            if frame is None:
+                break  # peer closed
+            response = await self._respond_v2(frame)
+            if isinstance(response, (bytes, bytearray, memoryview)):
+                writer.write(response)
+            else:
+                # A spliced pass-through reply arrives as raw segments
+                # (header, meta, payload) — write them through without
+                # concatenating a fresh payload-sized buffer.
+                for part in response:
+                    if part:
+                        writer.write(part)
+            await writer.drain()
+
     #: Frames above this size are JSON-decoded off the event loop.
     _INLINE_DECODE_BYTES = 64 * 1024
+
+    #: v2 payloads above this size are content-decoded off the event
+    #: loop (the decode itself is a zero-copy ``frombuffer``; the cost
+    #: is the one vectorized finiteness pass over the payload).
+    _INLINE_PAYLOAD_BYTES = 4 * 1024 * 1024
+
+    #: Ops cheap enough to serve entirely on the event loop: no
+    #: executor round trip, no off-loop codec.  Everything else (feed /
+    #: advance / snapshot / restore / create / finalize) does CPU-bound
+    #: session work and goes through :meth:`_run_sync`.  This set is a
+    #: *documented, tested contract*, not a dispatch switch: nothing
+    #: branches on it at runtime — the handlers themselves simply never
+    #: touch the executor, and tests/service/test_server.py's fast-path
+    #: test fails if one of the listed ops starts doing so.
+    INLINE_OPS = frozenset(
+        {"hello", "ping", "query", "cost", "list", "close", "shutdown"}
+    )
 
     async def _respond(self, line: bytes) -> dict[str, Any]:
         request_id: Any = None
@@ -179,14 +268,7 @@ class MonitoringServer:
             else:
                 message = wire.decode_line(line)
             request_id = message.get("id")
-            op = message.get("op")
-            handler = self._OPS.get(op)
-            if handler is None:
-                raise wire.WireError(
-                    f"unknown op {op!r}; valid: {', '.join(self._OPS)}"
-                )
-            self.stats["requests"] += 1
-            payload = await handler(self, message)
+            payload = await self._dispatch(message)
             return {"id": request_id, "ok": True, **payload}
         except Exception as exc:  # every failure becomes a protocol error
             # A forwarded error (sharded serving) already carries the
@@ -198,6 +280,40 @@ class MonitoringServer:
                 "error": str(exc) or type(exc).__name__,
                 "error_type": getattr(exc, "error_type", "") or type(exc).__name__,
             }
+
+    async def _respond_v2(
+        self, frame: tuple[wire.FrameHeader, bytes, bytes]
+    ) -> bytes:
+        """One decoded-and-dispatched v2 frame; always returns a frame."""
+        header, meta, payload = frame
+        request_id = header.request_id
+        try:
+            if header.payload_len > self._INLINE_PAYLOAD_BYTES:
+                message = await self._run_sync(wire.decode_frame, header, meta, payload)
+            else:
+                message = wire.decode_frame(header, meta, payload)
+            result = await self._dispatch(message)
+            response = {"id": request_id, "ok": True, **result}
+            state = response.get("state")
+            if (
+                isinstance(state, (bytes, bytearray))
+                and len(state) > self._INLINE_PAYLOAD_BYTES
+            ):
+                return await self._run_sync(_encode_response_frame, response)
+            return wire.encode_frame(response, response=True)
+        except Exception as exc:
+            return wire.encode_error_frame(request_id, exc)
+
+    async def _dispatch(self, message: dict[str, Any]) -> dict[str, Any]:
+        """Route one decoded message to its op handler (either protocol)."""
+        op = message.get("op")
+        handler = self._OPS.get(op)
+        if handler is None:
+            raise wire.WireError(
+                f"unknown op {op!r}; valid: {', '.join(self._OPS)}"
+            )
+        self.stats["requests"] += 1
+        return await handler(self, message)
 
     # ------------------------------------------------------------------ #
     # Session bookkeeping
@@ -228,10 +344,23 @@ class MonitoringServer:
     # ------------------------------------------------------------------ #
     # Ops
     # ------------------------------------------------------------------ #
+    async def _op_hello(self, message: dict[str, Any]) -> dict[str, Any]:
+        """Framing negotiation: grant the best wire version both sides
+        speak.  Granting 2 switches this connection to binary frames
+        right after the response line (see :meth:`_serve_v1`)."""
+        requested = message.get("wire", wire.WIRE_V1)
+        if not isinstance(requested, int) or requested < 1:
+            raise wire.WireError(f"hello wire must be a positive int, got {requested!r}")
+        return {
+            "wire": min(requested, self.accept_wire),
+            "version": wire.PROTOCOL_VERSION,
+        }
+
     async def _op_ping(self, message: dict[str, Any]) -> dict[str, Any]:
         return {
             "pong": True,
             "version": wire.PROTOCOL_VERSION,
+            "accept_wire": self.accept_wire,
             "sessions": len(self._slots),
             "stats": dict(self.stats),
         }
@@ -248,12 +377,18 @@ class MonitoringServer:
         sid, slot = self._slot(message)
         payload = message.get("values")
         session = slot.session
+        expected_n = session.config.n
 
         def ingest() -> tuple[int, int, int]:
             # Decode in the executor too — a near-cap b64 batch is tens of
             # MB and would stall every other connection on the event loop.
+            # (A v2 frame arrives pre-decoded; decode_values passes the
+            # zero-copy array straight through.)
             block = wire.decode_values(payload)
-            step = session.feed(block)
+            # The wire already validated shape and finiteness; the one
+            # check it cannot do — batch width vs this session's n —
+            # happens here, so the engine's revalidation can be skipped.
+            step = session.feed(block, prevalidated=block.shape[1] == expected_n)
             return block.shape[0], step, session.messages
 
         async with slot.lock:
@@ -299,8 +434,10 @@ class MonitoringServer:
         sid, slot = self._slot(message)
         session = slot.session
 
-        def checkpoint() -> tuple[int, str]:
-            return session.step, wire.encode_blob(session.snapshot())
+        def checkpoint() -> tuple[int, bytes]:
+            # Raw bytes: a v2 response carries them as the frame payload
+            # unchanged; the v1 edge base64-encodes on serialization.
+            return session.step, session.snapshot()
 
         async with slot.lock:  # step captured with the blob, not after
             step, state = await self._run_sync(checkpoint)
@@ -308,8 +445,10 @@ class MonitoringServer:
 
     async def _op_restore(self, message: dict[str, Any]) -> dict[str, Any]:
         state = message.get("state")
-        if not isinstance(state, str):
-            raise wire.WireError("restore needs a base64 'state' string")
+        if not isinstance(state, (str, bytes, bytearray)):
+            raise wire.WireError(
+                "restore needs a 'state' checkpoint (base64 text or raw blob frame)"
+            )
 
         def rebuild() -> Session:
             return Session.restore(wire.decode_blob(state))
@@ -354,6 +493,7 @@ class MonitoringServer:
         return {"stopping": True, "stats": dict(self.stats)}
 
     _OPS = {
+        "hello": _op_hello,
         "ping": _op_ping,
         "create": _op_create,
         "feed": _op_feed,
@@ -369,9 +509,14 @@ class MonitoringServer:
     }
 
 
+def _encode_response_frame(response: dict[str, Any]) -> bytes:
+    """Executor-friendly positional wrapper for big-payload responses."""
+    return wire.encode_frame(response, response=True)
+
+
 async def serve(
     host: str = "127.0.0.1", port: int = 0, *, max_sessions: int = 1024,
-    shards: int = 0, announce=None,
+    shards: int = 0, accept_wire: int = wire.WIRE_V2, announce=None,
 ) -> None:
     """Start a server and run it until a ``shutdown`` op.
 
@@ -379,6 +524,8 @@ async def serve(
     ``shards=N`` starts the sharded supervisor of
     :mod:`repro.service.shard` with N worker processes — same wire
     protocol, served throughput scales with cores.
+    ``accept_wire=1`` pins the whole topology (front end and workers)
+    to the v1 JSON-lines framing.
 
     ``announce`` receives the single ``serving on host:port`` line once
     the socket is bound — the CLI prints it (callers like
@@ -390,10 +537,13 @@ async def serve(
         from repro.service.shard import ShardedMonitoringServer
 
         server: MonitoringServer = ShardedMonitoringServer(
-            host, port, shards=shards, max_sessions=max_sessions
+            host, port, shards=shards, max_sessions=max_sessions,
+            accept_wire=accept_wire,
         )
     else:
-        server = MonitoringServer(host, port, max_sessions=max_sessions)
+        server = MonitoringServer(
+            host, port, max_sessions=max_sessions, accept_wire=accept_wire
+        )
     bound_host, bound_port = await server.start()
     line = f"serving on {bound_host}:{bound_port}"
     if announce is None:

@@ -17,7 +17,10 @@ Checkpoints (:meth:`snapshot` / :meth:`Session.restore`) pickle the
 engine object graph — node arrays, ledger, channel RNG state, algorithm
 state — so a restored session continues *bit-identically*: the same
 future observations produce the same messages and outputs as an
-uninterrupted run.  Workload-mode sessions do not pickle their block
+uninterrupted run.  The blob is raw bytes end to end: a v2 connection
+carries it as a binary frame payload and the shard supervisor splices
+it between workers unchanged (only the v1 line protocol base64s it at
+the edge).  Workload-mode sessions do not pickle their block
 iterator; the generator is rebuilt from ``(slug, params, seed)`` on
 restore and fast-forwarded to the checkpointed step (chunk-first
 generators are seeded by value, so regeneration is exact).

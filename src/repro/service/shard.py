@@ -25,12 +25,19 @@ placing them in separate OS processes.
 Sessions stay *bit-identical* to single-process serving: a shard
 worker runs the very same ``Session``/engine stack, and the supervisor
 never touches payload bytes beyond the ``id``/``session`` envelope
-fields.  Checkpoint-based migration (the ``migrate`` op /
-:meth:`ShardedMonitoringServer.migrate_session`) moves a live session
-between shards through the PR 3 snapshot format, and
-:meth:`ShardedMonitoringServer.restart_shard` rebuilds a whole worker
-process around checkpoints of its sessions — both without losing a
-step or a message of session state.  See docs/ARCHITECTURE.md §5.
+fields.  On a v2 (binary-framed) client connection that promise is
+structural: session ops are **passed through** — the supervisor routes
+on the fixed frame header alone, re-heads the frame with the
+worker-local session id, and splices the meta and payload bytes
+worker-ward without decoding them (only control ops — ``create``,
+``restore``, ``migrate``, ``list``, ``ping``, ``hello``,
+``shutdown`` — take the full-decode path).  Checkpoint-based migration
+(the ``migrate`` op / :meth:`ShardedMonitoringServer.migrate_session`)
+moves a live session between shards through the PR 3 snapshot format
+as raw blob frames, and :meth:`ShardedMonitoringServer.restart_shard`
+rebuilds a whole worker process around checkpoints of its sessions —
+both without losing a step or a message of session state.  See
+docs/ARCHITECTURE.md §5.
 """
 
 from __future__ import annotations
@@ -38,6 +45,7 @@ from __future__ import annotations
 import asyncio
 import bisect
 import hashlib
+import json
 import multiprocessing
 import time
 from typing import Any
@@ -113,7 +121,9 @@ class ShardRing:
         return self._owners[index % len(self._owners)]
 
 
-def shard_worker_main(ready, max_sessions: int) -> None:
+def shard_worker_main(
+    ready, max_sessions: int, accept_wire: int = wire.WIRE_V2
+) -> None:
     """Entry point of one shard worker process.
 
     Runs a plain :class:`MonitoringServer` on an OS-assigned localhost
@@ -123,7 +133,9 @@ def shard_worker_main(ready, max_sessions: int) -> None:
     """
 
     async def run() -> None:
-        server = MonitoringServer("127.0.0.1", 0, max_sessions=max_sessions)
+        server = MonitoringServer(
+            "127.0.0.1", 0, max_sessions=max_sessions, accept_wire=accept_wire
+        )
         await server.start()
         ready.send(server.port)
         ready.close()
@@ -155,10 +167,20 @@ class _ShardWorker:
                 self.links.put_nowait(None)
                 raise ShardError(f"shard {self.index} is not running")
             try:
-                link = await AsyncServiceClient.connect("127.0.0.1", self.port)
+                # "auto": binary frames when the worker grants them (the
+                # pass-through splice path needs v2 links), JSON lines
+                # against a worker pinned to v1.
+                link = await AsyncServiceClient.connect(
+                    "127.0.0.1", self.port, wire_protocol="auto"
+                )
             except OSError as exc:
                 self.links.put_nowait(None)
                 raise ShardError(f"shard {self.index} unreachable: {exc}") from exc
+            except ServiceError as exc:
+                self.links.put_nowait(None)
+                raise ShardError(
+                    f"shard {self.index} refused the link handshake: {exc}"
+                ) from exc
         return link
 
     def release(self, link: AsyncServiceClient, *, broken: bool = False) -> None:
@@ -226,8 +248,9 @@ class ShardedMonitoringServer(MonitoringServer):
         max_sessions: int = 1024,
         links_per_shard: int = 4,
         ring_points: int = 64,
+        accept_wire: int = wire.WIRE_V2,
     ) -> None:
-        super().__init__(host, port, max_sessions=max_sessions)
+        super().__init__(host, port, max_sessions=max_sessions, accept_wire=accept_wire)
         if shards < 1:
             raise ValueError(f"need at least 1 shard, got {shards}")
         self.num_shards = shards
@@ -261,7 +284,7 @@ class ShardedMonitoringServer(MonitoringServer):
         receiver, sender = _MP.Pipe(duplex=False)
         process = _MP.Process(
             target=shard_worker_main,
-            args=(sender, self.max_sessions),
+            args=(sender, self.max_sessions, self.accept_wire),
             name=f"repro-shard-{worker.index}",
             daemon=True,
         )
@@ -302,7 +325,10 @@ class ShardedMonitoringServer(MonitoringServer):
         if process.is_alive() and worker.port is not None:
             try:
                 link = await asyncio.wait_for(
-                    AsyncServiceClient.connect("127.0.0.1", worker.port), timeout=5
+                    AsyncServiceClient.connect(
+                        "127.0.0.1", worker.port, wire_protocol="v1"
+                    ),
+                    timeout=5,
                 )
                 try:
                     await asyncio.wait_for(link.request("shutdown"), timeout=5)
@@ -344,6 +370,11 @@ class ShardedMonitoringServer(MonitoringServer):
             response.pop("id", None)
             response.pop("ok", None)
             return response
+        except wire.WireError:
+            # Client-side encode failure (e.g. a non-finite batch from a
+            # v1 client being re-encoded for the link): nothing was
+            # written, the link is still in sync — re-pool it healthy.
+            raise
         except ServiceError as exc:
             if exc.error_type == "ConnectionClosed":
                 broken = True
@@ -362,6 +393,107 @@ class ShardedMonitoringServer(MonitoringServer):
             # A generation bump mid-request means the worker was replaced
             # under us: the link points at the old port and must not be
             # re-pooled even though this exchange happened to succeed.
+            worker.release(link, broken=broken or worker.generation != generation)
+
+    #: Session ops a v2 front-end connection forwards without decoding:
+    #: the fixed header alone names the session, and the meta/payload
+    #: bytes are spliced worker-ward verbatim.  Everything else (and
+    #: every v1 line) takes the full-decode path through ``_OPS``.
+    _PASSTHROUGH_CODES = frozenset(
+        wire.OP_CODES[op]
+        for op in ("feed", "advance", "query", "cost", "snapshot", "finalize")
+    )
+
+    async def _respond_v2(self, frame: tuple[wire.FrameHeader, bytes, bytes]):
+        header, meta, payload = frame
+        if header.code in self._PASSTHROUGH_CODES and header.session:
+            return await self._passthrough_v2(header, meta, payload)
+        return await super()._respond_v2(frame)
+
+    async def _passthrough_v2(
+        self, header: wire.FrameHeader, meta: bytes, payload: bytes
+    ):
+        """Splice one session frame to its shard and re-head the reply.
+
+        The supervisor-side cost of a forwarded feed drops to two
+        header packs and the socket writes — no JSON parse, no base64,
+        no payload copy beyond the kernel's.
+        """
+        request_id = header.request_id
+        op = wire.OP_NAMES[header.code]
+        sid = f"s{header.session}"
+        route = self._routes.get(sid)
+        if route is None:
+            return wire.encode_error_frame(
+                request_id, KeyError(f"no such session {sid!r}")
+            )
+        try:
+            async with route.lock:
+                reply, r_meta, r_payload = await self._forward_raw(
+                    route.shard, header, meta, payload, int(route.local[1:])
+                )
+                self.stats["requests"] += 1
+                if reply.code == wire.STATUS_OK:
+                    if op in ("feed", "advance"):
+                        # The only decoded bytes on this path: a tiny
+                        # {"step", "messages", ...} meta segment, for the
+                        # supervisor's step accounting.
+                        step = json.loads(r_meta).get("step") if r_meta else None
+                        if isinstance(step, int):
+                            self.stats["steps_ingested"] += step - route.step
+                            route.step = step
+                    elif op == "finalize":
+                        self._routes.pop(sid, None)
+            out_header = wire.pack_header(
+                kind=reply.kind,
+                code=reply.code,
+                request_id=request_id,
+                session=header.session if reply.session else 0,
+                meta_len=reply.meta_len,
+                payload_len=reply.payload_len,
+                response=True,
+            )
+            # Returned as raw segments: _serve_v2 writes them through
+            # without concatenating a payload-sized buffer in userland.
+            return out_header, r_meta, r_payload
+        except Exception as exc:  # fail closed, exactly like _respond_v2
+            return wire.encode_error_frame(request_id, exc)
+
+    async def _forward_raw(
+        self,
+        shard: int,
+        header: wire.FrameHeader,
+        meta: bytes,
+        payload: bytes,
+        local_session: int,
+    ) -> tuple[wire.FrameHeader, bytes, bytes]:
+        """One spliced round trip to a shard worker (the raw-frame twin
+        of :meth:`_forward`, with the same link-pool error contract)."""
+        worker = self._workers[shard]
+        link = await worker.acquire()
+        generation = worker.generation
+        broken = False
+        try:
+            return await asyncio.wait_for(
+                link.passthrough_frame(header, meta, payload, local_session),
+                timeout=_FORWARD_TIMEOUT,
+            )
+        except ServiceError as exc:
+            if exc.error_type == "ConnectionClosed":
+                broken = True
+                raise ShardError(f"shard {shard} closed the connection") from exc
+            broken = True  # a WireError desync also poisons the link
+            raise
+        except BaseException as exc:
+            broken = True  # cancelled, timed out, or failed mid-exchange
+            if isinstance(exc, asyncio.TimeoutError):
+                raise ShardError(
+                    f"shard {shard} did not respond within {_FORWARD_TIMEOUT:.0f}s"
+                ) from exc
+            if isinstance(exc, (ConnectionError, OSError, asyncio.IncompleteReadError)):
+                raise ShardError(f"shard {shard} unavailable: {exc}") from exc
+            raise
+        finally:
             worker.release(link, broken=broken or worker.generation != generation)
 
     def _new_sid(self) -> str:
@@ -529,6 +661,7 @@ class ShardedMonitoringServer(MonitoringServer):
         return {
             "pong": True,
             "version": wire.PROTOCOL_VERSION,
+            "accept_wire": self.accept_wire,
             "sessions": len(self._routes),
             "shards": self.num_shards,
             "shard_info": shard_info,
@@ -605,8 +738,10 @@ class ShardedMonitoringServer(MonitoringServer):
 
     async def _op_restore(self, message: dict[str, Any]) -> dict[str, Any]:
         state = message.get("state")
-        if not isinstance(state, str):
-            raise wire.WireError("restore needs a base64 'state' string")
+        if not isinstance(state, (str, bytes, bytearray)):
+            raise wire.WireError(
+                "restore needs a 'state' checkpoint (base64 text or raw blob frame)"
+            )
         async with self._placement:
             sid = self._new_sid()
             shard = self.ring.owner(sid)
@@ -670,6 +805,7 @@ class ShardedMonitoringServer(MonitoringServer):
                 return await self._migrate_locked(sid, route, target)
 
     _OPS = {
+        "hello": MonitoringServer._op_hello,
         "ping": _op_ping,
         "create": _op_create,
         "feed": _op_feed,

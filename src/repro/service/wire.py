@@ -1,22 +1,47 @@
-"""The service's wire protocol: JSON lines over TCP.
+"""The service's wire protocols: JSON lines (v1) and binary frames (v2).
 
-Every message is one JSON object terminated by ``\\n``.  Requests carry
-``{"id": <client-chosen>, "op": <name>, ...operands}``; the server
-answers each with exactly one ``{"id": <echoed>, "ok": true, ...}`` or
-``{"id": <echoed>, "ok": false, "error": str, "error_type": str}``
-line, in request order per connection.
-
-Observation batches travel in one of two encodings, chosen per call:
+**v1 — JSON lines.**  Every message is one JSON object terminated by
+``\\n``.  Requests carry ``{"id": <client-chosen>, "op": <name>,
+...operands}``; the server answers each with exactly one ``{"id":
+<echoed>, "ok": true, ...}`` or ``{"id": <echoed>, "ok": false,
+"error": str, "error_type": str}`` line, in request order per
+connection.  Observation batches travel in one of two encodings,
+chosen per call:
 
 - ``json`` — a plain nested list (``[[...], ...]``): readable,
   interoperable, slow;
 - ``b64`` — ``{"b64": <base64>, "shape": [B, n]}`` wrapping the raw
-  little-endian float64 buffer: the load generator's fast path (one
-  decode per batch instead of B·n float parses).
+  little-endian float64 buffer: one decode per batch instead of B·n
+  float parses, but still +33% bytes and a JSON parse of the bulk.
 
-Checkpoints travel base64-encoded (the blob format is
+Checkpoints travel base64-encoded in v1 (the blob format is
 :mod:`repro.service.session`'s pickle-based snapshot; the server
 restores through a restricted unpickler).
+
+**v2 — length-prefixed binary frames.**  One frame is a fixed
+:data:`HEADER_SIZE`-byte little-endian header (see :data:`HEADER`),
+then ``meta_len`` bytes of compact JSON metadata, then ``payload_len``
+bytes of raw payload::
+
+    magic "R2" | version | kind+flags | code | id | session | meta_len | payload_len
+      2 bytes  |  u8     |    u8      |  u16 | u64 |  u64    |  u32     |  u32
+
+``code`` is the op code on requests (:data:`OP_CODES`) and the status
+on responses (0 = ok).  ``session`` is the numeric part of the ``sN``
+session id (0 = none) so a routing front end can place a frame from
+the header alone.  The payload carries observation batches as the raw
+little-endian float64 buffer (decoded with a zero-copy
+``np.frombuffer``; its ``(B, n)`` shape rides in the meta segment) and
+checkpoints as raw bytes — no base64, no JSON parse of bulk data.
+Bulk fields therefore never appear in the meta JSON on the wire; the
+codec splits them out on encode and splices them back on decode, so
+both protocols present the same message dicts to server and client.
+
+Connections *start* in v1 and may upgrade: a client sends
+``{"op": "hello", "wire": 2}`` as a JSON line, and iff the server
+grants ``{"ok": true, "wire": 2}`` both sides switch to v2 frames for
+the rest of the connection.  A peer that never sends ``hello`` keeps
+speaking v1 bit-identically, which is the whole negotiation story.
 
 The op vocabulary is defined by :mod:`repro.service.server`; this
 module owns only framing and value encoding, shared by server, client
@@ -25,37 +50,437 @@ and load generator.
 
 from __future__ import annotations
 
+import asyncio
 import base64
 import json
-from typing import Any
+import socket
+import struct
+from typing import Any, NamedTuple
 
 import numpy as np
 
 __all__ = [
+    "FLAG_RESPONSE",
+    "HEADER_SIZE",
+    "KIND_BLOB",
+    "KIND_NONE",
+    "KIND_VALUES",
     "MAX_LINE_BYTES",
+    "MAX_META_BYTES",
+    "MAX_PAYLOAD_BYTES",
+    "OP_CODES",
+    "OP_NAMES",
     "PROTOCOL_VERSION",
+    "WIRE_V1",
+    "WIRE_V2",
+    "FrameHeader",
     "WireError",
+    "decode_frame",
     "decode_line",
     "decode_values",
+    "encode_error_frame",
+    "encode_frame",
     "encode_line",
+    "encode_v1_message",
     "encode_values",
+    "pack_header",
+    "parse_header",
+    "read_frame",
+    "session_number",
+    "set_nodelay",
 ]
 
-#: Protocol version announced by ``ping``; bumped on incompatible change.
+#: Protocol version announced by ``ping``; bumped on incompatible change
+#: to the op vocabulary (the framing version is negotiated separately).
 PROTOCOL_VERSION = 1
+
+#: Framing versions a connection can negotiate through ``hello``.
+WIRE_V1 = 1
+WIRE_V2 = 2
 
 #: Hard per-line cap — bounds a batch at ~2M float64 values, and bounds
 #: what a misbehaving peer can make the reader buffer.
 MAX_LINE_BYTES = 32 * 1024 * 1024
+
+#: v2 caps, the frame-level twins of :data:`MAX_LINE_BYTES`: the raw
+#: payload gets the same budget as a whole v1 line, the JSON metadata
+#: segment far less (it carries no bulk data by construction).
+MAX_PAYLOAD_BYTES = MAX_LINE_BYTES
+MAX_META_BYTES = 4 * 1024 * 1024
 
 
 class WireError(ValueError):
     """A frame or value payload violates the wire protocol."""
 
 
+# --------------------------------------------------------------------- #
+# v2 binary framing
+# --------------------------------------------------------------------- #
+
+#: Fixed v2 frame header (little-endian, 30 bytes).
+HEADER = struct.Struct("<2sBBHQQII")
+HEADER_SIZE = HEADER.size
+MAGIC = b"R2"
+
+#: Payload kinds (low nibble of the kind byte).
+KIND_NONE = 0
+KIND_VALUES = 1  # raw little-endian float64 (B, n) batch; shape in meta
+KIND_BLOB = 2  # raw checkpoint bytes
+
+#: High bit of the kind byte: the frame is a response, ``code`` is a
+#: status (0 = ok) instead of an op code.
+FLAG_RESPONSE = 0x80
+_KIND_MASK = 0x0F
+
+#: Request op codes.  The vocabulary is owned by the server; codes are
+#: part of the wire format and must never be reassigned, only appended.
+OP_CODES = {
+    "ping": 1,
+    "create": 2,
+    "feed": 3,
+    "advance": 4,
+    "query": 5,
+    "cost": 6,
+    "snapshot": 7,
+    "restore": 8,
+    "finalize": 9,
+    "close": 10,
+    "list": 11,
+    "shutdown": 12,
+    "migrate": 13,
+    "hello": 14,
+}
+OP_NAMES = {code: name for name, code in OP_CODES.items()}
+
+#: Response status codes.
+STATUS_OK = 0
+STATUS_ERROR = 1
+
+
+class FrameHeader(NamedTuple):
+    """A parsed v2 fixed header."""
+
+    kind: int  # payload kind, :data:`FLAG_RESPONSE` already stripped
+    response: bool
+    code: int  # op code (request) or status (response)
+    request_id: int
+    session: int  # numeric session id, 0 = none
+    meta_len: int
+    payload_len: int
+
+
+def pack_header(
+    *,
+    kind: int,
+    code: int,
+    request_id: int,
+    session: int,
+    meta_len: int,
+    payload_len: int,
+    response: bool = False,
+) -> bytes:
+    """The 30-byte fixed header for one v2 frame."""
+    flags = kind | (FLAG_RESPONSE if response else 0)
+    return HEADER.pack(
+        MAGIC, WIRE_V2, flags, code, request_id, session, meta_len, payload_len
+    )
+
+
+def parse_header(data: bytes) -> FrameHeader:
+    """Validate and parse a fixed header; raises :class:`WireError`."""
+    if len(data) < HEADER_SIZE:
+        raise WireError(
+            f"truncated frame header ({len(data)} of {HEADER_SIZE} bytes)"
+        )
+    magic, version, flags, code, request_id, session, meta_len, payload_len = (
+        HEADER.unpack(data[:HEADER_SIZE])
+    )
+    if magic != MAGIC:
+        raise WireError(f"bad frame magic {magic!r} (expected {MAGIC!r})")
+    if version != WIRE_V2:
+        raise WireError(f"unsupported wire version {version} (expected {WIRE_V2})")
+    kind = flags & _KIND_MASK
+    if kind not in (KIND_NONE, KIND_VALUES, KIND_BLOB):
+        raise WireError(f"unknown payload kind {kind}")
+    if meta_len > MAX_META_BYTES:
+        raise WireError(f"meta of {meta_len} bytes exceeds the {MAX_META_BYTES} cap")
+    if payload_len > MAX_PAYLOAD_BYTES:
+        raise WireError(
+            f"payload of {payload_len} bytes exceeds the {MAX_PAYLOAD_BYTES} cap"
+        )
+    return FrameHeader(
+        kind, bool(flags & FLAG_RESPONSE), code, request_id, session, meta_len,
+        payload_len,
+    )
+
+
+async def read_frame(
+    reader: asyncio.StreamReader,
+) -> tuple[FrameHeader, bytes, bytes] | None:
+    """Read one v2 frame: ``(header, meta bytes, payload bytes)``.
+
+    Returns ``None`` on a clean EOF at a frame boundary.  A header that
+    fails validation raises :class:`WireError` (the stream cannot be
+    resynchronized — the connection should answer once and close); a
+    connection dying mid-frame raises the underlying
+    :class:`asyncio.IncompleteReadError`.
+    """
+    try:
+        magic = await reader.readexactly(len(MAGIC))
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean EOF between frames
+        raise WireError(
+            f"truncated frame header ({len(exc.partial)} of {HEADER_SIZE} bytes)"
+        ) from None
+    # Checked before the rest of the header arrives: a desynchronized
+    # peer (e.g. one still writing JSON lines) fails fast on its first
+    # two bytes instead of parking the reader until 30 show up.
+    if magic != MAGIC:
+        raise WireError(f"bad frame magic {magic!r} (expected {MAGIC!r})")
+    try:
+        head = magic + await reader.readexactly(HEADER_SIZE - len(MAGIC))
+    except asyncio.IncompleteReadError as exc:
+        raise WireError(
+            f"truncated frame header ({len(MAGIC) + len(exc.partial)} of "
+            f"{HEADER_SIZE} bytes)"
+        ) from None
+    header = parse_header(head)
+    meta = await reader.readexactly(header.meta_len) if header.meta_len else b""
+    payload = (
+        await reader.readexactly(header.payload_len) if header.payload_len else b""
+    )
+    return header, meta, payload
+
+
+def session_number(session: Any) -> int:
+    """The numeric part of an ``sN`` session id (0 for ``None``)."""
+    if session is None:
+        return 0
+    if isinstance(session, str) and session.startswith("s") and session[1:].isdigit():
+        number = int(session[1:])
+        if 0 < number <= 0xFFFFFFFFFFFFFFFF:
+            return number
+    raise WireError(
+        f"the v2 wire carries numeric session ids ('sN'), got {session!r}"
+    )
+
+
+def _split_bulk(
+    message: dict[str, Any],
+) -> tuple[int, bytes | memoryview, dict[str, Any]]:
+    """Split a message's bulk field into ``(kind, payload bytes, meta)``.
+
+    Only well-formed bulk values leave the meta segment: a raw
+    ``ndarray`` batch, a v1-style ``{"b64", "shape"}`` dict or nested
+    list, raw checkpoint ``bytes``, or a valid base64 checkpoint
+    string.  Anything else (including deliberately malformed test
+    payloads) stays in the JSON meta verbatim, so the *receiving* side
+    rejects it with the same error a v1 peer would see.
+    """
+    values = message.get("values")
+    if isinstance(values, np.ndarray):
+        block = np.asarray(values, dtype=np.float64)
+        if block.ndim == 1:
+            block = block[None, :]
+        if block.ndim != 2:
+            raise WireError(f"values must be a (B, n) batch, got shape {block.shape}")
+        meta = {k: v for k, v in message.items() if k != "values"}
+        meta["shape"] = [int(block.shape[0]), int(block.shape[1])]
+        return KIND_VALUES, _payload_view(block), meta
+    if (
+        isinstance(values, dict)
+        and isinstance(values.get("b64"), str)
+        and isinstance(values.get("shape"), (list, tuple))
+    ):
+        block = decode_values(values)  # validates b64/shape like a v1 server
+        meta = {k: v for k, v in message.items() if k != "values"}
+        meta["shape"] = [int(block.shape[0]), int(block.shape[1])]
+        return KIND_VALUES, _payload_view(block), meta
+    if isinstance(values, list):
+        # A json-encoded batch must convert too: left as meta text it
+        # would hit the 4 MiB meta cap long before the 32 MiB payload
+        # budget, breaking wire transparency for v1 clients whose feeds
+        # a sharded supervisor re-encodes onto v2 worker links.
+        try:
+            block = decode_values(values)
+        except WireError:
+            pass  # malformed list: the receiving side rejects it
+        else:
+            meta = {k: v for k, v in message.items() if k != "values"}
+            meta["shape"] = [int(block.shape[0]), int(block.shape[1])]
+            return KIND_VALUES, _payload_view(block), meta
+    state = message.get("state")
+    if isinstance(state, (bytes, bytearray, memoryview)):
+        meta = {k: v for k, v in message.items() if k != "state"}
+        return KIND_BLOB, state if isinstance(state, bytes) else bytes(state), meta
+    if isinstance(state, str):
+        try:
+            blob = base64.b64decode(state, validate=True)
+        except (TypeError, ValueError):
+            blob = None  # leave it in meta; the receiver rejects it
+        if blob is not None:
+            meta = {k: v for k, v in message.items() if k != "state"}
+            return KIND_BLOB, blob, meta
+    return KIND_NONE, b"", message
+
+
+def _payload_view(block: np.ndarray) -> memoryview:
+    """The batch's raw little-endian bytes without an intermediate copy
+    (``ascontiguousarray`` is a no-op view for the common case of an
+    already-contiguous ``<f8`` array, and the byte-cast memoryview
+    feeds ``bytes.join`` / ``writer.write`` directly)."""
+    return memoryview(np.ascontiguousarray(block, dtype="<f8")).cast("B")
+
+
+def encode_frame(message: dict[str, Any], *, response: bool = False) -> bytes:
+    """One protocol message as a v2 binary frame.
+
+    The message dict is the same shape the v1 codec carries; ``id``,
+    ``session``, the op/status and the bulk field (``values`` /
+    ``state``) move into the fixed header and raw payload, everything
+    else into the JSON meta segment.
+    """
+    kind, payload, meta = _split_bulk(message)
+    meta = {
+        k: v
+        for k, v in meta.items()
+        if k not in ("id", "session", "op", "ok")
+    }
+    request_id = message.get("id") or 0
+    if not isinstance(request_id, int) or not 0 <= request_id <= 0xFFFFFFFFFFFFFFFF:
+        raise WireError(f"the v2 wire carries integer request ids, got {request_id!r}")
+    if response:
+        code = STATUS_OK if message.get("ok", True) else STATUS_ERROR
+    else:
+        op = message.get("op")
+        code = OP_CODES.get(op)
+        if code is None:
+            raise WireError(f"unknown op {op!r}; valid: {', '.join(OP_CODES)}")
+    meta_bytes = (
+        json.dumps(meta, separators=(",", ":")).encode("utf-8") if meta else b""
+    )
+    if len(meta_bytes) > MAX_META_BYTES:
+        raise WireError(
+            f"meta of {len(meta_bytes)} bytes exceeds the {MAX_META_BYTES} cap"
+        )
+    if len(payload) > MAX_PAYLOAD_BYTES:
+        raise WireError(
+            f"payload of {len(payload)} bytes exceeds the {MAX_PAYLOAD_BYTES} cap"
+        )
+    header = pack_header(
+        kind=kind,
+        code=code,
+        request_id=request_id,
+        session=session_number(message.get("session")),
+        meta_len=len(meta_bytes),
+        payload_len=len(payload),
+        response=response,
+    )
+    return b"".join((header, meta_bytes, payload))
+
+
+def encode_error_frame(request_id: int, exc: BaseException) -> bytes:
+    """An error response frame mirroring the v1 error envelope."""
+    return encode_frame(
+        {
+            "id": request_id,
+            "ok": False,
+            "error": str(exc) or type(exc).__name__,
+            "error_type": getattr(exc, "error_type", "") or type(exc).__name__,
+        },
+        response=True,
+    )
+
+
+def decode_frame(
+    header: FrameHeader, meta_bytes: bytes, payload: bytes
+) -> dict[str, Any]:
+    """A received v2 frame back into the protocol's message dict.
+
+    Observation payloads come back as a zero-copy ``np.frombuffer``
+    view of the payload bytes (validated finite — one vectorized pass),
+    checkpoints as raw ``bytes``.
+    """
+    if meta_bytes:
+        try:
+            meta = json.loads(meta_bytes)
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise WireError(f"frame meta is not valid JSON: {exc}") from None
+        if not isinstance(meta, dict):
+            raise WireError(
+                f"frame meta must be a JSON object, got {type(meta).__name__}"
+            )
+    else:
+        meta = {}
+    message: dict[str, Any] = {"id": header.request_id}
+    if header.response:
+        message["ok"] = header.code == STATUS_OK
+    else:
+        op = OP_NAMES.get(header.code)
+        if op is None:
+            raise WireError(f"unknown op code {header.code}")
+        message["op"] = op
+    if header.session:
+        message["session"] = f"s{header.session}"
+    if header.kind == KIND_VALUES:
+        shape = meta.pop("shape", None)
+        if (
+            not isinstance(shape, (list, tuple))
+            or len(shape) != 2
+            or not all(isinstance(s, int) and s > 0 for s in shape)
+        ):
+            raise WireError(f"bad values shape {shape!r}")
+        expected = shape[0] * shape[1] * 8
+        if len(payload) != expected:
+            raise WireError(
+                f"values payload holds {len(payload)} bytes, "
+                f"shape {list(shape)} needs {expected}"
+            )
+        block = np.frombuffer(payload, dtype="<f8").reshape(shape[0], shape[1])
+        message["values"] = _finite(block)
+    elif header.kind == KIND_BLOB:
+        message["state"] = payload
+    message.update(meta)
+    return message
+
+
+def set_nodelay(writer: asyncio.StreamWriter) -> None:
+    """Disable Nagle on a stream's socket (request/response frames are
+    small; coalescing them just adds latency).  Best-effort: transports
+    without a socket (tests, unix pipes) are left alone."""
+    sock = writer.get_extra_info("socket")
+    if sock is not None:
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except (OSError, ValueError):
+            pass
+
+
+# --------------------------------------------------------------------- #
+# v1 JSON lines
+# --------------------------------------------------------------------- #
+
+
 def encode_line(message: dict[str, Any]) -> bytes:
     """One protocol message as a newline-terminated JSON line."""
     return json.dumps(message, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+def encode_v1_message(message: dict[str, Any]) -> bytes:
+    """One message as a v1 line, converting raw bulk fields to text.
+
+    The handlers and client ops traffic in the canonical forms (raw
+    ``bytes`` checkpoints, ``ndarray`` batches); this is the v1 edge
+    that base64/JSON-encodes them for the line protocol.
+    """
+    state = message.get("state")
+    if isinstance(state, (bytes, bytearray, memoryview)):
+        message = {**message, "state": encode_blob(bytes(state))}
+    values = message.get("values")
+    if isinstance(values, np.ndarray):
+        message = {**message, "values": encode_values(values)}
+    return encode_line(message)
 
 
 def decode_line(line: bytes) -> dict[str, Any]:
@@ -90,12 +515,15 @@ def encode_values(block: np.ndarray, encoding: str = "b64") -> Any:
 
 
 def decode_values(payload: Any) -> np.ndarray:
-    """An observation batch back from either wire encoding.
+    """An observation batch back from any wire encoding.
 
-    Returns a float64 ``(B, n)`` array.  Shape/finiteness validation is
-    the engine's job (:meth:`MonitoringEngine.advance` checks pushed
-    blocks once); this only undoes the transport encoding.
+    Returns a finite float64 ``(B, n)`` array.  A v2 frame decode has
+    already produced the array (zero-copy) and validated it, so
+    ``ndarray`` input passes straight through; batch-width-vs-session
+    agreement stays the engine's job.
     """
+    if isinstance(payload, np.ndarray):
+        return payload
     if isinstance(payload, dict):
         try:
             raw = base64.b64decode(payload["b64"], validate=True)
@@ -113,7 +541,7 @@ def decode_values(payload: Any) -> np.ndarray:
             raise WireError(
                 f"values buffer holds {len(raw)} bytes, shape {shape} needs {expected}"
             )
-        return np.frombuffer(raw, dtype="<f8").reshape(shape[0], shape[1])
+        return _finite(np.frombuffer(raw, dtype="<f8").reshape(shape[0], shape[1]))
     if isinstance(payload, list):
         try:
             block = np.asarray(payload, dtype=np.float64)
@@ -123,8 +551,17 @@ def decode_values(payload: Any) -> np.ndarray:
             block = block[None, :]
         if block.ndim != 2:
             raise WireError(f"values must be a (B, n) batch, got shape {block.shape}")
-        return block
+        return _finite(block)
     raise WireError(f"values must be a list or a b64 object, got {type(payload).__name__}")
+
+
+def _finite(block: np.ndarray) -> np.ndarray:
+    """Reject non-finite observation batches at the wire (one vectorized
+    pass), so every protocol fails them the same way — as a
+    :class:`WireError`, before any session state is touched."""
+    if not np.all(np.isfinite(block)):
+        raise WireError("values payload contains non-finite floats")
+    return block
 
 
 def encode_blob(blob: bytes) -> str:
@@ -132,8 +569,11 @@ def encode_blob(blob: bytes) -> str:
     return base64.b64encode(blob).decode("ascii")
 
 
-def decode_blob(text: str) -> bytes:
-    """The checkpoint bytes back from :func:`encode_blob`."""
+def decode_blob(text: Any) -> bytes:
+    """The checkpoint bytes back from either wire encoding (v1 base64
+    text, or the raw bytes a v2 blob frame already carries)."""
+    if isinstance(text, (bytes, bytearray, memoryview)):
+        return bytes(text)
     try:
         return base64.b64decode(text, validate=True)
     except (TypeError, ValueError) as exc:

@@ -12,7 +12,7 @@ import numpy as np
 import pytest
 
 from repro.model.engine import MonitoringEngine
-from repro.service import AsyncServiceClient, MonitoringServer, ServiceError
+from repro.service import AsyncServiceClient, MonitoringServer, ServiceError, wire
 from repro.service.algorithms import make_algorithm
 from repro.streams import registry
 
@@ -151,8 +151,11 @@ class TestErrorEnvelope:
         served(scenario)
 
     def test_unknown_op(self):
+        """v1 sends the op and the server rejects it; v2 cannot even
+        encode an op without a code — either way it's a clean error."""
+
         async def scenario(server, client):
-            with pytest.raises(ServiceError, match="unknown op"):
+            with pytest.raises((ServiceError, wire.WireError), match="unknown op"):
                 await client.request("frobnicate")
 
         served(scenario)
@@ -174,16 +177,26 @@ class TestErrorEnvelope:
         served(scenario)
 
     def test_malformed_json_line(self):
-        async def scenario(server, client):
-            client._writer.write(b"{not json\n")
-            await client._writer.drain()
-            line = await client._reader.readline()
-            import json
-            response = json.loads(line)
-            assert response["ok"] is False
-            assert response["error_type"] == "WireError"
+        """A bad line on a v1 connection draws the JSON error envelope
+        (the v2 framing's fuzz twin lives in test_protocol_v2.py)."""
 
-        served(scenario)
+        async def scenario():
+            server = MonitoringServer()
+            host, port = await server.start()
+            client = await AsyncServiceClient.connect(host, port, wire_protocol="v1")
+            try:
+                client._writer.write(b"{not json\n")
+                await client._writer.drain()
+                line = await client._reader.readline()
+                import json
+                response = json.loads(line)
+                assert response["ok"] is False
+                assert response["error_type"] == "WireError"
+            finally:
+                await client.aclose()
+                await server.aclose()
+
+        asyncio.run(scenario())
 
     def test_session_limit(self):
         async def scenario():
@@ -200,6 +213,65 @@ class TestErrorEnvelope:
                 await server.aclose()
 
         asyncio.run(scenario())
+
+
+class TestSmallOpFastPath:
+    def test_hello_reports_negotiation(self):
+        async def scenario(server, client):
+            response = await client.request("hello", wire=1)
+            assert response["wire"] == 1  # requesting v1 never upgrades
+            assert response["version"] >= 1
+
+        served(scenario)
+
+    def test_cheap_ops_never_touch_the_executor(self, reference):
+        """INLINE_OPS are served on the event loop: no run_in_executor
+        round trip.  Heavy ops (feed) still go through it."""
+        _ref, blocks = reference
+
+        async def scenario():
+            server = MonitoringServer()
+            host, port = await server.start()
+            client = await AsyncServiceClient.connect(host, port)
+            try:
+                sid = await client.create_session(**spec())
+                await client.feed(sid, blocks[0])
+
+                real_run_sync, calls = server._run_sync, []
+
+                async def tracking(fn, *args):
+                    calls.append(getattr(fn, "__name__", str(fn)))
+                    return await real_run_sync(fn, *args)
+
+                server._run_sync = tracking
+                try:
+                    covered = {"ping", "hello", "query", "cost", "list", "close"}
+                    # shutdown is inline too but would stop the server;
+                    # everything else in the contract set must be hit
+                    # here, so editing INLINE_OPS forces updating this.
+                    assert covered == MonitoringServer.INLINE_OPS - {"shutdown"}
+                    await client.ping()
+                    await client.request("hello", wire=1)
+                    await client.query(sid)
+                    await client.cost(sid)
+                    await client.list_sessions()
+                    await client.close_session(sid)
+                    assert calls == []  # every cheap op stayed on the loop
+                    sid2 = await client.create_session(**spec())
+                    await client.feed(sid2, blocks[0])
+                    assert calls != []  # the heavy path still offloads
+                finally:
+                    server._run_sync = real_run_sync
+            finally:
+                await client.aclose()
+                await server.aclose()
+
+        asyncio.run(scenario())
+
+    def test_inline_ops_set_matches_handlers(self):
+        """Every declared inline op exists; the declaration is the
+        documentation the fast path is held to."""
+        assert MonitoringServer.INLINE_OPS <= set(MonitoringServer._OPS)
 
 
 class TestConcurrency:

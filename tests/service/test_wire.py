@@ -79,6 +79,169 @@ class TestBlobs:
         blob = bytes(range(256))
         assert wire.decode_blob(wire.encode_blob(blob)) == blob
 
+    def test_raw_bytes_pass_through(self):
+        blob = bytes(range(256))
+        assert wire.decode_blob(blob) == blob
+
     def test_bad_blob(self):
         with pytest.raises(wire.WireError, match="checkpoint"):
             wire.decode_blob("@@@not-base64@@@")
+
+
+def frame_round_trip(message, *, response=False):
+    frame = wire.encode_frame(message, response=response)
+    header = wire.parse_header(frame)
+    meta = frame[wire.HEADER_SIZE:wire.HEADER_SIZE + header.meta_len]
+    payload = frame[wire.HEADER_SIZE + header.meta_len:]
+    assert len(payload) == header.payload_len
+    return header, wire.decode_frame(header, meta, payload)
+
+
+class TestFrames:
+    def test_request_round_trip_carries_meta(self):
+        header, message = frame_round_trip(
+            {"id": 3, "op": "advance", "session": "s7", "steps": 25}
+        )
+        assert header.code == wire.OP_CODES["advance"]
+        assert header.session == 7 and not header.response
+        assert message == {"id": 3, "op": "advance", "session": "s7", "steps": 25}
+
+    def test_values_ride_as_zero_copy_payload(self):
+        block = np.arange(12, dtype=np.float64).reshape(3, 4) * 1.5
+        header, message = frame_round_trip(
+            {"id": 1, "op": "feed", "session": "s1", "values": block}
+        )
+        assert header.kind == wire.KIND_VALUES
+        assert header.payload_len == block.nbytes  # raw f8, no base64 +33%
+        decoded = message["values"]
+        np.testing.assert_array_equal(decoded, block)
+        assert decoded.base is not None  # a frombuffer view, not a copy
+
+    def test_v1_b64_values_convert_to_raw_payload(self):
+        """The supervisor's v1→v2 bridge: a b64 dict from a JSON-lines
+        client becomes the binary payload exactly once."""
+        block = np.random.default_rng(3).uniform(0, 1e6, size=(5, 4))
+        header, message = frame_round_trip(
+            {"id": 1, "op": "feed", "session": "s1",
+             "values": wire.encode_values(block, "b64")}
+        )
+        assert header.payload_len == block.nbytes
+        np.testing.assert_array_equal(message["values"], block)
+
+    def test_blob_round_trip(self):
+        blob = bytes(range(256)) * 3
+        header, message = frame_round_trip(
+            {"id": 2, "ok": True, "session": "s4", "step": 9, "state": blob},
+            response=True,
+        )
+        assert header.kind == wire.KIND_BLOB and header.response
+        assert message["state"] == blob and message["step"] == 9
+        assert message["ok"] is True
+
+    def test_error_frame(self):
+        frame = wire.encode_error_frame(9, KeyError("no such session 's9'"))
+        header = wire.parse_header(frame)
+        message = wire.decode_frame(
+            header, frame[wire.HEADER_SIZE:], b""
+        )
+        assert message["ok"] is False
+        assert message["error_type"] == "KeyError"
+        assert "no such session" in message["error"]
+
+    def test_json_list_values_convert_to_raw_payload(self):
+        """A nested-list batch must ride as payload, not meta text — a
+        large json-encoded feed re-framed by the shard supervisor would
+        otherwise hit the 4 MiB meta cap that v1's 32 MiB line budget
+        never imposed."""
+        block = [[1.0, 2.0, 3.0], [4.0, 5.0, 6.0]]
+        header, message = frame_round_trip(
+            {"id": 1, "op": "feed", "session": "s1", "values": block}
+        )
+        assert header.kind == wire.KIND_VALUES
+        assert header.payload_len == 6 * 8
+        np.testing.assert_array_equal(message["values"], np.asarray(block))
+
+    def test_malformed_bulk_stays_in_meta(self):
+        """Garbage values/state must reach the server so it can reject
+        them — the codec refuses to guess."""
+        header, message = frame_round_trip(
+            {"id": 1, "op": "feed", "session": "s1", "values": "garbage"}
+        )
+        assert header.kind == wire.KIND_NONE
+        assert message["values"] == "garbage"
+
+    def test_session_ids_must_be_numeric(self):
+        with pytest.raises(wire.WireError, match="numeric session ids"):
+            wire.encode_frame({"id": 1, "op": "query", "session": "bogus"})
+
+
+class TestFrameFuzz:
+    def good_header(self, **overrides):
+        fields = dict(kind=wire.KIND_NONE, code=wire.OP_CODES["ping"],
+                      request_id=1, session=0, meta_len=0, payload_len=0)
+        fields.update(overrides)
+        return wire.pack_header(**fields)
+
+    def test_truncated_header(self):
+        with pytest.raises(wire.WireError, match="truncated"):
+            wire.parse_header(self.good_header()[:10])
+
+    def test_bad_magic(self):
+        with pytest.raises(wire.WireError, match="magic"):
+            wire.parse_header(b"XX" + self.good_header()[2:])
+
+    def test_wrong_version(self):
+        bad = bytearray(self.good_header())
+        bad[2] = 7
+        with pytest.raises(wire.WireError, match="version"):
+            wire.parse_header(bytes(bad))
+
+    def test_unknown_kind(self):
+        bad = bytearray(self.good_header())
+        bad[3] = 9
+        with pytest.raises(wire.WireError, match="kind"):
+            wire.parse_header(bytes(bad))
+
+    def test_length_caps(self):
+        with pytest.raises(wire.WireError, match="cap"):
+            wire.parse_header(
+                self.good_header(meta_len=wire.MAX_META_BYTES + 1)
+            )
+        with pytest.raises(wire.WireError, match="cap"):
+            wire.parse_header(
+                self.good_header(payload_len=wire.MAX_PAYLOAD_BYTES + 1)
+            )
+
+    def test_payload_shape_mismatch(self):
+        header = wire.parse_header(
+            self.good_header(kind=wire.KIND_VALUES,
+                             code=wire.OP_CODES["feed"],
+                             meta_len=0, payload_len=24)
+        )
+        import json
+        meta = json.dumps({"shape": [2, 4]}).encode()
+        with pytest.raises(wire.WireError, match="needs"):
+            wire.decode_frame(header._replace(meta_len=len(meta)),
+                              meta, b"\x00" * 24)
+
+    def test_non_finite_payload(self):
+        block = np.array([[1.0, np.inf]])
+        frame = wire.encode_frame(
+            {"id": 1, "op": "feed", "session": "s1", "values": block}
+        )
+        header = wire.parse_header(frame)
+        meta = frame[wire.HEADER_SIZE:wire.HEADER_SIZE + header.meta_len]
+        payload = frame[wire.HEADER_SIZE + header.meta_len:]
+        with pytest.raises(wire.WireError, match="non-finite"):
+            wire.decode_frame(header, meta, payload)
+
+    def test_non_finite_rejected_on_every_encoding(self):
+        bad = np.array([[1.0, np.nan]])
+        for payload in (wire.encode_values(bad, "b64"), bad.tolist()):
+            with pytest.raises(wire.WireError, match="non-finite"):
+                wire.decode_values(payload)
+
+    def test_bad_meta_json(self):
+        header = wire.parse_header(self.good_header(meta_len=5))
+        with pytest.raises(wire.WireError, match="meta"):
+            wire.decode_frame(header, b"{nope", b"")
