@@ -51,6 +51,7 @@ messages``); charges made after ``end_step()`` — e.g. from an
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass, field
 from typing import Protocol, runtime_checkable
 
@@ -427,10 +428,33 @@ class MonitoringEngine:
 
     def _grow_rows(self) -> np.ndarray:
         assert self._rows is not None
-        grown = np.empty((self._rows.shape[0] * 2, self.k), dtype=np.int64)
-        grown[: self._t] = self._rows
+        grown = np.empty((max(self._rows.shape[0] * 2, _INITIAL_ROWS), self.k), dtype=np.int64)
+        grown[: self._t] = self._rows[: self._t]
         self._rows = grown
         return grown
+
+    # ------------------------------------------------------------------ #
+    # Pickling (session checkpoints)
+    # ------------------------------------------------------------------ #
+    def __getstate__(self):
+        # Compact the output buffer to its recorded prefix so checkpoint
+        # bytes are a pure function of the steps consumed — not of buffer
+        # capacity history or the ``np.empty`` garbage past ``_t``.  The
+        # cross-topology differential harness asserts blobs bit-identical
+        # across restore/migrate histories, which needs this canonical form.
+        state = self.__dict__.copy()
+        rows = state["_rows"]
+        if rows is not None:
+            state["_rows"] = rows[: self._t].copy()
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        # A compacted buffer may be full (or empty); _grow_rows re-seeds
+        # capacity on the next recorded step.  Keys are interned like
+        # pickle's default load_build does — otherwise a restored engine
+        # re-pickles with different string memoization and the blob bytes
+        # drift from an uninterrupted run's.
+        self.__dict__.update({sys.intern(key): value for key, value in state.items()})
 
     # ------------------------------------------------------------------ #
     def _verify(self, t: int, out: frozenset[int]) -> None:

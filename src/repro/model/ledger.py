@@ -141,6 +141,23 @@ class StepSeries:
         """The series as a plain list of Python ints."""
         return self._buf[: self._len].tolist()
 
+    # -------------------------------------------------------------- #
+    # Pickling
+    # -------------------------------------------------------------- #
+    def __getstate__(self):
+        # Canonical form: exactly the recorded prefix.  Pickling the raw
+        # buffer would bake amortized-growth capacity (and ``np.empty``
+        # garbage past ``_len``) into checkpoints, making the blob bytes
+        # depend on append/restore history instead of the series alone —
+        # the cross-topology harness asserts blobs bit-identical.
+        return self._buf[: self._len].copy()
+
+    def __setstate__(self, state) -> None:
+        data = np.ascontiguousarray(state, dtype=np.int64)
+        self._len = int(data.shape[0])
+        # An empty buffer cannot grow by doubling; reseed capacity.
+        self._buf = data if self._len else np.zeros(self._INITIAL_CAPACITY, dtype=np.int64)
+
     @property
     def total(self) -> int:
         """Sum of the series (one vectorized pass)."""
@@ -207,8 +224,15 @@ class CostLedger:
             raise ValueError(f"negative message count {count}")
         setattr(self, attr, getattr(self, attr) + count)
         if self._scopes:
-            for name in set(self._scopes):
-                self._by_scope[name] += count if scope_amount is None else scope_amount
+            # Dedupe in stack order, not via ``set()``: set iteration is
+            # hash-randomized *per process*, which would make ``_by_scope``
+            # insertion order — and hence checkpoint blob bytes — differ
+            # between a worker process and an in-process oracle.
+            charged: set[str] = set()
+            for name in self._scopes:
+                if name not in charged:
+                    charged.add(name)
+                    self._by_scope[name] += count if scope_amount is None else scope_amount
 
     # ------------------------------------------------------------------ #
     # Reading

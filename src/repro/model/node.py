@@ -28,6 +28,7 @@ call :meth:`touch`.
 from __future__ import annotations
 
 import math
+import sys
 
 import numpy as np
 
@@ -120,6 +121,32 @@ class NodeArray:
     def touch(self) -> None:
         """Invalidate cached violation state after a direct array write."""
         self.version += 1
+
+    # ------------------------------------------------------------------ #
+    # Pickling
+    # ------------------------------------------------------------------ #
+    def __getstate__(self):
+        # The violation cache and its scratch buffers are derived state,
+        # recomputed lazily per version.  Excluding them keeps checkpoint
+        # bytes a pure function of (values, filters, version): ``np.empty``
+        # scratch would otherwise leak uninitialized memory, and the cache
+        # contents would depend on whether violations were read since the
+        # last mutation.
+        state = self.__dict__.copy()
+        for key in ("_viol_version", "_viol_kind", "_viol_ids", "_above_buf", "_below_buf"):
+            del state[key]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        # Intern keys like pickle's default load_build would, so restored
+        # node arrays re-pickle with identical string memoization.
+        self.__dict__.update({sys.intern(key): value for key, value in state.items()})
+        n = self.n
+        self._viol_version = -1
+        self._viol_kind = np.zeros(n, dtype=np.int8)
+        self._viol_ids = np.empty(0, dtype=np.int64)
+        self._above_buf = np.empty(n, dtype=bool)
+        self._below_buf = np.empty(n, dtype=bool)
 
     def get_filter(self, node_id: int) -> Interval:
         """Return node ``node_id``'s current filter."""

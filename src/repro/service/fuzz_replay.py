@@ -1,0 +1,87 @@
+"""Replay a shrunk fuzz failure without hypothesis in the loop.
+
+The stateful fuzz tier (tests/service/stateful/) dumps every diverging
+op sequence as JSON — the ops, the wire pin and the topology set — via
+:func:`repro.service.fuzzharness.TopologyHarness._dump_failure`.  This
+entry point re-drives such a file through a fresh harness::
+
+    python -m repro.service.fuzz_replay .hypothesis/fuzz-failure.json
+
+Exit status 1 means the divergence reproduced (the diagnosis is
+printed, and the re-dump overwrites the input's dump path unless
+``REPRO_FUZZ_DUMP`` redirects it); 0 means the sequence now passes.
+Flags override the recorded environment to bisect a failure across
+serving configurations — e.g. ``--topologies inproc,shard4`` or
+``--wire v1``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.service.fuzzharness import (
+    TOPOLOGIES,
+    DivergenceError,
+    TopologyHarness,
+)
+
+__all__ = ["main"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service.fuzz_replay",
+        description="Re-drive a dumped fuzz op sequence through the "
+        "cross-topology differential harness.",
+    )
+    parser.add_argument("dump", type=Path, help="failure JSON written by the fuzz tier")
+    parser.add_argument(
+        "--wire",
+        choices=("v1", "auto"),
+        default=None,
+        help="override the recorded wire pin",
+    )
+    parser.add_argument(
+        "--topologies",
+        default=None,
+        metavar="NAMES",
+        help=f"override the recorded topology set (comma-separated, from "
+        f"{sorted(TOPOLOGIES)})",
+    )
+    args = parser.parse_args(argv)
+
+    record = json.loads(args.dump.read_text())
+    ops = record.get("ops")
+    if not isinstance(ops, list):
+        parser.error(f"{args.dump} has no 'ops' list — not a fuzz failure dump")
+    wire_pin = args.wire or record.get("wire_pin", "auto")
+    topologies = tuple(
+        name.strip()
+        for name in (args.topologies or ",".join(record.get("topologies", []))).split(",")
+        if name.strip()
+    ) or None
+
+    harness = TopologyHarness(wire_pin, topologies=topologies)
+    print(
+        f"replaying {len(ops)} op(s) against "
+        f"{', '.join(harness.topology_names)} (wire pin: {wire_pin})"
+    )
+    try:
+        harness.reset()
+        for index, op in enumerate(ops):
+            print(f"  [{index + 1}/{len(ops)}] {op['op']}")
+            harness.apply(op)
+    except DivergenceError as exc:
+        print(f"\nDIVERGED:\n{exc}", file=sys.stderr)
+        return 1
+    finally:
+        harness.teardown()
+    print("sequence replayed cleanly — no divergence")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -36,7 +36,7 @@ from __future__ import annotations
 import asyncio
 from typing import Any
 
-from repro.service import wire
+from repro.service import ops, wire
 from repro.service.session import Session, session_from_wire
 
 __all__ = ["MonitoringServer", "serve"]
@@ -255,10 +255,9 @@ class MonitoringServer:
     #: *documented, tested contract*, not a dispatch switch: nothing
     #: branches on it at runtime — the handlers themselves simply never
     #: touch the executor, and tests/service/test_server.py's fast-path
-    #: test fails if one of the listed ops starts doing so.
-    INLINE_OPS = frozenset(
-        {"hello", "ping", "query", "cost", "list", "close", "shutdown"}
-    )
+    #: test fails if one of the listed ops starts doing so.  Derived
+    #: from the shared op registry so server and fuzzer cannot drift.
+    INLINE_OPS = ops.inline_ops()
 
     async def _respond(self, line: bytes) -> dict[str, Any]:
         request_id: Any = None
@@ -492,21 +491,13 @@ class MonitoringServer:
         self.request_shutdown()
         return {"stopping": True, "stats": dict(self.stats)}
 
-    _OPS = {
-        "hello": _op_hello,
-        "ping": _op_ping,
-        "create": _op_create,
-        "feed": _op_feed,
-        "advance": _op_advance,
-        "query": _op_query,
-        "cost": _op_cost,
-        "snapshot": _op_snapshot,
-        "restore": _op_restore,
-        "finalize": _op_finalize,
-        "close": _op_close,
-        "list": _op_list,
-        "shutdown": _op_shutdown,
-    }
+    #: name -> handler, assigned below from the shared op registry —
+    #: a registered op without an ``_op_<name>`` method (or vice versa:
+    #: see tests/service/test_ops_registry.py) fails at import time.
+    _OPS: dict[str, Any]
+
+
+MonitoringServer._OPS = ops.handler_table(MonitoringServer)
 
 
 def _encode_response_frame(response: dict[str, Any]) -> bytes:

@@ -47,12 +47,50 @@ from repro.streams import registry
 
 __all__ = ["Session", "SessionConfig", "SnapshotError", "session_from_wire"]
 
-#: Version tag written into every checkpoint blob.
-SNAPSHOT_FORMAT = 1
+#: Version tag written into every checkpoint blob.  Bumped whenever the
+#: pickled object graph changes shape (format 2: canonical compact
+#: pickling of growth buffers — blob bytes are a pure function of
+#: session state, asserted bit-identical by the differential fuzz tier).
+SNAPSHOT_FORMAT = 2
 
 
 class SnapshotError(ValueError):
     """A checkpoint blob is malformed, untrusted, or from another format."""
+
+
+def _canonicalize_dtypes(root: Any) -> None:
+    """Rebind every ndarray in ``root``'s graph to numpy's cached dtype.
+
+    Unpickling materialises a fresh ``np.dtype`` instance per stream,
+    while freshly built arrays (and arrays rebuilt inside a class's
+    ``__setstate__``) hold numpy's interned builtin singletons.  A graph
+    mixing both pickles differently from a never-pickled one — the
+    pickler memoises dtypes by identity — so snapshot → restore →
+    snapshot would not be byte-identical.  Rebinding is in-place and
+    metadata-only (itemsize is unchanged), so views and readonly arrays
+    are safe.
+    """
+    seen: set[int] = set()
+    stack: list[Any] = [root]
+    while stack:
+        obj = stack.pop()
+        if id(obj) in seen:
+            continue
+        seen.add(id(obj))
+        if isinstance(obj, np.ndarray):
+            if obj.dtype.names is None:  # builtin dtypes only; no interned form for structured
+                canonical = np.dtype(obj.dtype.str)
+                if obj.dtype is not canonical:
+                    obj.dtype = canonical
+            continue
+        if isinstance(obj, dict):
+            stack.extend(obj.values())
+        elif isinstance(obj, (list, tuple)):
+            stack.extend(obj)
+        else:
+            state = getattr(obj, "__dict__", None)
+            if state:
+                stack.extend(state.values())
 
 
 @dataclass(frozen=True)
@@ -310,6 +348,7 @@ class Session:
         session.engine = payload["engine"]
         if not isinstance(session.engine, MonitoringEngine):
             raise SnapshotError("checkpoint does not contain an engine")
+        _canonicalize_dtypes(session.engine)
         session._result = None
         session._blocks = None
         session._carry = None

@@ -50,7 +50,7 @@ import multiprocessing
 import time
 from typing import Any
 
-from repro.service import wire
+from repro.service import ops, wire
 from repro.service.client import AsyncServiceClient, ServiceError
 from repro.service.server import MonitoringServer
 
@@ -399,10 +399,8 @@ class ShardedMonitoringServer(MonitoringServer):
     #: the fixed header alone names the session, and the meta/payload
     #: bytes are spliced worker-ward verbatim.  Everything else (and
     #: every v1 line) takes the full-decode path through ``_OPS``.
-    _PASSTHROUGH_CODES = frozenset(
-        wire.OP_CODES[op]
-        for op in ("feed", "advance", "query", "cost", "snapshot", "finalize")
-    )
+    #: Derived from the shared op registry (``passthrough=True`` specs).
+    _PASSTHROUGH_CODES = ops.passthrough_codes()
 
     async def _respond_v2(self, frame: tuple[wire.FrameHeader, bytes, bytes]):
         header, meta, payload = frame
@@ -804,22 +802,15 @@ class ShardedMonitoringServer(MonitoringServer):
             async with route.lock:
                 return await self._migrate_locked(sid, route, target)
 
-    _OPS = {
-        "hello": MonitoringServer._op_hello,
-        "ping": _op_ping,
-        "create": _op_create,
-        "feed": _op_feed,
-        "advance": _op_advance,
-        "query": _op_query,
-        "cost": _op_cost,
-        "snapshot": _op_snapshot,
-        "restore": _op_restore,
-        "finalize": _op_finalize,
-        "close": _op_close,
-        "list": _op_list,
-        "migrate": _op_migrate,
-        "shutdown": MonitoringServer._op_shutdown,
-    }
+    #: Assigned below from the shared op registry: the supervisor serves
+    #: the full vocabulary including ``migrate``, with ``hello`` and
+    #: ``shutdown`` resolving to the inherited base-server handlers.
+    _OPS: dict[str, Any]
+
+
+ShardedMonitoringServer._OPS = ops.handler_table(
+    ShardedMonitoringServer, supervisor=True
+)
 
 
 def _receive_port(receiver, process) -> int:

@@ -43,9 +43,10 @@ grants ``{"ok": true, "wire": 2}`` both sides switch to v2 frames for
 the rest of the connection.  A peer that never sends ``hello`` keeps
 speaking v1 bit-identically, which is the whole negotiation story.
 
-The op vocabulary is defined by :mod:`repro.service.server`; this
-module owns only framing and value encoding, shared by server, client
-and load generator.
+The op vocabulary is defined by :mod:`repro.service.ops` (one registry
+shared with the servers and the fuzz tier); this module owns only
+framing and value encoding, shared by server, client and load
+generator.
 """
 
 from __future__ import annotations
@@ -58,6 +59,8 @@ import struct
 from typing import Any, NamedTuple
 
 import numpy as np
+
+from repro.service.ops import OP_CODES, OP_NAMES
 
 __all__ = [
     "FLAG_RESPONSE",
@@ -132,25 +135,9 @@ KIND_BLOB = 2  # raw checkpoint bytes
 FLAG_RESPONSE = 0x80
 _KIND_MASK = 0x0F
 
-#: Request op codes.  The vocabulary is owned by the server; codes are
-#: part of the wire format and must never be reassigned, only appended.
-OP_CODES = {
-    "ping": 1,
-    "create": 2,
-    "feed": 3,
-    "advance": 4,
-    "query": 5,
-    "cost": 6,
-    "snapshot": 7,
-    "restore": 8,
-    "finalize": 9,
-    "close": 10,
-    "list": 11,
-    "shutdown": 12,
-    "migrate": 13,
-    "hello": 14,
-}
-OP_NAMES = {code: name for name, code in OP_CODES.items()}
+# Request op codes (name <-> code), re-exported from the shared
+# registry of :mod:`repro.service.ops`.  Codes are part of the wire
+# format and must never be reassigned, only appended — see the registry.
 
 #: Response status codes.
 STATUS_OK = 0

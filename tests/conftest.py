@@ -1,0 +1,41 @@
+"""Repo-wide test configuration: hypothesis profiles for the fuzz tier.
+
+Profiles must be registered in an *initial* conftest — the hypothesis
+pytest plugin resolves ``--hypothesis-profile`` during
+``pytest_configure``, which runs before per-directory conftests are
+imported.  Three profiles, selected per run:
+
+- ``dev`` (default): a handful of short examples, so a plain local
+  ``pytest -m fuzz`` finishes in seconds;
+- ``ci`` (``--hypothesis-profile=ci``): ~200 examples per machine, the
+  PR-gate budget (run under both ``REPRO_WIRE`` pins, see
+  .github/workflows/ci.yml);
+- ``nightly``: thousands of examples with long sequences, for the
+  scheduled deep run over the full topology set including 4 shards.
+
+``deadline=None`` everywhere: every step crosses real sockets (and, on
+sharded topologies, spawned worker processes), so per-example wall
+clock is dominated by I/O that hypothesis must not flag as flaky.
+"""
+
+try:
+    from hypothesis import HealthCheck, settings
+except ImportError:  # tier-1 runs fine without hypothesis installed
+    pass
+else:
+    _COMMON = dict(
+        deadline=None,
+        suppress_health_check=[
+            HealthCheck.too_slow,
+            HealthCheck.data_too_large,
+            HealthCheck.filter_too_much,
+        ],
+    )
+    settings.register_profile("dev", max_examples=10, stateful_step_count=10, **_COMMON)
+    settings.register_profile(
+        "ci", max_examples=200, stateful_step_count=15, print_blob=True, **_COMMON
+    )
+    settings.register_profile(
+        "nightly", max_examples=2500, stateful_step_count=50, print_blob=True, **_COMMON
+    )
+    settings.load_profile("dev")

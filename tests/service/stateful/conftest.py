@@ -1,0 +1,51 @@
+"""Harness lifecycle for the stateful fuzz tier.
+
+Building a serving topology is expensive — a 4-shard fleet spawns four
+worker processes — so one :class:`TopologyHarness` per wire pin is
+cached for the whole test session and every hypothesis example calls
+:meth:`~repro.service.fuzzharness.TopologyHarness.reset` instead of
+rebuilding it.  A harness that witnessed a failure marks itself dirty
+(server state can no longer be assumed in lockstep with the oracle),
+so :func:`shared_harness` tears it down and builds a fresh one; during
+shrinking that means one rebuild per failing attempt, which is the
+price of sound replays.
+
+The wire pin follows the repo-wide ``REPRO_WIRE`` convention used by
+the rest of tests/service: ``v1`` pins every server to JSON lines
+(upgrades are refused), anything else lets connections negotiate v2
+binary frames mid-sequence.
+"""
+
+import os
+
+import pytest
+
+from repro.service.fuzzharness import TopologyHarness
+
+_HARNESSES: dict[str, TopologyHarness] = {}
+
+
+def wire_pin() -> str:
+    """Map ``REPRO_WIRE`` onto the harness pin (``v1`` or ``auto``)."""
+    return "v1" if os.environ.get("REPRO_WIRE") == "v1" else "auto"
+
+
+def shared_harness() -> TopologyHarness:
+    """The session-cached harness for the active pin (rebuilt if dirty)."""
+    pin = wire_pin()
+    harness = _HARNESSES.get(pin)
+    if harness is not None and harness.dirty:
+        harness.teardown()
+        harness = None
+    if harness is None:
+        harness = TopologyHarness(pin)
+        _HARNESSES[pin] = harness
+    return harness
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _teardown_shared_harnesses():
+    yield
+    while _HARNESSES:
+        _, harness = _HARNESSES.popitem()
+        harness.teardown()

@@ -1,0 +1,137 @@
+"""Checkpoints are wire-neutral and canonical.
+
+A snapshot blob is raw pickled bytes end to end: the v1 line protocol
+base64s it at the edge, a v2 connection ships it as a binary frame, and
+the bytes must be the same either way.  These tests pin the two
+cross-wire round trips (v1-snapshot → v2-restore and the reverse) and
+the canonicality law the differential fuzz tier asserts on every
+snapshot op: blob bytes are a pure function of session state —
+snapshot → restore → snapshot is byte-identical, no matter how often
+the state already crossed a pickle boundary.
+
+The law is easy to lose silently: unpickling materialises fresh
+``np.dtype`` instances while freshly built arrays hold numpy's interned
+singletons, and the pickler memoises dtypes by *identity* — a restored
+graph mixing both pickles to different bytes than a never-pickled one
+(caught by the fuzz harness, fixed by dtype canonicalisation in
+``Session.restore``).
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.service import wire
+from repro.service.client import AsyncServiceClient
+from repro.service.server import MonitoringServer
+from repro.service.session import Session, SessionConfig
+
+N, K = 6, 2
+
+
+def _spec(seed: int = 3) -> dict:
+    return {"algorithm": "approx-monitor", "n": N, "k": K, "eps": 0.2, "seed": seed}
+
+
+def _blocks(count: int, rng_seed: int = 0) -> list[np.ndarray]:
+    rng = np.random.default_rng(rng_seed)
+    return [np.abs(rng.normal(10, 3, size=(4, N))) for _ in range(count)]
+
+
+def _status(response: dict) -> dict:
+    """A query payload minus its connection-local envelope."""
+    return {k: v for k, v in response.items() if k not in ("id", "ok", "session")}
+
+
+async def _with_clients(scenario):
+    """Run ``scenario(v1_client, v2_client)`` against one v2 server."""
+    server = MonitoringServer(accept_wire=wire.WIRE_V2)
+    await server.start()
+    v1 = v2 = None
+    try:
+        v1 = await AsyncServiceClient.connect(
+            server.host, server.port, wire_protocol="v1"
+        )
+        v2 = await AsyncServiceClient.connect(
+            server.host, server.port, wire_protocol="v2"
+        )
+        assert v1.wire_version == wire.WIRE_V1
+        assert v2.wire_version == wire.WIRE_V2
+        return await scenario(v1, v2)
+    finally:
+        for client in (v1, v2):
+            if client is not None:
+                await client.aclose()
+        await server.aclose()
+
+
+class TestCrossWireRoundTrip:
+    @pytest.mark.parametrize("direction", ["v1_to_v2", "v2_to_v1"])
+    def test_snapshot_restores_across_framings(self, direction):
+        """A blob taken over one framing resumes over the other, and the
+        resumed session continues bit-identically with the original."""
+
+        async def scenario(v1, v2):
+            src, dst = (v1, v2) if direction == "v1_to_v2" else (v2, v1)
+            blocks = _blocks(6)
+            sid = await src.create_session(**_spec())
+            for block in blocks[:3]:
+                await src.feed(sid, block)
+            blob = await src.snapshot(sid)
+
+            resumed = await dst.restore(blob)
+            assert resumed != sid
+            assert _status(await dst.query(resumed)) == _status(await src.query(sid))
+
+            for block in blocks[3:]:
+                original = await src.feed(sid, block)
+                resumed_step = await dst.feed(resumed, block)
+                assert original["step"] == resumed_step["step"]
+                assert original["messages"] == resumed_step["messages"]
+            assert _status(await src.query(sid)) == _status(await dst.query(resumed))
+            assert (await src.snapshot(sid)) == (await dst.snapshot(resumed))
+
+        asyncio.run(_with_clients(scenario))
+
+    def test_same_session_snapshots_identically_on_both_framings(self):
+        """base64 lines and binary frames carry the very same bytes."""
+
+        async def scenario(v1, v2):
+            sid = await v1.create_session(**_spec())
+            for block in _blocks(3):
+                await v1.feed(sid, block)
+            assert (await v1.snapshot(sid)) == (await v2.snapshot(sid))
+
+        asyncio.run(_with_clients(scenario))
+
+
+class TestBlobCanonicality:
+    def _session(self, feeds: int = 4) -> Session:
+        session = Session(SessionConfig(**_spec()))
+        for block in _blocks(feeds):
+            session.feed(block)
+        return session
+
+    def test_snapshot_restore_snapshot_is_byte_identical(self):
+        blob = self._session().snapshot()
+        assert Session.restore(blob).snapshot() == blob
+
+    def test_canonical_through_repeated_round_trips(self):
+        blob = self._session().snapshot()
+        for _ in range(3):
+            restored = Session.restore(blob)
+            assert restored.snapshot() == blob
+            # Mutating after a restore must also stay canonical.
+            restored.feed(_blocks(1, rng_seed=9)[0])
+            blob = restored.snapshot()
+            assert Session.restore(blob).snapshot() == blob
+
+    def test_restored_continuation_matches_uninterrupted_run(self):
+        tail = _blocks(3, rng_seed=7)
+        uninterrupted = self._session()
+        restored = Session.restore(uninterrupted.snapshot())
+        for block in tail:
+            assert uninterrupted.feed(block.copy()) == restored.feed(block.copy())
+        assert uninterrupted.status() == restored.status()
+        assert uninterrupted.snapshot() == restored.snapshot()
