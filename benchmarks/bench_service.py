@@ -15,6 +15,11 @@ Measures what serving costs and buys relative to the in-process engine:
   generator at concurrency N (v2 + pipelining, the serving default) —
   how aggregate steps/s behaves as the session count grows, with
   p50/p95/p99 request latency per cell;
+- **session_batch**: the multi-tenant SessionBatch sweep — aggregate
+  steps/s of 1/16/256/4096 same-cohort sessions advanced in vectorized
+  ticks (in-process, feed region only), against a serial baseline that
+  feeds the same 256 sessions one at a time; ``speedup_vs_serial_x``
+  is the engine-layer batching win in isolation;
 - **supervisor_hop**: loadgen throughput of one session against a
   single-process server vs a 1-shard supervisor, per wire version —
   ``overhead_x`` isolates what the extra supervisor hop costs, and the
@@ -57,6 +62,7 @@ from repro.service.algorithms import make_algorithm
 from repro.service.cli import _spawn_server
 from repro.service.client import ServiceClient
 from repro.service.loadgen import run_loadgen
+from repro.service.session import SessionBatch, session_from_wire
 from repro.streams import registry
 
 #: (T, n, k, eps, block_size) of the single-session comparison.  The CI
@@ -83,6 +89,21 @@ CI_SHARDS = (2_500, (1, 2), (1, 4))
 #: T of the supervisor-hop comparison (sessions=1, per wire version).
 FULL_HOP = 10_000
 CI_HOP = 3_000
+
+#: (T per session, session counts, n, k, eps, chunk) of the multi-tenant
+#: SessionBatch sweep: aggregate steps/s of S same-cohort sessions
+#: advanced in vectorized ticks, vs the same S sessions fed one at a
+#: time on the serial path.  In-process on purpose — the cell isolates
+#: the engine-layer batching win from transport and coalescing effects
+#: (the scaling/shard sweeps keep covering those).  CI shrinks only T:
+#: the session counts ARE the grid (per-session-count cells gate in the
+#: regression check), and the chunk size shapes per-tick overhead.
+FULL_BATCH = (1_000, (1, 16, 256, 4096), 8, 2, 0.1, 64)
+CI_BATCH = (300, (1, 16, 256, 4096), 8, 2, 0.1, 64)
+
+#: Session count of the serial baseline the batched sweep is judged
+#: against (the acceptance gate: batched aggregate >= 5x serial here).
+BATCH_BASELINE_SESSIONS = 256
 
 #: In-flight feed window for pipelined (v2) cells.
 PIPELINE = 16
@@ -252,6 +273,71 @@ def bench_scaling(host: str, port: int, T: int, counts: tuple[int, ...],
     return out
 
 
+def bench_session_batch(
+    T: int, counts: tuple[int, ...], n: int, k: int, eps: float, chunk: int
+) -> dict:
+    """Aggregate steps/s of S cohort sessions, batched vs fed serially.
+
+    Every session monitors its own random-walk stream (rare jumps keep
+    escalations ~1-2% of steps — the quiet-dominated regime batching is
+    built for).  Generation happens outside the timed region; only the
+    feed calls are on the clock, in ``chunk``-step blocks per session so
+    a 4096-session cell never materializes its full horizon at once.
+    The serial baseline feeds the *same* sessions the same blocks one at
+    a time — the per-session results are bit-identical by the cohort
+    law, so the ratio is pure dispatch overhead vs vectorization.
+    """
+    spec = {"algorithm": ALGORITHM, "n": n, "k": k, "eps": eps}
+
+    def run(S: int, batched: bool) -> dict:
+        sessions = [session_from_wire({**spec, "seed": i}) for i in range(S)]
+        batch = SessionBatch(sessions[0].cohort_key)
+        rng = np.random.default_rng(0)
+        levels = np.full((S, n), 50.0)
+        elapsed = 0.0
+        for lo in range(0, T, chunk):
+            rows = min(chunk, T - lo)
+            walk = np.cumsum(rng.normal(0, 0.05, size=(rows, S, n)), axis=0)
+            jumps = rng.uniform(20, 60, size=(rows, S, n))
+            jumps *= rng.random((rows, S, n)) < 1 / 4096
+            values = np.abs(levels[None] + walk + jumps)
+            levels = values[-1]
+            blocks = [np.ascontiguousarray(values[:, i, :]) for i in range(S)]
+            start = time.perf_counter()
+            if batched:
+                batch.feed_batch(list(zip(sessions, blocks)))
+            else:
+                for session, rows_block in zip(sessions, blocks):
+                    session.feed(rows_block, prevalidated=True)
+            elapsed += time.perf_counter() - start
+        total = S * T
+        return {
+            "n": n,
+            "sessions": S,
+            "total_steps": total,
+            "seconds": round(elapsed, 4),
+            "aggregate_steps_per_s": round(total / elapsed) if elapsed else None,
+        }
+
+    run(4, True)  # warm numpy/engine first-call paths off the clock
+    cells = {str(S): run(S, True) for S in counts}
+    baseline = run(BATCH_BASELINE_SESSIONS, False)
+    report = {
+        "T": T,
+        "chunk": chunk,
+        "sessions": cells,
+        "serial_baseline": baseline,
+    }
+    batched_at_baseline = cells.get(str(BATCH_BASELINE_SESSIONS))
+    if batched_at_baseline and baseline["aggregate_steps_per_s"]:
+        report["speedup_vs_serial_x"] = round(
+            batched_at_baseline["aggregate_steps_per_s"]
+            / baseline["aggregate_steps_per_s"],
+            2,
+        )
+    return report
+
+
 def _drain_or_kill(process, port: int) -> None:
     """Error-path teardown: graceful shutdown first, SIGKILL as last resort.
 
@@ -413,6 +499,9 @@ def main(argv: list[str] | None = None) -> int:
     T, n, k, eps, block = CI_SINGLE if args.ci else FULL_SINGLE
     scale_T, counts = CI_SCALING if args.ci else FULL_SCALING
     shard_T, shard_counts, shard_sessions = CI_SHARDS if args.ci else FULL_SHARDS
+    batch_T, batch_counts, batch_n, batch_k, batch_eps, batch_chunk = (
+        CI_BATCH if args.ci else FULL_BATCH
+    )
     hop_T = CI_HOP if args.ci else FULL_HOP
     rounds = CI_ROUNDS if args.ci else FULL_ROUNDS
     hop_rounds = CI_HOP_ROUNDS if args.ci else FULL_HOP_ROUNDS
@@ -453,6 +542,9 @@ def main(argv: list[str] | None = None) -> int:
         _drain_or_kill(process, port)
         raise
 
+    session_batch = bench_session_batch(
+        batch_T, batch_counts, batch_n, batch_k, batch_eps, batch_chunk
+    )
     supervisor_hop = bench_supervisor_hop(hop_T, n, k, eps, block, hop_rounds)
     shard_scaling = bench_shard_scaling(
         shard_T, shard_counts, shard_sessions, n, k, eps, block
@@ -460,7 +552,7 @@ def main(argv: list[str] | None = None) -> int:
     clean = clean and all(row["clean_shutdown"] for row in shard_scaling.values())
 
     report = {
-        "schema": 3,
+        "schema": 4,
         "mode": "ci" if args.ci else "full",
         "python": platform.python_version(),
         "numpy": np.__version__,
@@ -483,6 +575,7 @@ def main(argv: list[str] | None = None) -> int:
             ),
         },
         "scaling": scaling,
+        "session_batch": session_batch,
         "supervisor_hop": supervisor_hop,
         "shard_scaling": shard_scaling,
         "shard_speedup_x": _shard_speedup(shard_scaling),
@@ -521,6 +614,12 @@ def main(argv: list[str] | None = None) -> int:
               f"-> {cells['overhead_x']}x")
     for sessions, row in scaling.items():
         print(f"  {sessions:>2} sessions: {row['steps_per_s']:>9,} steps/s aggregate")
+    for sessions, cell in session_batch["sessions"].items():
+        print(f"  batch x {sessions:>4} sessions: "
+              f"{cell['aggregate_steps_per_s']:>11,} steps/s aggregate")
+    print(f"  batch serial baseline ({BATCH_BASELINE_SESSIONS} sessions): "
+          f"{session_batch['serial_baseline']['aggregate_steps_per_s']:,} steps/s "
+          f"-> {session_batch.get('speedup_vs_serial_x')}x batched")
     for shards, row in shard_scaling.items():
         for sessions, cell in row["sessions"].items():
             print(f"  {shards} shard(s) x {sessions:>2} sessions: "

@@ -53,6 +53,7 @@ from pathlib import Path
 THROUGHPUT_KEYS = frozenset(
     {
         "steps_per_s",
+        "aggregate_steps_per_s",
         "deliver_steps_per_s",
         "generate_steps_per_s",
         "encode_mb_per_s",

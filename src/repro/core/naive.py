@@ -87,6 +87,10 @@ class SendOnChangeMonitor(MonitoringAlgorithm):
         """Point filters [v, v]: any change is a violation."""
         self.channel.broadcast_freeze()
 
+    def quiet_step_rounds(self) -> int | None:
+        # No value moved off its point filter ⇒ one empty existence check.
+        return self.channel.existence_rounds
+
     def output(self) -> frozenset[int]:
         assert self._values is not None
         return exact_topk_set(self._values, self.k)

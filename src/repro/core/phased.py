@@ -31,7 +31,7 @@ import numpy as np
 
 from repro.model.channel import Channel, Violation
 from repro.model.protocol import MAX_SETTLE_ITERATIONS, MonitoringAlgorithm, ProtocolError
-from repro.core.primitives import detect_violation_existence, top_m_probe
+from repro.core.primitives import detect_violation_direct, detect_violation_existence, top_m_probe
 from repro.util.checks import check_epsilon, check_k, check_positive_int
 
 __all__ = ["PhaseOutcome", "PhaseCore", "PhasedMonitor", "two_filter_groups"]
@@ -125,6 +125,19 @@ class PhasedMonitor(MonitoringAlgorithm):
     def phases(self) -> int:
         """Phases started so far (each implies ≥ 1 OPT message, per paper)."""
         return self._phases
+
+    def quiet_step_rounds(self) -> int | None:
+        # A violation-free on_step is one detector call that returns None:
+        # the existence detector runs its γ+1 probability rounds with an
+        # empty active set (no messages, no RNG draws); the direct detector
+        # is one report round whose empty reply charges up(0) into an
+        # already-present scope key.  Bisection broadcasts even when quiet,
+        # so it opts out — as does any custom detector we cannot vouch for.
+        if self._detector is detect_violation_existence:
+            return self.channel.existence_rounds
+        if self._detector is detect_violation_direct:
+            return 1
+        return None
 
     # ------------------------------------------------------------------ #
     # The loop

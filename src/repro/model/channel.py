@@ -112,6 +112,18 @@ class Channel:
         """Number of nodes (public knowledge in the model)."""
         return self._nodes.n
 
+    @property
+    def existence_rounds(self) -> int:
+        """Round cost of one existence check when *no* node is active.
+
+        Every probability round of Cor. 3.2 runs (γ+1 of them) and nobody
+        speaks, so the check costs exactly ``γ+1`` rounds, zero messages,
+        and — crucially for the batch fast path — consumes no randomness:
+        :meth:`_existence_collect` returns before touching the RNG when the
+        active set is empty.
+        """
+        return self._gamma + 1
+
     # ------------------------------------------------------------------ #
     # Downstream: broadcasts and unicasts
     # ------------------------------------------------------------------ #

@@ -105,6 +105,19 @@ class StepSeries:
             raise IndexError("cannot fold into an empty step series")
         self._buf[self._len - 1] += amount
 
+    def _extend_zeros(self, count: int) -> None:
+        """Append ``count`` zero entries in one pass (quiet-step replay)."""
+        needed = self._len + count
+        if needed > self._buf.shape[0]:
+            capacity = self._buf.shape[0]
+            while capacity < needed:
+                capacity *= 2
+            grown = np.empty(capacity, dtype=np.int64)
+            grown[: self._len] = self._buf[: self._len]
+            self._buf = grown
+        self._buf[self._len : needed] = 0
+        self._len = needed
+
     # -------------------------------------------------------------- #
     # Sequence protocol
     # -------------------------------------------------------------- #
@@ -299,6 +312,31 @@ class CostLedger:
             self.per_step._add_to_last(late)
             self._accounted = self.messages
         return late
+
+    def record_quiet_steps(self, count: int, rounds_per_step: int) -> None:
+        """Account ``count`` violation-free steps in one bulk update.
+
+        Replays exactly what ``count`` iterations of ``begin_step()`` /
+        ``charge_rounds(rounds_per_step)`` / ``end_step()`` would have
+        left behind when no messages are charged: the late-charge fold of
+        the *first* ``begin_step()`` (subsequent ones see nothing late),
+        ``count`` zeros appended to ``per_step``, the round counter and
+        the max-rounds watermark, and ``_step_start_rounds`` as the last
+        step's starting point.  Used by the engine's batch fast path; any
+        divergence from the serial sequence here breaks checkpoint
+        bit-identity.
+        """
+        if count <= 0:
+            return
+        late = self.messages - self._accounted
+        if late and len(self.per_step):
+            self.per_step._add_to_last(late)
+            self._accounted = self.messages
+        self.per_step._extend_zeros(count)
+        self.rounds += count * rounds_per_step
+        self._step_start_rounds = self.rounds - rounds_per_step
+        if rounds_per_step > self._max_rounds_in_step:
+            self._max_rounds_in_step = rounds_per_step
 
     @property
     def unaccounted(self) -> int:

@@ -79,6 +79,26 @@ class MonitoringAlgorithm(ABC):
         """Number of phases started (algorithm-specific; 0 if untracked)."""
         return 0
 
+    # ------------------------------------------------------------------ #
+    # Batch fast-path contract
+    # ------------------------------------------------------------------ #
+    def quiet_step_rounds(self) -> int | None:
+        """Fixed round cost of a violation-free :meth:`on_step`, or ``None``.
+
+        Returning an integer ``R`` asserts a strict contract: whenever no
+        node violates its currently assigned filter, :meth:`on_step`
+        charges exactly ``R`` protocol rounds, zero messages, draws no
+        randomness from the channel RNG, and mutates no algorithm or
+        filter state (so :meth:`output` is unchanged).  The engine's
+        multi-session batch path (:class:`repro.model.engine.EngineBatch`)
+        relies on this to replay quiet steps as pure bookkeeping without
+        calling the algorithm — bit-identically to the serial loop.
+
+        ``None`` (the default) opts out: every step runs through
+        :meth:`on_step` even inside a batch.
+        """
+        return None
+
 
 def drain_violations(
     channel: Channel,

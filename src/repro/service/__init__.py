@@ -7,7 +7,9 @@ This package hosts them that way:
 - :mod:`repro.service.algorithms` — algorithm slugs → monitor factories
   (the algorithm-side twin of :mod:`repro.streams.registry`).
 - :mod:`repro.service.session` — :class:`Session`: one incremental run,
-  fed in batches, queryable at any time, checkpoint/resumable.
+  fed in batches, queryable at any time, checkpoint/resumable; and
+  :class:`SessionBatch`: many same-cohort sessions advanced per
+  vectorized tick, bit-identical to feeding each alone.
 - :mod:`repro.service.wire` — the wire protocols: v1 JSON lines and
   the v2 binary framing (raw float64/blob payloads, ``hello``
   negotiation), shared by every peer.
@@ -42,7 +44,7 @@ served version)::
 from repro.service.algorithms import AlgorithmParamError, make_algorithm
 from repro.service.client import AsyncServiceClient, ServiceClient, ServiceError
 from repro.service.server import MonitoringServer
-from repro.service.session import Session, SessionConfig, SnapshotError
+from repro.service.session import Session, SessionBatch, SessionConfig, SnapshotError
 from repro.service.shard import ShardedMonitoringServer, ShardError, ShardRing
 
 __all__ = [
@@ -52,6 +54,7 @@ __all__ = [
     "ServiceClient",
     "ServiceError",
     "Session",
+    "SessionBatch",
     "SessionConfig",
     "ShardError",
     "ShardRing",

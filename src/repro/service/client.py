@@ -488,6 +488,16 @@ class AsyncServiceClient:
     async def list_sessions(self) -> list[dict[str, Any]]:
         return (await self.request("list"))["sessions"]
 
+    async def set_batching(self, enabled: bool = True) -> dict[str, Any]:
+        """Toggle the server's cross-session feed coalescing.
+
+        Batching is on by default and observably invisible (per-session
+        responses, costs and checkpoints are bit-identical either way);
+        turning it off pins every feed to the serial path.  On a sharded
+        server the toggle fans out to every worker.
+        """
+        return await self.request("batch", enabled=enabled)
+
     async def shutdown(self) -> dict[str, Any]:
         """Ask the server to stop (it answers, then exits its serve loop)."""
         return await self.request("shutdown")
@@ -581,6 +591,9 @@ class ServiceClient:
 
     def list_sessions(self) -> list[dict[str, Any]]:
         return self._call(self._client.list_sessions())
+
+    def set_batching(self, enabled: bool = True) -> dict[str, Any]:
+        return self._call(self._client.set_batching(enabled))
 
     def shutdown(self) -> dict[str, Any]:
         return self._call(self._client.shutdown())

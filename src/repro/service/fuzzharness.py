@@ -768,6 +768,29 @@ class TopologyHarness:
             results.append((topo.name, self._run(self._call(topo, run()))))
         self._compare("ping", ("ok", {"pong": True, "sessions": live}), results)
 
+    def set_batching(self, enabled: bool) -> None:
+        """``batch``: toggle cross-session coalescing on every topology.
+
+        Batching is a *transparent* performance mode — the cohort law
+        says a batched session's observables are bit-identical to the
+        serial path's — so the oracle has no batching concept at all.
+        The op's own ack is asserted per-topology, and every later
+        feed/cost/snapshot comparison against the oracle is exactly the
+        check that toggling mid-sequence moved nothing observable.
+        """
+        self._barrier()
+        self._record("batch", enabled=enabled)
+        for topo in self._topologies:
+            assert topo.client is not None
+            outcome = self._run(
+                self._call(topo, topo.client.set_batching(enabled))
+            )
+            if outcome[0] != "ok" or outcome[1].get("batching") is not enabled:
+                self._fail(
+                    f"op 'batch': [{topo.name}] answered {outcome[0]} "
+                    f"{_short(outcome[1])} (expected batching={enabled})"
+                )
+
     def upgrade_wire(self) -> None:
         """Mid-sequence ``hello``: upgrade every connection to v2.
 
@@ -885,6 +908,7 @@ class TopologyHarness:
             "list": self.list_sessions,
             "ping": self.ping,
             "upgrade_wire": self.upgrade_wire,
+            "batch": lambda: self.set_batching(op["enabled"]),
             "migrate": lambda: self.migrate(op["session"]),
             "restart_shard": lambda: self.restart_shard(op["seed"]),
         }

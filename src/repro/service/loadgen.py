@@ -108,21 +108,34 @@ async def _drive_one(
         await client.aclose()
 
 
-def _latency_summary(latencies: list[float]) -> dict[str, Any] | None:
+def _latency_summary(
+    latencies: list[float], per_session: list[list[float]] | None = None
+) -> dict[str, Any] | None:
     """p50/p95/p99 client-observed completion latency in milliseconds
     (pooled requests; queue-inclusive under pipelining — see module
-    docstring)."""
+    docstring).  ``p99_spread_x`` is the max/min ratio of the
+    *per-session* p99s — a fairness number: 1.0 means every session saw
+    the same tail, large values mean some sessions starved (e.g. one
+    cohort head-of-line-blocking another under batched serving)."""
     if not latencies:
         return None
     ms = np.asarray(latencies) * 1e3
     p50, p95, p99 = np.percentile(ms, [50, 95, 99])
-    return {
+    summary = {
         "count": int(ms.size),
         "p50": round(float(p50), 3),
         "p95": round(float(p95), 3),
         "p99": round(float(p99), 3),
         "max": round(float(ms.max()), 3),
     }
+    session_p99s = [
+        float(np.percentile(np.asarray(rows) * 1e3, 99))
+        for rows in (per_session or [])
+        if rows
+    ]
+    if len(session_p99s) >= 2 and min(session_p99s) > 0:
+        summary["p99_spread_x"] = round(max(session_p99s) / min(session_p99s), 3)
+    return summary
 
 
 async def run_loadgen(
@@ -175,7 +188,8 @@ async def run_loadgen(
 
     total_steps = sum(row["steps"] for row in per_session)
     total_messages = sum(row["messages"] for row in per_session)
-    all_latencies = [t for row in per_session for t in row.pop("latencies")]
+    session_latencies = [row.pop("latencies") for row in per_session]
+    all_latencies = [t for rows in session_latencies for t in rows]
     return {
         "workload": workload,
         "workload_params": workload_params,
@@ -196,7 +210,7 @@ async def run_loadgen(
         "steps_per_s": round(total_steps / wall) if wall else None,
         "values_per_s": round(total_steps * n / wall) if wall else None,
         "messages_per_step": round(total_messages / total_steps, 3) if total_steps else None,
-        "latency_ms": _latency_summary(all_latencies),
+        "latency_ms": _latency_summary(all_latencies, session_latencies),
         "per_session": list(per_session),
     }
 

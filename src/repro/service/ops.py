@@ -93,6 +93,7 @@ OPS: tuple[OpSpec, ...] = (
     OpSpec("shutdown", 12, "shutdown", inline=True),
     OpSpec("migrate", 13, "migrate", needs_session=True, supervisor_only=True),
     OpSpec("hello", 14, None, inline=True),
+    OpSpec("batch", 15, "set_batching", inline=True),
 )
 
 BY_NAME: dict[str, OpSpec] = {spec.name: spec for spec in OPS}

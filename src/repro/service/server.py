@@ -24,11 +24,19 @@ Design points:
   case: the stream cannot be resynchronized, so the server answers
   once and closes that connection.
 
+- **Cross-session batch ticks** — batchable feeds that arrive from
+  *different* connections while a tick is in flight coalesce on a
+  per-cohort gate and advance together through one vectorized
+  :class:`~repro.service.session.SessionBatch` pass (bit-identical per
+  session to the serial path; toggled at runtime by the ``batch`` op).
+  The per-session locks stay the serialization boundary: a feeder
+  holds its session's lock for the whole tick it participates in.
+
 Op vocabulary (see docs/ARCHITECTURE.md for the full schema):
 
 ``hello``, ``ping``, ``create``, ``feed``, ``advance``, ``query``,
 ``cost``, ``snapshot``, ``restore``, ``finalize``, ``close``,
-``list``, ``shutdown``.
+``list``, ``shutdown``, ``batch``.
 """
 
 from __future__ import annotations
@@ -36,8 +44,10 @@ from __future__ import annotations
 import asyncio
 from typing import Any
 
+import numpy as np
+
 from repro.service import ops, wire
-from repro.service.session import Session, session_from_wire
+from repro.service.session import Session, SessionBatch, session_from_wire
 
 __all__ = ["MonitoringServer", "serve"]
 
@@ -50,6 +60,17 @@ class _SessionSlot:
     def __init__(self, session: Session) -> None:
         self.session = session
         self.lock = asyncio.Lock()
+
+
+class _CohortGate:
+    """One cohort's pending batched feeds + the drain task serving them."""
+
+    __slots__ = ("batch", "entries", "task")
+
+    def __init__(self, batch: SessionBatch) -> None:
+        self.batch = batch
+        self.entries: list[tuple[Session, np.ndarray, asyncio.Future]] = []
+        self.task: asyncio.Task | None = None
 
 
 class MonitoringServer:
@@ -90,8 +111,16 @@ class MonitoringServer:
         self._server: asyncio.AbstractServer | None = None
         self._stop = asyncio.Event()
         self._connections: set[asyncio.Task] = set()
+        #: Feed coalescing across connections (runtime-toggled by the
+        #: ``batch`` op).  Only batchable sessions with width-validated
+        #: blocks ever take the gate; everything else stays serial.
+        self.batching = True
+        self._cohorts: dict[tuple, _CohortGate] = {}
         #: Totals for ``ping`` and the shutdown log line.
-        self.stats = {"connections": 0, "requests": 0, "steps_ingested": 0}
+        self.stats = {
+            "connections": 0, "requests": 0, "steps_ingested": 0,
+            "batched_ticks": 0, "batched_steps": 0,
+        }
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -376,24 +405,118 @@ class MonitoringServer:
         sid, slot = self._slot(message)
         payload = message.get("values")
         session = slot.session
-        expected_n = session.config.n
-
-        def ingest() -> tuple[int, int, int]:
-            # Decode in the executor too — a near-cap b64 batch is tens of
-            # MB and would stall every other connection on the event loop.
-            # (A v2 frame arrives pre-decoded; decode_values passes the
-            # zero-copy array straight through.)
-            block = wire.decode_values(payload)
-            # The wire already validated shape and finiteness; the one
-            # check it cannot do — batch width vs this session's n —
-            # happens here, so the engine's revalidation can be skipped.
-            step = session.feed(block, prevalidated=block.shape[1] == expected_n)
-            return block.shape[0], step, session.messages
-
         async with slot.lock:
-            rows, step, messages = await self._run_sync(ingest)
-        self.stats["steps_ingested"] += rows
+            block = await self._decoded_block(payload)
+            # The wire already validated shape and finiteness; the one
+            # check it cannot do — block width vs this session's n — is
+            # hoisted here so the serial and the batched path share a
+            # single prevalidation verdict (the engine's revalidation is
+            # skipped exactly when it passed).
+            prevalidated = block.shape[1] == session.config.n
+            if self.batching and prevalidated and session.batchable:
+                step, messages = await self._feed_batched(session, block)
+            else:
+                step, messages = await self._run_sync(
+                    self._feed_serial, session, block, prevalidated
+                )
+        self.stats["steps_ingested"] += block.shape[0]
         return {"session": sid, "step": step, "messages": messages}
+
+    async def _decoded_block(self, payload: Any) -> np.ndarray:
+        """Decode a feed payload to a ``(B, n)`` block, off-loop when big.
+
+        A v2 frame arrives pre-decoded (zero-copy pass-through); a
+        near-cap v1 b64 batch is tens of MB and would stall every other
+        connection if decoded on the event loop.
+        """
+        if isinstance(payload, np.ndarray):
+            return wire.decode_values(payload)
+        if isinstance(payload, dict):
+            size = len(payload.get("b64") or ())
+        elif isinstance(payload, list) and payload and isinstance(payload[0], (list, tuple)):
+            size = len(payload) * len(payload[0]) * 8
+        else:
+            size = 0
+        if size > self._INLINE_DECODE_BYTES:
+            return await self._run_sync(wire.decode_values, payload)
+        return wire.decode_values(payload)
+
+    @staticmethod
+    def _feed_serial(session: Session, block: np.ndarray, prevalidated: bool) -> tuple[int, int]:
+        step = session.feed(block, prevalidated=prevalidated)
+        return step, session.messages
+
+    async def _feed_batched(self, session: Session, block: np.ndarray) -> tuple[int, int]:
+        """Queue a width-validated feed on its cohort gate; await the tick.
+
+        The caller holds the session's slot lock for the whole wait, so
+        each session has at most one entry in flight — the invariant that
+        lets the drain task run tick work without taking locks itself.
+        """
+        key = session.cohort_key
+        gate = self._cohorts.get(key)
+        if gate is None:
+            gate = self._cohorts[key] = _CohortGate(SessionBatch(key))
+        gate.batch.join(session)
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        gate.entries.append((session, block, future))
+        if gate.task is None or gate.task.done():
+            gate.task = asyncio.create_task(self._drain_cohort(gate))
+        return await future
+
+    async def _drain_cohort(self, gate: _CohortGate) -> None:
+        """Serve one cohort's queue until it runs dry.
+
+        Feeds that arrive while a tick is in the executor coalesce into
+        the next tick — natural micro-batching, no timers.  A
+        single-entry tick takes the plain serial path (the lone-tenant
+        case pays no binding overhead).  Per-entry failures resolve that
+        entry's future with the same exception the serial path would
+        have raised; a crash of the drain itself fails every parked
+        future rather than stranding its feeders.
+        """
+        while gate.entries:
+            entries, gate.entries = gate.entries, []
+            try:
+                if len(entries) == 1:
+                    session, block, future = entries[0]
+                    try:
+                        result = await self._run_sync(self._feed_serial, session, block, True)
+                    except Exception as exc:
+                        if not future.done():  # a dropped feeder cancels its future
+                            future.set_exception(exc)
+                    else:
+                        if not future.done():
+                            future.set_result(result)
+                    continue
+                batch = gate.batch
+                before_ticks, before_steps = batch.ticks, batch.batched_steps
+                results = await self._run_sync(
+                    batch.feed_batch, [(session, block) for session, block, _ in entries]
+                )
+                self.stats["batched_ticks"] += batch.ticks - before_ticks
+                self.stats["batched_steps"] += batch.batched_steps - before_steps
+                for (_session, _block, future), result in zip(entries, results):
+                    if future.done():  # a dropped feeder cancels its future
+                        continue
+                    if isinstance(result, Exception):
+                        future.set_exception(result)
+                    else:
+                        future.set_result(result)
+            except BaseException as exc:
+                for _session, _block, future in entries:
+                    if not future.done():
+                        if isinstance(exc, asyncio.CancelledError):
+                            future.cancel()
+                        else:
+                            future.set_exception(exc)
+                raise
+
+    def _cohort_leave(self, session: Session) -> None:
+        """Withdraw a dead session from its cohort's membership roster."""
+        gate = self._cohorts.get(session.cohort_key)
+        if gate is not None:
+            gate.batch.leave(session)
 
     async def _op_advance(self, message: dict[str, Any]) -> dict[str, Any]:
         sid, slot = self._slot(message)
@@ -461,6 +584,7 @@ class MonitoringServer:
         async with slot.lock:
             result = await self._run_sync(slot.session.finalize)
         del self._slots[sid]
+        self._cohort_leave(slot.session)
         return {
             "session": sid,
             "result": {
@@ -476,9 +600,18 @@ class MonitoringServer:
         }
 
     async def _op_close(self, message: dict[str, Any]) -> dict[str, Any]:
-        sid, _slot = self._slot(message)
+        sid, slot = self._slot(message)
         del self._slots[sid]
+        self._cohort_leave(slot.session)
         return {"session": sid, "closed": True}
+
+    async def _op_batch(self, message: dict[str, Any]) -> dict[str, Any]:
+        """Toggle cross-session feed coalescing at runtime."""
+        enabled = message.get("enabled", True)
+        if not isinstance(enabled, bool):
+            raise wire.WireError(f"batch enabled must be a bool, got {enabled!r}")
+        self.batching = enabled
+        return {"batching": enabled}
 
     async def _op_list(self, message: dict[str, Any]) -> dict[str, Any]:
         sessions = []

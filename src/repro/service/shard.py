@@ -621,6 +621,8 @@ class ShardedMonitoringServer(MonitoringServer):
                     blobs.append((sid, route, snap["state"]))
                 await self._stop_worker(worker)
                 await self._spawn_worker(worker)
+                if not self.batching:  # fresh workers default to batching on
+                    await self._forward(index, "batch", enabled=False)
                 for sid, route, state in blobs:
                     restored = await self._forward(index, "restore", state=state)
                     route.local = restored["session"]
@@ -665,6 +667,21 @@ class ShardedMonitoringServer(MonitoringServer):
             "shard_info": shard_info,
             "stats": dict(self.stats),
         }
+
+    async def _op_batch(self, message: dict[str, Any]) -> dict[str, Any]:
+        """Fan the batching toggle out to every worker (and this process).
+
+        Workers batch *internally* — the supervisor's routing stays
+        pass-through — so the toggle only matters where sessions live.
+        The supervisor's own flag is kept in sync for introspection.
+        """
+        enabled = message.get("enabled", True)
+        if not isinstance(enabled, bool):
+            raise wire.WireError(f"batch enabled must be a bool, got {enabled!r}")
+        for worker in self._workers:
+            await self._forward(worker.index, "batch", enabled=enabled)
+        self.batching = enabled
+        return {"batching": enabled}
 
     async def _op_create(self, message: dict[str, Any]) -> dict[str, Any]:
         spec = message.get("spec")

@@ -1,0 +1,193 @@
+"""The cohort law at the model layer: EngineBatch ≡ serial, bit for bit.
+
+:class:`~repro.model.engine.EngineBatch` advances S same-width engines
+in one vectorized pass by skipping the algorithm entirely on steps it
+*proves* violation-free.  The law it must satisfy: for every member the
+run is indistinguishable from driving that engine alone — same outputs,
+same per-step cost series, same node state, and (the strongest form)
+the same pickle bytes, because session checkpoints are compared as raw
+bytes by the differential fuzz tier.
+
+Quiet-step declarations are part of that law: an algorithm advertising
+``quiet_step_rounds() == R`` promises a violation-free step is exactly
+R rounds of pure bookkeeping, so the batch can replay Q of them in one
+ledger call (:meth:`MonitoringEngine._record_quiet_steps`).
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ApproxTopKMonitor,
+    ExactTopKMonitor,
+    HalfEpsMonitor,
+    SendAlwaysMonitor,
+    TopKMonitor,
+)
+from repro.core.naive import SendOnChangeMonitor
+from repro.model.engine import EngineBatch, MonitoringEngine
+from repro.model.protocol import MonitoringAlgorithm
+
+N, K, EPS = 6, 2, 0.25
+
+
+def make_engine(factory, *, n=N, seed=11, record_outputs=True, check=False):
+    eng = MonitoringEngine(
+        None, factory(), k=K, eps=EPS, seed=seed, n=n,
+        record_outputs=record_outputs, check=check,
+    )
+    eng.start()
+    return eng
+
+
+def walk_blocks(T, S, n=N, seed=0, jump_every=9):
+    """S random walks with occasional large jumps (mix of quiet + escalation)."""
+    rng = np.random.default_rng(seed)
+    base = np.cumsum(rng.normal(0, 0.5, size=(T, S, n)), axis=0) + 50.0
+    jumps = rng.uniform(20, 60, size=(T, S, n)) * (rng.random((T, S, n)) < 1 / jump_every)
+    data = np.abs(base + jumps)
+    return [np.ascontiguousarray(data[:, i, :]) for i in range(S)]
+
+
+FACTORIES = [
+    pytest.param(lambda: ApproxTopKMonitor(K, EPS), id="approx"),
+    pytest.param(lambda: ExactTopKMonitor(K), id="exact"),
+    pytest.param(lambda: TopKMonitor(K, EPS), id="topk"),
+    pytest.param(lambda: HalfEpsMonitor(K, EPS), id="halfeps"),
+]
+
+
+class TestQuietStepRounds:
+    def test_existence_detector_costs_gamma_plus_one(self):
+        eng = make_engine(lambda: ApproxTopKMonitor(K, EPS))
+        assert eng.quiet_step_rounds() == eng.channel.existence_rounds
+        assert eng.channel.existence_rounds == eng.channel._gamma + 1
+
+    def test_direct_detector_costs_one_round(self):
+        eng = make_engine(lambda: ExactTopKMonitor(K, use_existence=False))
+        assert eng.quiet_step_rounds() == 1
+
+    def test_default_is_opt_out(self):
+        class Plain(MonitoringAlgorithm):
+            name = "plain"
+
+            def on_start(self):
+                pass
+
+            def on_step(self):
+                pass
+
+            def output(self):
+                return frozenset(range(K))
+
+        assert Plain().quiet_step_rounds() is None
+        assert SendAlwaysMonitor(K).quiet_step_rounds() is None
+
+    def test_send_on_change_uses_existence(self):
+        eng = make_engine(lambda: SendOnChangeMonitor(K))
+        assert eng.quiet_step_rounds() == eng.channel.existence_rounds
+
+
+class TestBatchGuards:
+    def test_rejects_mixed_widths(self):
+        a = make_engine(lambda: ApproxTopKMonitor(K, EPS), n=4)
+        b = make_engine(lambda: ApproxTopKMonitor(K, EPS), n=6)
+        with pytest.raises(ValueError, match="mixed widths"):
+            EngineBatch([a, b])
+
+    def test_rejects_non_batchable(self):
+        opted_out = make_engine(lambda: SendAlwaysMonitor(K))
+        assert not opted_out.batchable
+        with pytest.raises(ValueError, match="not batchable"):
+            EngineBatch([opted_out])
+        checking = make_engine(lambda: ApproxTopKMonitor(K, EPS), check=True)
+        assert not checking.batchable
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one"):
+            EngineBatch([])
+
+    def test_advance_after_close_raises(self):
+        eng = make_engine(lambda: ApproxTopKMonitor(K, EPS))
+        batch = EngineBatch([eng])
+        batch.close()
+        batch.close()  # idempotent
+        with pytest.raises(RuntimeError, match="closed"):
+            batch.advance_batch([np.zeros((1, N))])
+
+    def test_close_unbinds_private_arrays(self):
+        eng = make_engine(lambda: ApproxTopKMonitor(K, EPS))
+        batch = EngineBatch([eng])
+        bound = eng.nodes.values
+        batch.close()
+        assert eng.nodes.values is not bound
+        assert eng.nodes.values.base is None  # owns its memory again
+
+
+class TestCohortLaw:
+    @pytest.mark.parametrize("factory", FACTORIES)
+    @pytest.mark.parametrize("record", [True, False], ids=["record", "norecord"])
+    def test_batched_equals_serial(self, factory, record):
+        S, T = 5, 64
+        blocks = walk_blocks(T, S, seed=3)
+        batched = [
+            make_engine(factory, seed=100 + i, record_outputs=record)
+            for i in range(S)
+        ]
+        serial = [
+            make_engine(factory, seed=100 + i, record_outputs=record)
+            for i in range(S)
+        ]
+        # Two chunks: the second tick starts from already-advanced state.
+        for lo, hi in ((0, T // 2), (T // 2, T)):
+            batch = EngineBatch(batched)
+            try:
+                errors = batch.advance_batch([b[lo:hi] for b in blocks])
+            finally:
+                batch.close()
+            assert errors == [None] * S
+            for eng, block in zip(serial, blocks):
+                eng.advance(block[lo:hi], prevalidated=True)
+        for got, want in zip(batched, serial):
+            assert got.steps_done == want.steps_done == T
+            assert got.ledger.messages == want.ledger.messages
+            assert got.ledger.rounds == want.ledger.rounds
+            assert got.ledger.per_step.tolist() == want.ledger.per_step.tolist()
+            assert got.current_output() == want.current_output()
+            assert np.array_equal(got.nodes.values, want.nodes.values)
+            # The strongest form: checkpoints are compared as raw bytes.
+            assert pickle.dumps(got, protocol=pickle.HIGHEST_PROTOCOL) == \
+                pickle.dumps(want, protocol=pickle.HIGHEST_PROTOCOL)
+        for got, want in zip(batched, serial):
+            a, b = got.finalize(), want.finalize()
+            assert a.messages == b.messages
+            assert a.output_changes == b.output_changes
+            if record:
+                assert a.outputs == b.outputs
+
+    def test_bulk_quiet_replay_outgrows_row_buffer(self):
+        """A quiet run longer than the row buffer must grow it correctly."""
+        from repro.model import engine as engine_mod
+
+        T = engine_mod._INITIAL_ROWS + 40
+        S = 2
+        rng = np.random.default_rng(7)
+        # Near-constant streams: after the start escalation everything is quiet.
+        blocks = [
+            np.abs(50.0 + rng.normal(0, 1e-6, size=(T, N))) for _ in range(S)
+        ]
+        batched = [make_engine(lambda: ApproxTopKMonitor(K, EPS), seed=i) for i in range(S)]
+        serial = [make_engine(lambda: ApproxTopKMonitor(K, EPS), seed=i) for i in range(S)]
+        batch = EngineBatch(batched)
+        try:
+            assert batch.advance_batch(blocks) == [None] * S
+        finally:
+            batch.close()
+        for eng, block in zip(serial, blocks):
+            eng.advance(block, prevalidated=True)
+        for got, want in zip(batched, serial):
+            assert got.steps_done == want.steps_done == T
+            assert pickle.dumps(got, protocol=pickle.HIGHEST_PROTOCOL) == \
+                pickle.dumps(want, protocol=pickle.HIGHEST_PROTOCOL)

@@ -196,6 +196,12 @@ class ProtocolMachine(RuleBasedStateMachine):
     def upgrade_wire(self):
         self.harness.upgrade_wire()
 
+    @rule(enabled=st.booleans())
+    def toggle_batching(self, enabled):
+        # Flipping cohort coalescing mid-sequence must move nothing
+        # observable: later compared ops check that against the oracle.
+        self.harness.set_batching(enabled)
+
     @rule(session=sessions)
     def migrate(self, session):
         self.harness.migrate(session)
@@ -288,7 +294,9 @@ if os.environ.get("REPRO_FUZZ_SELFTEST"):
             harness.reset()
             s = harness.create(dict(SPECS[0]))
             harness.feed(s, [[1.0] * 4])
+            harness.set_batching(False)
             harness.feed_nowait(s, [[2.0] * 4])
+            harness.set_batching(True)
             harness.flush()
             blob = harness.snapshot(s)
             harness.restore(blob)

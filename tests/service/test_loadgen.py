@@ -36,6 +36,21 @@ class TestLoadgen:
             assert row["steps"] == steps
             assert row["messages"] > 0
 
+    def test_p99_spread_with_multiple_sessions(self):
+        report = loadgen_report(
+            workload="iid", sessions=3, concurrency=3,
+            num_steps=150, n=8, k=2, eps=0.2, block_size=50, seed=5,
+        )
+        spread = report["latency_ms"]["p99_spread_x"]
+        assert spread >= 1.0  # max/min of per-session p99s
+
+    def test_p99_spread_absent_for_single_session(self):
+        report = loadgen_report(
+            workload="iid", sessions=1, concurrency=1,
+            num_steps=100, n=8, k=2, eps=0.2, block_size=50, seed=5,
+        )
+        assert "p99_spread_x" not in report["latency_ms"]
+
     def test_sessions_monitor_distinct_streams(self):
         report = loadgen_report(
             workload="iid", sessions=3, concurrency=3,
