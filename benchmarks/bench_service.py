@@ -25,6 +25,10 @@ Measures what serving costs and buys relative to the in-process engine:
   ``overhead_x`` isolates what the extra supervisor hop costs, and the
   v2 pass-through (header-only routing, spliced payloads) should show
   a much smaller hop tax than v1's decode→re-encode;
+- **metrics_overhead**: single-session served-v2 throughput with the
+  ops plane toggled off vs instrumented under a live 1 Hz
+  ``GET /metrics`` scraper — ``overhead_x`` is the telemetry tax the
+  admin plane is held to (the regression gate caps it at 2%);
 - **shard_scaling**: the same loadgen sweep against the sharded
   supervisor (``serve --shards N``) at 1/2/4 shards — whether served
   aggregate steps/s scales with worker processes.  On a >= 4-core
@@ -51,7 +55,9 @@ import json
 import os
 import platform
 import statistics
+import threading
 import time
+import urllib.request
 from pathlib import Path
 
 import numpy as np
@@ -89,6 +95,23 @@ CI_SHARDS = (2_500, (1, 2), (1, 4))
 #: T of the supervisor-hop comparison (sessions=1, per wire version).
 FULL_HOP = 10_000
 CI_HOP = 3_000
+
+#: T of the metrics-overhead contrast (sessions=1, served v2 +
+#: pipelining — the headline serving path) and the scrape cadence of
+#: its background ``GET /metrics`` poller.  The ops-plane acceptance
+#: gate reads this cell: instrumented + 1 Hz scraper must stay within
+#: 2% of the uninstrumented rate.
+FULL_METRICS_T = 20_000
+CI_METRICS_T = 8_000
+SCRAPE_INTERVAL_S = 1.0
+
+#: Rounds of the metrics-overhead contrast.  Its gate is an absolute
+#: ceiling (1.02x) rather than a 30%-drop ratio, so the estimate needs
+#: tighter error bars than any other cell: a median over 5 interleaved
+#: rounds is kept even in CI (each round costs well under a second at
+#: the CI horizon — cheap insurance against a throttling blip landing
+#: in exactly one variant of a 2-round run).
+METRICS_ROUNDS = 5
 
 #: (T per session, session counts, n, k, eps, chunk) of the multi-tenant
 #: SessionBatch sweep: aggregate steps/s of S same-cohort sessions
@@ -427,6 +450,83 @@ def bench_supervisor_hop(
     return out
 
 
+def _scrape_loop(admin_port: int, stop: threading.Event) -> int:
+    """Poll ``GET /metrics`` once per SCRAPE_INTERVAL_S until stopped."""
+    scrapes = 0
+    url = f"http://127.0.0.1:{admin_port}/metrics"
+    while not stop.is_set():
+        try:
+            with urllib.request.urlopen(url, timeout=5) as response:
+                response.read()
+            scrapes += 1
+        except OSError:
+            pass
+        stop.wait(SCRAPE_INTERVAL_S)
+    return scrapes
+
+
+def bench_metrics_overhead(
+    T: int, n: int, k: int, eps: float, block: int, rounds: int
+) -> dict:
+    """Single-session served-v2 throughput with the ops plane on vs off.
+
+    One spawned server with an admin port; each round measures the
+    uninstrumented rate (telemetry toggled off over the wire) and the
+    instrumented rate under a live 1 Hz Prometheus scraper, interleaved.
+    ``overhead_x`` is the median per-round uninstrumented/instrumented
+    ratio — the same denoising the supervisor-hop cell uses, since this
+    too is a ratio of two nearly equal rates.
+    """
+    process, port, admin_port = _spawn_server(admin=True)
+    rows: dict[str, list[dict]] = {"off": [], "on": []}
+    scrapes = 0
+    try:
+        # Warm the spawned server off the clock (see bench_supervisor_hop).
+        bench_served("127.0.0.1", port, 2_000, n, k, eps, block,
+                     wire_protocol="v2", pipeline=PIPELINE)
+        for _ in range(rounds):
+            for variant, enabled in (("off", False), ("on", True)):
+                with ServiceClient("127.0.0.1", port) as client:
+                    client.metrics(enabled=enabled)
+                stop = threading.Event()
+                scraper = None
+                if enabled:
+                    result: list[int] = []
+                    scraper = threading.Thread(
+                        target=lambda: result.append(_scrape_loop(admin_port, stop)),
+                        daemon=True,
+                    )
+                    scraper.start()
+                try:
+                    rows[variant].append(
+                        bench_served("127.0.0.1", port, T, n, k, eps, block,
+                                     wire_protocol="v2", pipeline=PIPELINE)
+                    )
+                finally:
+                    if scraper is not None:
+                        stop.set()
+                        scraper.join(timeout=10)
+                        scrapes += result[0] if result else 0
+        with ServiceClient("127.0.0.1", port) as client:
+            client.shutdown()
+        process.wait(timeout=30)
+    except BaseException:
+        _drain_or_kill(process, port)
+        raise
+    ratios = [
+        off["steps_per_s"] / on["steps_per_s"]
+        for off, on in zip(rows["off"], rows["on"])
+        if on["steps_per_s"]
+    ]
+    return {
+        "uninstrumented": _best(rows["off"]),
+        "instrumented": _best(rows["on"]),
+        "scrape_interval_s": SCRAPE_INTERVAL_S,
+        "scrapes": scrapes,
+        "overhead_x": round(statistics.median(ratios), 3) if ratios else None,
+    }
+
+
 def bench_shard_scaling(T: int, shard_counts: tuple[int, ...],
                         session_counts: tuple[int, ...],
                         n: int, k: int, eps: float, block: int) -> dict:
@@ -503,6 +603,7 @@ def main(argv: list[str] | None = None) -> int:
         CI_BATCH if args.ci else FULL_BATCH
     )
     hop_T = CI_HOP if args.ci else FULL_HOP
+    metrics_T = CI_METRICS_T if args.ci else FULL_METRICS_T
     rounds = CI_ROUNDS if args.ci else FULL_ROUNDS
     hop_rounds = CI_HOP_ROUNDS if args.ci else FULL_HOP_ROUNDS
 
@@ -546,13 +647,16 @@ def main(argv: list[str] | None = None) -> int:
         batch_T, batch_counts, batch_n, batch_k, batch_eps, batch_chunk
     )
     supervisor_hop = bench_supervisor_hop(hop_T, n, k, eps, block, hop_rounds)
+    metrics_overhead = bench_metrics_overhead(
+        metrics_T, n, k, eps, block, METRICS_ROUNDS
+    )
     shard_scaling = bench_shard_scaling(
         shard_T, shard_counts, shard_sessions, n, k, eps, block
     )
     clean = clean and all(row["clean_shutdown"] for row in shard_scaling.values())
 
     report = {
-        "schema": 4,
+        "schema": 5,
         "mode": "ci" if args.ci else "full",
         "python": platform.python_version(),
         "numpy": np.__version__,
@@ -577,6 +681,7 @@ def main(argv: list[str] | None = None) -> int:
         "scaling": scaling,
         "session_batch": session_batch,
         "supervisor_hop": supervisor_hop,
+        "metrics_overhead": metrics_overhead,
         "shard_scaling": shard_scaling,
         "shard_speedup_x": _shard_speedup(shard_scaling),
         "clean_shutdown": clean,
@@ -612,6 +717,10 @@ def main(argv: list[str] | None = None) -> int:
         print(f"  hop {wire_name}: single {cells['single_process']['steps_per_s']:,} "
               f"vs 1-shard {cells['one_shard']['steps_per_s']:,} steps/s "
               f"-> {cells['overhead_x']}x")
+    print(f"  metrics: off {metrics_overhead['uninstrumented']['steps_per_s']:,} "
+          f"vs on+scrape {metrics_overhead['instrumented']['steps_per_s']:,} steps/s "
+          f"-> {metrics_overhead['overhead_x']}x "
+          f"({metrics_overhead['scrapes']} scrapes)")
     for sessions, row in scaling.items():
         print(f"  {sessions:>2} sessions: {row['steps_per_s']:>9,} steps/s aggregate")
     for sessions, cell in session_batch["sessions"].items():

@@ -29,6 +29,14 @@ Design points, all in the name of CI-runner noise tolerance:
 - zero overlapping metrics is an *error*, not a pass — a renamed
   schema must not silently disable the gate.
 
+One gate is absolute rather than relative: the fresh service report's
+``metrics_overhead.overhead_x`` (the ops-plane telemetry tax) must stay
+under ``--max-metrics-overhead`` (default 1.02, i.e. <= 2%).  The ratio
+is machine-normalized by construction — both sides of the division ran
+on the same host moments apart — so unlike raw throughput it needs no
+noise headroom, and a baseline that carries the cell pins it: a fresh
+report missing it fails instead of silently dropping the gate.
+
 Usage::
 
     python benchmarks/check_regression.py \
@@ -101,6 +109,34 @@ def compare(
     return rows, failures
 
 
+def check_metrics_overhead(
+    baseline_tree: object, fresh_tree: object, ceiling: float
+) -> str | None:
+    """Absolute gate on the fresh ops-plane telemetry tax, if present.
+
+    Returns a failure message, or ``None`` when the gate passes (or
+    neither report carries the cell — pre-ops-plane baselines).
+    """
+    fresh_cell = (
+        fresh_tree.get("metrics_overhead") if isinstance(fresh_tree, dict) else None
+    )
+    overhead = fresh_cell.get("overhead_x") if isinstance(fresh_cell, dict) else None
+    if overhead is not None:
+        print(f"  metrics_overhead.overhead_x  x{overhead:.3f}  (max x{ceiling})")
+        if overhead > ceiling:
+            return (
+                f"metrics overhead x{overhead:.3f} exceeds the x{ceiling} "
+                f"ceiling (telemetry must cost <= {(ceiling - 1) * 100:.0f}%)"
+            )
+        return None
+    if isinstance(baseline_tree, dict) and "metrics_overhead" in baseline_tree:
+        return (
+            "baseline records metrics_overhead.overhead_x but the fresh "
+            "report lacks it — the telemetry-tax gate must not silently drop"
+        )
+    return None
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--baseline", type=Path, required=True)
@@ -111,14 +147,22 @@ def main(argv: list[str] | None = None) -> int:
         default=0.7,
         help="fail when fresh/baseline falls below this (default 0.7 = 30%% drop)",
     )
+    parser.add_argument(
+        "--max-metrics-overhead",
+        type=float,
+        default=1.02,
+        help="fail when metrics_overhead.overhead_x exceeds this (default 1.02)",
+    )
     args = parser.parse_args(argv)
 
     try:
-        baseline = collect_metrics(json.loads(args.baseline.read_text()))
-        fresh = collect_metrics(json.loads(args.fresh.read_text()))
+        baseline_tree = json.loads(args.baseline.read_text())
+        fresh_tree = json.loads(args.fresh.read_text())
     except (OSError, ValueError) as exc:
         print(f"cannot read benchmark reports: {exc}", file=sys.stderr)
         return 2
+    baseline = collect_metrics(baseline_tree)
+    fresh = collect_metrics(fresh_tree)
 
     rows, failures = compare(baseline, fresh, args.min_ratio)
     if not rows:
@@ -133,6 +177,9 @@ def main(argv: list[str] | None = None) -> int:
     for path, base, new, ratio in rows:
         flag = "  <-- REGRESSION" if path in failures else ""
         print(f"  {path:<{width}}  {base:>12,.0f} -> {new:>12,.0f}  x{ratio:.2f}{flag}")
+    overhead_failure = check_metrics_overhead(
+        baseline_tree, fresh_tree, args.max_metrics_overhead
+    )
     print(
         f"{len(rows)} shared metrics, min allowed ratio {args.min_ratio}, "
         f"{len(failures)} below it"
@@ -143,8 +190,9 @@ def main(argv: list[str] | None = None) -> int:
             + ", ".join(failures),
             file=sys.stderr,
         )
-        return 1
-    return 0
+    if overhead_failure:
+        print(overhead_failure, file=sys.stderr)
+    return 1 if failures or overhead_failure else 0
 
 
 if __name__ == "__main__":

@@ -582,6 +582,11 @@ class EngineBatch:
         # Step 0 must run on_start; irregular members re-arm this forever.
         self._force = np.fromiter((e.steps_done == 0 for e in engines), dtype=bool, count=S)
         self._active = np.ones(S, dtype=bool)
+        #: member-steps classified quiet vs escalated by the vectorized
+        #: precheck — observability only, never pickled (the batch is
+        #: ephemeral), read by the service layer after each tick.
+        self.quiet_member_steps = 0
+        self.escalated_member_steps = 0
         self._bound = True
         for i, engine in enumerate(engines):
             engine.nodes.bind_rows(self._values[i], self._lo[i], self._hi[i])
@@ -612,6 +617,8 @@ class EngineBatch:
             np.logical_or(self._above, self._below, out=self._viol)
             escalate = (self._viol.any(axis=1) | force) & active
             quiet = active & ~escalate
+            self.quiet_member_steps += int(np.count_nonzero(quiet))
+            self.escalated_member_steps += int(np.count_nonzero(escalate))
             # Quiet members: land the values; bookkeeping is replayed in
             # bulk when the member next escalates (or at block end).
             np.copyto(self._values, step_vals, where=quiet[:, None])

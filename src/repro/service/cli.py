@@ -49,6 +49,11 @@ def main_serve(argv: list[str] | None = None) -> int:
                         help="highest wire framing hello may grant: v2 binary "
                              "frames (default) or v1 JSON lines only; v1 "
                              "clients work either way (DESIGN.md §8)")
+    parser.add_argument("--admin-port", type=int, default=None, metavar="PORT",
+                        help="also bind the HTTP admin plane (/metrics, "
+                             "/stats, /watch, ...) on this port (0 = "
+                             "OS-assigned, printed on a second announce "
+                             "line); off by default")
     args = parser.parse_args(argv)
     if args.shards < 0:
         parser.error(f"--shards must be >= 0, got {args.shards}")
@@ -56,6 +61,7 @@ def main_serve(argv: list[str] | None = None) -> int:
         asyncio.run(server_mod.serve(
             args.host, args.port, max_sessions=args.max_sessions,
             shards=args.shards, accept_wire=2 if args.wire == "v2" else 1,
+            admin_port=args.admin_port,
         ))
     except KeyboardInterrupt:
         pass
@@ -63,30 +69,40 @@ def main_serve(argv: list[str] | None = None) -> int:
 
 
 def _spawn_server(
-    shards: int = 0, accept_wire: str = "v2"
-) -> tuple[subprocess.Popen, int]:
+    shards: int = 0, accept_wire: str = "v2", admin: bool = False
+):
     """Launch a server subprocess on a free port; returns (process, port).
 
     With ``shards > 0`` the subprocess runs the sharded supervisor; the
     announce line is only printed once every worker process is up, so
-    waiting for it below covers the whole topology.
+    waiting for it below covers the whole topology.  With ``admin=True``
+    the server also binds an OS-assigned admin port (announced on a
+    second line) and the return value grows to
+    ``(process, port, admin_port)``.
     """
     command = [sys.executable, "-m", "repro.experiments", "serve", "--port", "0",
                "--wire", accept_wire]
     if shards:
         command += ["--shards", str(shards)]
+    if admin:
+        command += ["--admin-port", "0"]
     process = subprocess.Popen(
         command,
         stdout=subprocess.PIPE,
         text=True,
     )
-    line = process.stdout.readline().strip()
-    prefix = "serving on "
-    if not line.startswith(prefix):
-        process.kill()
-        raise RuntimeError(f"server did not announce itself (got {line!r})")
-    port = int(line[len(prefix):].rsplit(":", 1)[1])
-    return process, port
+
+    def announced_port(prefix: str) -> int:
+        line = process.stdout.readline().strip()
+        if not line.startswith(prefix):
+            process.kill()
+            raise RuntimeError(f"server did not announce itself (got {line!r})")
+        return int(line[len(prefix):].rsplit(":", 1)[1])
+
+    port = announced_port("serving on ")
+    if not admin:
+        return process, port
+    return process, port, announced_port("admin on ")
 
 
 def main_loadgen(argv: list[str] | None = None) -> int:
@@ -130,6 +146,11 @@ def main_loadgen(argv: list[str] | None = None) -> int:
                              "session (0 = request-response lockstep)")
     parser.add_argument("--json", action="store_true", dest="as_json",
                         help="print the full report as JSON")
+    parser.add_argument("--admin-check", action="store_true",
+                        help="with --spawn: bind the admin plane on the "
+                             "spawned server and probe /metrics + /stats "
+                             "(exposition lint included) while the load is "
+                             "live; result lands under 'admin_check'")
     args = parser.parse_args(argv)
     if args.shards < 0:
         parser.error(f"--shards must be >= 0, got {args.shards}")
@@ -138,6 +159,9 @@ def main_loadgen(argv: list[str] | None = None) -> int:
     if args.shards and not args.spawn:
         parser.error("--shards only applies with --spawn (the server owns "
                      "its shard count; pass --shards to `serve` instead)")
+    if args.admin_check and not args.spawn:
+        parser.error("--admin-check only applies with --spawn (point other "
+                     "tooling at a standing server's --admin-port directly)")
 
     try:
         workload_params = registry.parse_cli_params(args.workload, args.workload_param)
@@ -147,24 +171,47 @@ def main_loadgen(argv: list[str] | None = None) -> int:
 
     process = None
     host, port = args.host, args.port
+    admin_port = None
     try:
         if args.spawn:
             # --wire v1 pins the spawned server too, so the smoke
             # measures a v1-only topology end to end; v2/auto spawn the
             # v2-default server and let each connection negotiate.
-            process, port = _spawn_server(
-                args.shards, accept_wire="v1" if args.wire == "v1" else "v2"
+            spawned = _spawn_server(
+                args.shards, accept_wire="v1" if args.wire == "v1" else "v2",
+                admin=args.admin_check,
             )
+            if args.admin_check:
+                process, port, admin_port = spawned
+            else:
+                process, port = spawned
             host = "127.0.0.1"
-        report = asyncio.run(run_loadgen(
-            host, port,
-            workload=args.workload, workload_params=workload_params,
-            algorithm=args.algorithm,
-            sessions=args.sessions, concurrency=args.concurrency,
-            num_steps=args.steps, n=args.n, k=args.k, eps=args.eps,
-            block_size=args.block_size, seed=args.seed, encoding=args.encoding,
-            wire_protocol=args.wire, pipeline=args.pipeline,
-        ))
+
+        async def drive():
+            load = asyncio.ensure_future(run_loadgen(
+                host, port,
+                workload=args.workload, workload_params=workload_params,
+                algorithm=args.algorithm,
+                sessions=args.sessions, concurrency=args.concurrency,
+                num_steps=args.steps, n=args.n, k=args.k, eps=args.eps,
+                block_size=args.block_size, seed=args.seed,
+                encoding=args.encoding,
+                wire_protocol=args.wire, pipeline=args.pipeline,
+            ))
+            check = None
+            if admin_port is not None:
+                # Probe mid-flight: the point of the check is a scrape
+                # while traffic is live, not against an idle server.
+                from repro.service.admin import probe_admin
+
+                await asyncio.sleep(0.2)
+                check = await probe_admin(host, admin_port)
+            out = await load
+            if check is not None:
+                out["admin_check"] = check
+            return out
+
+        report = asyncio.run(drive())
     except Exception as exc:
         if process is not None:
             process.kill()
@@ -211,8 +258,19 @@ def main_loadgen(argv: list[str] | None = None) -> int:
                 f"  {kind} latency p50/p95/p99: {latency['p50']}/"
                 f"{latency['p95']}/{latency['p99']} ms ({latency['count']} requests)"
             )
+        admin_check = report.get("admin_check")
+        if admin_check is not None:
+            verdict = "ok" if admin_check["ok"] else "FAILED"
+            print(
+                f"  admin check: {verdict} ({admin_check['samples']} samples, "
+                f"{admin_check['metrics_bytes']} exposition bytes)"
+            )
+            for problem in admin_check["lint_problems"]:
+                print(f"    {problem}", file=sys.stderr)
         if clean_shutdown is not None:
             print(f"  server shutdown: {'clean' if clean_shutdown else 'UNCLEAN'}")
     if clean_shutdown is False:
+        return 1
+    if report.get("admin_check", {}).get("ok") is False:
         return 1
     return 0

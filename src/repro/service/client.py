@@ -498,6 +498,16 @@ class AsyncServiceClient:
         """
         return await self.request("batch", enabled=enabled)
 
+    async def metrics(self, enabled: bool | None = None) -> dict[str, Any]:
+        """Scrape the server's metrics registry (fleet-wide on shards).
+
+        ``enabled`` toggles the optional telemetry first — like batching,
+        the toggle is observably invisible to session results.  With no
+        argument this is a pure read.
+        """
+        fields = {} if enabled is None else {"enabled": enabled}
+        return await self.request("metrics", **fields)
+
     async def shutdown(self) -> dict[str, Any]:
         """Ask the server to stop (it answers, then exits its serve loop)."""
         return await self.request("shutdown")
@@ -594,6 +604,9 @@ class ServiceClient:
 
     def set_batching(self, enabled: bool = True) -> dict[str, Any]:
         return self._call(self._client.set_batching(enabled))
+
+    def metrics(self, enabled: bool | None = None) -> dict[str, Any]:
+        return self._call(self._client.metrics(enabled))
 
     def shutdown(self) -> dict[str, Any]:
         return self._call(self._client.shutdown())

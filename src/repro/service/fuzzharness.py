@@ -791,6 +791,28 @@ class TopologyHarness:
                     f"{_short(outcome[1])} (expected batching={enabled})"
                 )
 
+    def set_metrics(self, enabled: bool) -> None:
+        """``metrics``: toggle the ops-plane telemetry on every topology.
+
+        Like batching, metrics are a *transparent* mode: instruments
+        observe session state but never touch it, so the oracle has no
+        metrics concept and every later feed/cost/snapshot comparison is
+        the check that toggling (and scraping) moved nothing observable
+        — the metrics-on/off transparency law.  Only the op's own ack is
+        asserted here; the dump itself is topology-shaped (shard labels)
+        and deliberately not compared.
+        """
+        self._barrier()
+        self._record("metrics", enabled=enabled)
+        for topo in self._topologies:
+            assert topo.client is not None
+            outcome = self._run(self._call(topo, topo.client.metrics(enabled)))
+            if outcome[0] != "ok" or outcome[1].get("enabled") is not enabled:
+                self._fail(
+                    f"op 'metrics': [{topo.name}] answered {outcome[0]} "
+                    f"{_short(outcome[1])} (expected enabled={enabled})"
+                )
+
     def upgrade_wire(self) -> None:
         """Mid-sequence ``hello``: upgrade every connection to v2.
 
@@ -909,6 +931,7 @@ class TopologyHarness:
             "ping": self.ping,
             "upgrade_wire": self.upgrade_wire,
             "batch": lambda: self.set_batching(op["enabled"]),
+            "metrics": lambda: self.set_metrics(op["enabled"]),
             "migrate": lambda: self.migrate(op["session"]),
             "restart_shard": lambda: self.restart_shard(op["seed"]),
         }

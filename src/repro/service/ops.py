@@ -94,6 +94,7 @@ OPS: tuple[OpSpec, ...] = (
     OpSpec("migrate", 13, "migrate", needs_session=True, supervisor_only=True),
     OpSpec("hello", 14, None, inline=True),
     OpSpec("batch", 15, "set_batching", inline=True),
+    OpSpec("metrics", 16, "metrics", inline=True),
 )
 
 BY_NAME: dict[str, OpSpec] = {spec.name: spec for spec in OPS}

@@ -36,16 +36,18 @@ Op vocabulary (see docs/ARCHITECTURE.md for the full schema):
 
 ``hello``, ``ping``, ``create``, ``feed``, ``advance``, ``query``,
 ``cost``, ``snapshot``, ``restore``, ``finalize``, ``close``,
-``list``, ``shutdown``, ``batch``.
+``list``, ``shutdown``, ``batch``, ``metrics``.
 """
 
 from __future__ import annotations
 
 import asyncio
+import time
 from typing import Any
 
 import numpy as np
 
+from repro.service import metrics as metricslib
 from repro.service import ops, wire
 from repro.service.session import Session, SessionBatch, session_from_wire
 
@@ -116,11 +118,37 @@ class MonitoringServer:
         #: blocks ever take the gate; everything else stays serial.
         self.batching = True
         self._cohorts: dict[tuple, _CohortGate] = {}
-        #: Totals for ``ping`` and the shutdown log line.
-        self.stats = {
-            "connections": 0, "requests": 0, "steps_ingested": 0,
-            "batched_ticks": 0, "batched_steps": 0,
-        }
+        #: The ops-plane registry (admin endpoint, ``metrics`` op).  Its
+        #: ``enabled`` flag gates only the optional telemetry — per-op
+        #: latency histograms, ring series — never the core counters.
+        self.metrics = metricslib.MetricsRegistry()
+        self._c_connections = self.metrics.counter("repro_connections_total")
+        self._c_requests = self.metrics.counter("repro_requests_total")
+        self._c_steps = self.metrics.counter("repro_steps_ingested_total")
+        self._c_batched_ticks = self.metrics.counter("repro_batched_ticks_total")
+        self._c_batched_steps = self.metrics.counter("repro_batched_steps_total")
+        self._c_escalated = self.metrics.counter("repro_escalated_steps_total")
+        self._c_quiet = self.metrics.counter("repro_quiet_steps_total")
+        #: Totals for ``ping`` and the shutdown log line — a live view
+        #: over the registry counters, keyed by the legacy names so the
+        #: reply shapes (and the shard supervisor's in-place mutations)
+        #: are unchanged.
+        self.stats = metricslib.StatsView({
+            "connections": self._c_connections,
+            "requests": self._c_requests,
+            "steps_ingested": self._c_steps,
+            "batched_ticks": self._c_batched_ticks,
+            "batched_steps": self._c_batched_steps,
+        })
+        #: Lazily built per-op ``(counter, histogram)`` pairs (dispatch).
+        self._per_op: dict[str, tuple[metricslib.Counter, metricslib.Histogram]] = {}
+        self._g_inflight = self.metrics.gauge("repro_executor_inflight")
+        self.metrics.register_gauge_fn("repro_sessions", lambda: len(self._slots))
+        self.metrics.register_gauge_fn(
+            "repro_cohort_backlog",
+            lambda: sum(len(g.entries) for g in self._cohorts.values()),
+        )
+        self._ingest_series = self.metrics.series("repro_steps_ingested_series")
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -177,7 +205,7 @@ class MonitoringServer:
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
-        self.stats["connections"] += 1
+        self._c_connections.inc()
         wire.set_nodelay(writer)
         task = asyncio.current_task()
         if task is not None:
@@ -340,8 +368,21 @@ class MonitoringServer:
             raise wire.WireError(
                 f"unknown op {op!r}; valid: {', '.join(self._OPS)}"
             )
-        self.stats["requests"] += 1
-        return await handler(self, message)
+        self._c_requests.inc()
+        if not self.metrics.enabled:
+            return await handler(self, message)
+        pair = self._per_op.get(op)
+        if pair is None:
+            pair = self._per_op[op] = (
+                self.metrics.counter("repro_op_requests_total", op=op),
+                self.metrics.histogram("repro_op_latency_seconds", op=op),
+            )
+        pair[0].inc()
+        start = time.perf_counter()
+        try:
+            return await handler(self, message)
+        finally:
+            pair[1].observe(time.perf_counter() - start)
 
     # ------------------------------------------------------------------ #
     # Session bookkeeping
@@ -364,10 +405,13 @@ class MonitoringServer:
             raise KeyError(f"no such session {sid!r}")
         return sid, slot
 
-    @staticmethod
-    async def _run_sync(fn, *args):
+    async def _run_sync(self, fn, *args):
         """Run CPU-bound session work off the event loop."""
-        return await asyncio.get_running_loop().run_in_executor(None, fn, *args)
+        self._g_inflight.inc()
+        try:
+            return await asyncio.get_running_loop().run_in_executor(None, fn, *args)
+        finally:
+            self._g_inflight.dec()
 
     # ------------------------------------------------------------------ #
     # Ops
@@ -419,8 +463,26 @@ class MonitoringServer:
                 step, messages = await self._run_sync(
                     self._feed_serial, session, block, prevalidated
                 )
-        self.stats["steps_ingested"] += block.shape[0]
+        self._c_steps.inc(block.shape[0])
+        if self.metrics.enabled:
+            self._session_telemetry(sid, session, step, messages)
         return {"session": sid, "step": step, "messages": messages}
+
+    def _session_telemetry(
+        self, sid: str, session: Session, step: int, messages: int
+    ) -> None:
+        """Ring-series points after an ingest: the dashboard's food.
+
+        Cumulative message cost and F(t) output-change count per
+        session (the paper's cost trajectory, live), plus the fleet
+        steps-ingested curve.  Read outside the slot lock — telemetry
+        must never extend the serial section.
+        """
+        self.metrics.series("repro_session_cost", session=sid).append(step, messages)
+        self.metrics.series("repro_session_fchanges", session=sid).append(
+            step, session.engine.output_changes_so_far()
+        )
+        self._ingest_series.append(time.monotonic(), self._c_steps.value)
 
     async def _decoded_block(self, payload: Any) -> np.ndarray:
         """Decode a feed payload to a ``(B, n)`` block, off-loop when big.
@@ -491,11 +553,14 @@ class MonitoringServer:
                     continue
                 batch = gate.batch
                 before_ticks, before_steps = batch.ticks, batch.batched_steps
+                before_esc, before_quiet = batch.escalated_steps, batch.quiet_steps
                 results = await self._run_sync(
                     batch.feed_batch, [(session, block) for session, block, _ in entries]
                 )
-                self.stats["batched_ticks"] += batch.ticks - before_ticks
-                self.stats["batched_steps"] += batch.batched_steps - before_steps
+                self._c_batched_ticks.inc(batch.ticks - before_ticks)
+                self._c_batched_steps.inc(batch.batched_steps - before_steps)
+                self._c_escalated.inc(batch.escalated_steps - before_esc)
+                self._c_quiet.inc(batch.quiet_steps - before_quiet)
                 for (_session, _block, future), result in zip(entries, results):
                     if future.done():  # a dropped feeder cancels its future
                         continue
@@ -528,7 +593,9 @@ class MonitoringServer:
             before = session.step
             step = await self._run_sync(session.advance, steps)
             messages, done = session.messages, session.done
-        self.stats["steps_ingested"] += step - before
+        self._c_steps.inc(step - before)
+        if self.metrics.enabled:
+            self._session_telemetry(sid, session, step, messages)
         return {"session": sid, "step": step, "messages": messages, "done": done}
 
     async def _op_query(self, message: dict[str, Any]) -> dict[str, Any]:
@@ -585,6 +652,7 @@ class MonitoringServer:
             result = await self._run_sync(slot.session.finalize)
         del self._slots[sid]
         self._cohort_leave(slot.session)
+        self._drop_session_series(sid)
         return {
             "session": sid,
             "result": {
@@ -603,7 +671,13 @@ class MonitoringServer:
         sid, slot = self._slot(message)
         del self._slots[sid]
         self._cohort_leave(slot.session)
+        self._drop_session_series(sid)
         return {"session": sid, "closed": True}
+
+    def _drop_session_series(self, sid: str) -> None:
+        """Session gone — its ring series must not leak registry slots."""
+        self.metrics.drop_series("repro_session_cost", session=sid)
+        self.metrics.drop_series("repro_session_fchanges", session=sid)
 
     async def _op_batch(self, message: dict[str, Any]) -> dict[str, Any]:
         """Toggle cross-session feed coalescing at runtime."""
@@ -612,6 +686,30 @@ class MonitoringServer:
             raise wire.WireError(f"batch enabled must be a bool, got {enabled!r}")
         self.batching = enabled
         return {"batching": enabled}
+
+    async def _op_metrics(self, message: dict[str, Any]) -> dict[str, Any]:
+        """Read (and optionally toggle) the ops-plane telemetry.
+
+        With no ``enabled`` field this is a pure scrape.  The toggle is
+        observably transparent — instruments never touch session state —
+        which the stateful fuzz tier checks differentially (the same
+        pattern as the ``batch`` toggle).
+        """
+        enabled = message.get("enabled")
+        if enabled is not None and not isinstance(enabled, bool):
+            raise wire.WireError(f"metrics enabled must be a bool, got {enabled!r}")
+        if enabled is not None:
+            self.metrics.enabled = enabled
+        return {"enabled": self.metrics.enabled, "metrics": await self.metrics_fleet()}
+
+    def metrics_dump(self) -> dict[str, Any]:
+        """This process's registry snapshot (JSON-ready)."""
+        return self.metrics.dump()
+
+    async def metrics_fleet(self) -> dict[str, Any]:
+        """The fleet-wide dump — just the local one here; the shard
+        supervisor overrides this to merge worker registries."""
+        return self.metrics_dump()
 
     async def _op_list(self, message: dict[str, Any]) -> dict[str, Any]:
         sessions = []
@@ -641,6 +739,7 @@ def _encode_response_frame(response: dict[str, Any]) -> bytes:
 async def serve(
     host: str = "127.0.0.1", port: int = 0, *, max_sessions: int = 1024,
     shards: int = 0, accept_wire: int = wire.WIRE_V2, announce=None,
+    admin_port: int | None = None,
 ) -> None:
     """Start a server and run it until a ``shutdown`` op.
 
@@ -656,6 +755,11 @@ async def serve(
     ``loadgen --spawn`` parse it to learn an OS-assigned port); tests
     pass a capture function or ``lambda _: None``.  With shards, the
     line is only printed once every worker process is up.
+
+    ``admin_port`` (``0`` = OS-assigned) additionally binds the HTTP
+    admin plane of :mod:`repro.service.admin` on the same host; its
+    ``admin on host:port`` line is announced *after* the serving line,
+    so existing single-line parsers are undisturbed.
     """
     if shards:
         from repro.service.shard import ShardedMonitoringServer
@@ -669,9 +773,24 @@ async def serve(
             host, port, max_sessions=max_sessions, accept_wire=accept_wire
         )
     bound_host, bound_port = await server.start()
-    line = f"serving on {bound_host}:{bound_port}"
-    if announce is None:
-        print(line, flush=True)
-    else:
-        announce(line)
-    await server.serve_until_shutdown()
+    admin = None
+    if admin_port is not None:
+        from repro.service.admin import AdminServer
+
+        admin = AdminServer(server, host=host, port=admin_port)
+        await admin.start()
+
+    def emit(line: str) -> None:
+        if announce is None:
+            print(line, flush=True)
+        else:
+            announce(line)
+
+    emit(f"serving on {bound_host}:{bound_port}")
+    if admin is not None:
+        emit(f"admin on {admin.host}:{admin.port}")
+    try:
+        await server.serve_until_shutdown()
+    finally:
+        if admin is not None:
+            await admin.aclose()

@@ -404,6 +404,11 @@ class SessionBatch:
         #: vectorized ticks served / steps they advanced (server stats)
         self.ticks = 0
         self.batched_steps = 0
+        #: member-steps that took the vectorized quiet path vs the
+        #: serial ``_step`` (violations, step 0, mid-feed fall-offs) —
+        #: the live form of the paper's quiet/escalation split.
+        self.quiet_steps = 0
+        self.escalated_steps = 0
 
     # ------------------------------------------------------------------ #
     # Membership
@@ -445,12 +450,15 @@ class SessionBatch:
         results: list[tuple[int, int] | Exception | None] = [None] * len(entries)
 
         def finish_serial(idx: int, session: Session, tail: np.ndarray) -> None:
+            before = session.step
             try:
                 session.feed(tail, prevalidated=True)
             except Exception as exc:  # noqa: BLE001 — per-entry isolation
                 results[idx] = exc
             else:
                 results[idx] = (session.step, session.messages)
+            finally:
+                self.escalated_steps += session.step - before
 
         live = [(idx, session, block, 0) for idx, (session, block) in enumerate(entries)]
         while live:
@@ -474,6 +482,8 @@ class SessionBatch:
                 )
             finally:
                 batch.close()
+                self.quiet_steps += batch.quiet_member_steps
+                self.escalated_steps += batch.escalated_member_steps
             self.ticks += 1
             live = []
             for (idx, session, block, offset), error in zip(ready, errors):

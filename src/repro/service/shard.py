@@ -50,6 +50,7 @@ import multiprocessing
 import time
 from typing import Any
 
+from repro.service import metrics as metricslib
 from repro.service import ops, wire
 from repro.service.client import AsyncServiceClient, ServiceError
 from repro.service.server import MonitoringServer
@@ -264,6 +265,20 @@ class ShardedMonitoringServer(MonitoringServer):
         # concurrent placement onto the worker it is replacing.  Lock
         # order is always placement -> route.lock, never the reverse.
         self._placement = asyncio.Lock()
+        # Supervisor-side ops-plane extras: per-shard forward latency,
+        # link-pool occupancy, restart/migration counters, and the
+        # cross-generation aggregator that keeps fleet counters
+        # monotone across restart_shard (a worker's registry dies with
+        # its process; see repro.service.metrics).
+        self._c_migrations = self.metrics.counter("repro_migrations_total")
+        self._gen_agg = metricslib.GenerationAggregator()
+        self._forward_hists: dict[int, metricslib.Histogram] = {}
+        for worker in self._workers:
+            self.metrics.register_gauge_fn(
+                "repro_links_in_use",
+                lambda w=worker: links_per_shard - w.links.qsize(),
+                shard=worker.index,
+            )
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -361,6 +376,7 @@ class ShardedMonitoringServer(MonitoringServer):
         link = await worker.acquire()
         generation = worker.generation
         broken = False
+        started = time.perf_counter() if self.metrics.enabled else None
         try:
             response = await asyncio.wait_for(
                 link.request(op, **fields), timeout=_FORWARD_TIMEOUT
@@ -390,10 +406,20 @@ class ShardedMonitoringServer(MonitoringServer):
                 raise ShardError(f"shard {shard} unavailable: {exc}") from exc
             raise
         finally:
+            if started is not None:
+                self._forward_hist(shard).observe(time.perf_counter() - started)
             # A generation bump mid-request means the worker was replaced
             # under us: the link points at the old port and must not be
             # re-pooled even though this exchange happened to succeed.
             worker.release(link, broken=broken or worker.generation != generation)
+
+    def _forward_hist(self, shard: int) -> metricslib.Histogram:
+        hist = self._forward_hists.get(shard)
+        if hist is None:
+            hist = self._forward_hists[shard] = self.metrics.histogram(
+                "repro_forward_seconds", shard=shard
+            )
+        return hist
 
     #: Session ops a v2 front-end connection forwards without decoding:
     #: the fixed header alone names the session, and the meta/payload
@@ -471,6 +497,7 @@ class ShardedMonitoringServer(MonitoringServer):
         link = await worker.acquire()
         generation = worker.generation
         broken = False
+        started = time.perf_counter() if self.metrics.enabled else None
         try:
             return await asyncio.wait_for(
                 link.passthrough_frame(header, meta, payload, local_session),
@@ -492,6 +519,8 @@ class ShardedMonitoringServer(MonitoringServer):
                 raise ShardError(f"shard {shard} unavailable: {exc}") from exc
             raise
         finally:
+            if started is not None:
+                self._forward_hist(shard).observe(time.perf_counter() - started)
             worker.release(link, broken=broken or worker.generation != generation)
 
     def _new_sid(self) -> str:
@@ -562,6 +591,7 @@ class ShardedMonitoringServer(MonitoringServer):
         route.shard = target
         route.local = restored["session"]
         route.step = restored["step"]
+        self._c_migrations.inc()
         return {
             "session": sid,
             "from_shard": source,
@@ -619,10 +649,25 @@ class ShardedMonitoringServer(MonitoringServer):
                         lost.append(sid)  # gone on the worker: route is stale
                         continue
                     blobs.append((sid, route, snap["state"]))
+                if not worker_dead:
+                    # Harvest the dying registry under its current
+                    # generation tag; the fresh process restarts from
+                    # zero and the aggregator keeps fleet counters
+                    # monotone across the swap.
+                    try:
+                        scraped = await self._forward(index, "metrics")
+                        self._gen_agg.update(
+                            index, worker.generation, scraped["metrics"]
+                        )
+                    except (ShardError, ServiceError):
+                        pass  # the tail counts die with the worker
                 await self._stop_worker(worker)
                 await self._spawn_worker(worker)
                 if not self.batching:  # fresh workers default to batching on
                     await self._forward(index, "batch", enabled=False)
+                if not self.metrics.enabled:  # ... and to metrics on
+                    await self._forward(index, "metrics", enabled=False)
+                self.metrics.counter("repro_shard_restarts_total", shard=index).inc()
                 for sid, route, state in blobs:
                     restored = await self._forward(index, "restore", state=state)
                     route.local = restored["session"]
@@ -682,6 +727,45 @@ class ShardedMonitoringServer(MonitoringServer):
             await self._forward(worker.index, "batch", enabled=enabled)
         self.batching = enabled
         return {"batching": enabled}
+
+    async def _op_metrics(self, message: dict[str, Any]) -> dict[str, Any]:
+        """Fan a metrics toggle out to the fleet, then serve its dump."""
+        enabled = message.get("enabled")
+        if enabled is not None and not isinstance(enabled, bool):
+            raise wire.WireError(f"metrics enabled must be a bool, got {enabled!r}")
+        if enabled is not None:
+            for worker in self._workers:
+                await self._forward(worker.index, "metrics", enabled=enabled)
+            self.metrics.enabled = enabled
+        return {"enabled": self.metrics.enabled, "metrics": await self.metrics_fleet()}
+
+    async def metrics_fleet(self) -> dict[str, Any]:
+        """Merge every worker registry into the fleet-wide view.
+
+        Each reachable worker is scraped through the internal
+        ``metrics`` op and folded into the cross-generation aggregator;
+        an unreachable shard still serves its carried totals.  Worker
+        metrics join the dump under a ``shard`` label (their session
+        labels are worker-local ids), so supervisor-side counters are
+        never double-counted.
+        """
+        for worker in self._workers:
+            try:
+                payload = await self._forward(worker.index, "metrics")
+            except (ShardError, ServiceError):
+                continue  # the carried totals below still count
+            self._gen_agg.update(worker.index, worker.generation, payload["metrics"])
+        fleet = self.metrics_dump()
+        # The supervisor's step counter is a routing-level echo of the
+        # same physical steps the workers count; the shard-labelled
+        # worker series are the ground truth, so the echo leaves the
+        # fleet view (the legacy ``stats`` dict keeps it for ``ping``,
+        # and the ring series stays — it feeds the ingest sparkline and
+        # is never summed).
+        fleet["counters"].pop("repro_steps_ingested_total", None)
+        for shard, total in sorted(self._gen_agg.shard_totals().items()):
+            metricslib.merge_into(fleet, metricslib.relabel(total, shard=shard))
+        return fleet
 
     async def _op_create(self, message: dict[str, Any]) -> dict[str, Any]:
         spec = message.get("spec")

@@ -202,6 +202,12 @@ class ProtocolMachine(RuleBasedStateMachine):
         # observable: later compared ops check that against the oracle.
         self.harness.set_batching(enabled)
 
+    @rule(enabled=st.booleans())
+    def toggle_metrics(self, enabled):
+        # The metrics-on/off transparency law: scraping and toggling
+        # telemetry mid-sequence must move nothing observable either.
+        self.harness.set_metrics(enabled)
+
     @rule(session=sessions)
     def migrate(self, session):
         self.harness.migrate(session)

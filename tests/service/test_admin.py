@@ -1,0 +1,391 @@
+"""The admin plane end to end: HTTP routes, SSE push, fleet invariants.
+
+Everything here runs against real sockets — a monitoring server (plain
+or sharded) with an :class:`~repro.service.admin.AdminServer` bound
+next to it — and covers the ops-plane laws the unit tier cannot:
+
+- the endpoint smoke across inproc / 1-shard / 4-shard topologies, with
+  a lint-clean Prometheus exposition (``probe_admin`` is the same check
+  CI's ``loadgen --admin-check`` runs);
+- ``/watch`` SSE events carry monotonically non-decreasing counters
+  while pipelined feeds are in flight;
+- fleet counters never decrease across ``restart_shard`` (the
+  generation-tagged aggregation regression test);
+- metrics on vs off is observationally transparent: identical outputs,
+  costs, and checkpoint bytes;
+- the ``/migrate`` and ``/drain`` control routes, and the ``top``
+  dashboard's pure renderer over a live ``/stats`` payload.
+"""
+
+import asyncio
+import json
+
+import numpy as np
+import pytest
+
+from repro.service import AsyncServiceClient, MonitoringServer
+from repro.service.admin import AdminServer, http_get, probe_admin
+from repro.service.metrics import split_key
+from repro.service.shard import ShardedMonitoringServer
+
+N, K = 8, 2
+
+#: Counter families that must never decrease at the fleet level, no
+#: matter how many workers restart underneath the supervisor.
+MONOTONE = {"repro_requests_total", "repro_steps_ingested_total"}
+
+
+def spec(seed=3, **overrides):
+    base = dict(algorithm="approx-monitor", n=N, k=K, eps=0.2, seed=seed)
+    base.update(overrides)
+    return base
+
+
+def block(rows=4, scale=1.0):
+    return (np.arange(rows * N, dtype=np.float64).reshape(rows, N) % 5) * scale
+
+
+async def start_topology(shards):
+    """A server of the given topology with an admin plane beside it."""
+    if shards == 0:
+        server = MonitoringServer()
+    else:
+        server = ShardedMonitoringServer(shards=shards)
+    host, port = await server.start()
+    admin = AdminServer(server)
+    await admin.start()
+    client = await AsyncServiceClient.connect(host, port)
+    return server, admin, client
+
+
+async def stop_topology(server, admin, client):
+    await client.aclose()
+    await admin.aclose()
+    await server.aclose()
+
+
+async def http_post(host, port, path):
+    """POST twin of :func:`http_get` (bodies are ignored by contract)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(
+            f"POST {path} HTTP/1.1\r\nHost: {host}\r\n"
+            f"Content-Length: 0\r\nConnection: close\r\n\r\n".encode("latin-1")
+        )
+        await writer.drain()
+        raw = await reader.read(-1)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+    head, _, body = raw.partition(b"\r\n\r\n")
+    status = int(head.decode("latin-1").split()[1])
+    return status, body
+
+
+def fleet_totals(dump):
+    """Sum each counter family across its shard/op labels."""
+    totals: dict[str, float] = {}
+    for key, value in dump["counters"].items():
+        name, _ = split_key(key)
+        totals[name] = totals.get(name, 0) + value
+    return totals
+
+
+class TestEndpointSmoke:
+    @pytest.mark.parametrize("shards", [0, 1, 4])
+    def test_routes_answer_and_exposition_lints(self, shards):
+        async def scenario():
+            server, admin, client = await start_topology(shards)
+            try:
+                sid = await client.create_session(**spec())
+                await client.feed(sid, block())
+
+                probe = await probe_admin(admin.host, admin.port)
+                assert probe["ok"], probe["lint_problems"]
+                assert probe["content_type"].startswith("text/plain")
+                assert probe["samples"] > 0
+                assert probe["sessions"] == 1
+
+                status, _, body = await http_get(admin.host, admin.port, "/stats")
+                stats = json.loads(body)
+                assert status == 200
+                assert stats["sessions"] == 1
+                assert stats["enabled"] is True
+                if shards:
+                    assert stats["shards"] == shards
+                    totals = fleet_totals(stats["metrics"])
+                    assert totals["repro_steps_ingested_total"] == 4
+                else:
+                    assert "shards" not in stats
+
+                status, _, body = await http_get(admin.host, admin.port, "/sessions")
+                assert status == 200
+                listed = json.loads(body)["sessions"]
+                assert any(row["session"] == sid for row in listed)
+
+                status, _, body = await http_get(admin.host, admin.port, "/nope")
+                assert status == 404
+                status, _ = await http_post(admin.host, admin.port, "/metrics")
+                assert status == 404  # wrong method is no route either
+            finally:
+                await stop_topology(server, admin, client)
+
+        asyncio.run(scenario())
+
+
+class TestWatchChannel:
+    def test_sse_counters_are_monotone_under_pipelined_feeds(self):
+        async def scenario():
+            server, admin, client = await start_topology(0)
+            try:
+                sid = await client.create_session(**spec())
+
+                async def spam():
+                    for _ in range(30):
+                        await client.feed_nowait(sid, block(rows=2))
+                        await asyncio.sleep(0)
+                    await client.flush()
+
+                feeder = asyncio.create_task(spam())
+
+                reader, writer = await asyncio.open_connection(
+                    admin.host, admin.port
+                )
+                events = []
+                try:
+                    writer.write(
+                        b"GET /watch?interval=0.05 HTTP/1.1\r\n"
+                        b"Host: x\r\nConnection: close\r\n\r\n"
+                    )
+                    await writer.drain()
+                    head = await reader.readuntil(b"\r\n\r\n")
+                    assert b"200 OK" in head
+                    assert b"text/event-stream" in head
+                    while len(events) < 5:
+                        line = await asyncio.wait_for(reader.readline(), timeout=10)
+                        if line.startswith(b"data: "):
+                            events.append(json.loads(line[6:]))
+                finally:
+                    writer.close()
+                await feeder
+
+                assert [e["seq"] for e in events] == list(range(5))
+                for family in MONOTONE:
+                    trace = [e["counters"].get(family, 0) for e in events]
+                    assert trace == sorted(trace), (family, trace)
+                # the window of feeds actually showed up on the channel
+                assert events[-1]["counters"]["repro_requests_total"] > events[0][
+                    "counters"
+                ].get("repro_requests_total", 0)
+            finally:
+                await stop_topology(server, admin, client)
+
+        asyncio.run(scenario())
+
+    def test_watch_subscriber_is_cancelled_on_aclose(self):
+        async def scenario():
+            server, admin, client = await start_topology(0)
+            reader, writer = await asyncio.open_connection(admin.host, admin.port)
+            writer.write(
+                b"GET /watch?interval=0.05 HTTP/1.1\r\nHost: x\r\n\r\n"
+            )
+            await writer.drain()
+            await reader.readuntil(b"\r\n\r\n")
+            await client.aclose()
+            await admin.aclose()  # must not hang on the open stream
+            await server.aclose()
+            assert await asyncio.wait_for(reader.read(-1), timeout=5) is not None
+            writer.close()
+
+        asyncio.run(asyncio.wait_for(scenario(), timeout=30))
+
+
+class TestFleetAggregation:
+    def test_restart_shard_never_decreases_fleet_counters(self):
+        """Satellite law: worker counters reset on restart, the fleet
+        view must not — the generation-tagged carry absorbs the loss."""
+
+        async def scenario():
+            server, admin, client = await start_topology(2)
+            try:
+                sids = [
+                    await client.create_session(**spec(seed=3 + i)) for i in range(4)
+                ]
+                for sid in sids:
+                    await client.feed(sid, block())
+
+                before = fleet_totals((await client.metrics())["metrics"])
+                assert before["repro_steps_ingested_total"] == 16
+
+                for index in range(server.num_shards):
+                    await server.restart_shard(index)
+
+                after = fleet_totals((await client.metrics())["metrics"])
+                for family in MONOTONE:
+                    assert after.get(family, 0) >= before[family], family
+                assert after["repro_shard_restarts_total"] == 2
+
+                # and the fleet keeps counting on the replacement workers
+                for sid in sids:
+                    await client.feed(sid, block())
+                final = fleet_totals((await client.metrics())["metrics"])
+                assert (
+                    final["repro_steps_ingested_total"]
+                    >= after["repro_steps_ingested_total"] + 16
+                )
+            finally:
+                await stop_topology(server, admin, client)
+
+        asyncio.run(asyncio.wait_for(scenario(), timeout=120))
+
+
+class TestTransparency:
+    def test_metrics_off_changes_no_observable_output(self):
+        """Directed twin of the fuzz law: the same feeds with metrics
+        enabled vs disabled yield bit-identical outputs, costs, and
+        checkpoint bytes."""
+
+        async def run_one(enabled):
+            server = MonitoringServer()
+            host, port = await server.start()
+            client = await AsyncServiceClient.connect(host, port)
+            try:
+                await client.metrics(enabled=enabled)
+                sid = await client.create_session(**spec())
+                for i in range(6):
+                    await client.feed(sid, block(rows=3, scale=1.0 + i))
+                status = await client.query(sid)
+                cost = await client.cost(sid)
+                blob = await client.snapshot(sid)
+                result = await client.finalize(sid)
+                return status, cost, blob, result
+            finally:
+                await client.aclose()
+                await server.aclose()
+
+        async def scenario():
+            on = await run_one(True)
+            off = await run_one(False)
+            assert on[0] == off[0]  # query: step + output positions
+            assert on[1] == off[1]  # cost ledger
+            assert on[2] == off[2]  # snapshot blob, byte for byte
+            assert on[3] == off[3]  # finalize summary
+
+        asyncio.run(scenario())
+
+    def test_toggle_mid_run_and_scrape_are_invisible(self):
+        async def scenario():
+            server, admin, client = await start_topology(0)
+            try:
+                sid = await client.create_session(**spec())
+                await client.feed(sid, block())
+                await client.metrics(enabled=False)
+                await client.feed(sid, block(scale=2.0))
+                await probe_admin(admin.host, admin.port)  # scrape while off
+                await client.metrics(enabled=True)
+                await client.feed(sid, block(scale=3.0))
+                blob = await client.snapshot(sid)
+            finally:
+                await stop_topology(server, admin, client)
+
+            reference = MonitoringServer()
+            host, port = await reference.start()
+            ref_client = await AsyncServiceClient.connect(host, port)
+            try:
+                sid = await ref_client.create_session(**spec())
+                for scale in (1.0, 2.0, 3.0):
+                    await ref_client.feed(sid, block(scale=scale))
+                assert await ref_client.snapshot(sid) == blob
+            finally:
+                await ref_client.aclose()
+                await reference.aclose()
+
+        asyncio.run(scenario())
+
+
+class TestControlRoutes:
+    def test_migrate_over_http(self):
+        async def scenario():
+            server, admin, client = await start_topology(2)
+            try:
+                sid = await client.create_session(**spec())
+                await client.feed(sid, block())
+                origin = (await client.list_sessions())[0]["shard"]
+                status, body = await http_post(
+                    admin.host, admin.port, f"/migrate?session={sid}"
+                )
+                assert status == 200
+                moved = json.loads(body)
+                assert moved["moved"] is True
+                assert moved["from_shard"] == origin
+                assert moved["to_shard"] != origin
+                # the session still serves after the move
+                ack = await client.feed(sid, block())
+                assert ack["step"] == 8
+
+                status, body = await http_post(admin.host, admin.port, "/migrate")
+                assert status == 400
+                status, body = await http_post(
+                    admin.host, admin.port, "/migrate?session=s999"
+                )
+                assert status == 400  # KeyError maps to the 400 envelope
+            finally:
+                await stop_topology(server, admin, client)
+
+        asyncio.run(asyncio.wait_for(scenario(), timeout=120))
+
+    def test_migrate_rejected_on_unsharded_server(self):
+        async def scenario():
+            server, admin, client = await start_topology(0)
+            try:
+                status, body = await http_post(
+                    admin.host, admin.port, "/migrate?session=s1"
+                )
+                assert status == 400
+                assert "sharded" in json.loads(body)["error"]
+            finally:
+                await stop_topology(server, admin, client)
+
+        asyncio.run(scenario())
+
+    def test_drain_stops_the_serve_loop(self):
+        async def scenario():
+            server = MonitoringServer()
+            await server.start()
+            admin = AdminServer(server)
+            await admin.start()
+            serve_task = asyncio.create_task(server.serve_until_shutdown())
+            status, body = await http_post(admin.host, admin.port, "/drain")
+            assert status == 200
+            assert json.loads(body)["stopping"] is True
+            await asyncio.wait_for(serve_task, timeout=5)
+            await admin.aclose()
+
+        asyncio.run(scenario())
+
+
+class TestDashboardRenderer:
+    def test_render_stats_over_a_live_payload(self):
+        from repro.service.__main__ import render_stats
+
+        async def scenario():
+            server, admin, client = await start_topology(0)
+            try:
+                sid = await client.create_session(**spec())
+                for i in range(4):
+                    await client.feed(sid, block(scale=1.0 + i))
+                _, _, body = await http_get(admin.host, admin.port, "/stats")
+                return json.loads(body), sid
+            finally:
+                await stop_topology(server, admin, client)
+
+        stats, sid = asyncio.run(scenario())
+        frame = render_stats(stats)
+        assert "sessions" in frame
+        assert "steps ingested" in frame
+        assert sid in frame  # the per-session telemetry row made it in
+        for line in frame.splitlines():
+            assert len(line) <= 100

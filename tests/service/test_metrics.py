@@ -1,0 +1,206 @@
+"""Unit tier for the ops-plane registry (repro.service.metrics).
+
+Pure-Python instruments, the dump algebra, the Prometheus renderer and
+its lint, and the cross-generation aggregator — no sockets here; the
+wired-up admin plane is covered by test_admin.py.
+"""
+
+import pytest
+
+from repro.service import metrics as m
+
+
+class TestInstruments:
+    def test_counter_and_gauge(self):
+        reg = m.MetricsRegistry()
+        counter = reg.counter("repro_requests_total")
+        counter.inc()
+        counter.inc(41)
+        assert counter.value == 42
+        assert reg.counter("repro_requests_total") is counter  # get-or-create
+        gauge = reg.gauge("repro_depth")
+        gauge.set(3)
+        gauge.inc()
+        gauge.dec(2)
+        assert gauge.value == 2
+
+    def test_labels_key_rendering_round_trips(self):
+        reg = m.MetricsRegistry()
+        reg.counter("repro_op_total", op="feed", shard=2).inc(5)
+        dump = reg.dump()
+        (key,) = dump["counters"]
+        assert key == 'repro_op_total{op="feed",shard="2"}'  # labels sorted
+        name, labels = m.split_key(key)
+        assert name == "repro_op_total"
+        assert labels == {"op": "feed", "shard": "2"}
+        assert m.split_key("bare") == ("bare", {})
+
+    def test_histogram_buckets_and_percentiles(self):
+        hist = m.Histogram(bounds=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 0.5, 5.0, 50.0):
+            hist.observe(value)
+        assert hist.counts == [1, 2, 1, 1]  # last cell is +inf
+        assert hist.count == 5
+        assert hist.sum == pytest.approx(56.05)
+        pct = m.histogram_percentiles(
+            {"le": list(hist.bounds), "counts": hist.counts,
+             "sum": hist.sum, "count": hist.count}
+        )
+        assert 0.1 < pct["p50"] <= 1.0  # the median lands in (0.1, 1] bucket
+        assert pct["p99"] == 10.0  # +inf bucket reports its lower bound
+        assert m.histogram_percentiles(
+            {"le": [1.0], "counts": [0, 0], "sum": 0.0, "count": 0}
+        ) == {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+
+    def test_histogram_rejects_unsorted_bounds(self):
+        with pytest.raises(ValueError, match="sorted"):
+            m.Histogram(bounds=(1.0, 0.1))
+
+    def test_ring_series_is_bounded(self):
+        series = m.RingSeries(maxlen=4)
+        for i in range(10):
+            series.append(i, i * i)
+        assert len(series) == 4
+        xs, ys = series.points()
+        assert xs == [6, 7, 8, 9]
+        assert ys == [36, 49, 64, 81]
+
+    def test_gauge_fn_sampled_at_dump_time(self):
+        reg = m.MetricsRegistry()
+        depth = [0]
+        reg.register_gauge_fn("repro_queue", lambda: depth[0])
+        assert reg.dump()["gauges"]["repro_queue"] == 0
+        depth[0] = 7
+        assert reg.dump()["gauges"]["repro_queue"] == 7
+
+    def test_gauge_fn_failure_never_fails_the_scrape(self):
+        reg = m.MetricsRegistry()
+        reg.register_gauge_fn("repro_bad", lambda: 1 / 0)
+        reg.counter("repro_ok").inc()
+        dump = reg.dump()
+        assert dump["counters"]["repro_ok"] == 1
+        assert "repro_bad" not in dump["gauges"]
+
+    def test_drop_series(self):
+        reg = m.MetricsRegistry()
+        reg.series("repro_cost", session="s1").append(1, 2)
+        reg.drop_series("repro_cost", session="s1")
+        assert reg.dump()["series"] == {}
+
+
+class TestStatsView:
+    def test_behaves_like_the_legacy_dict(self):
+        reg = m.MetricsRegistry()
+        requests = reg.counter("repro_requests_total")
+        view = m.StatsView({"requests": requests, "connections": reg.counter("c")})
+        view["requests"] += 3
+        assert requests.value == 3
+        requests.inc()
+        assert view["requests"] == 4  # live: registry writes show through
+        assert dict(view) == {"requests": 4, "connections": 0}
+        assert len(view) == 2
+
+
+class TestDumpAlgebra:
+    def test_merge_adds_counters_gauges_and_histogram_cells(self):
+        a = m.new_dump()
+        a["counters"]["x"] = 2
+        a["gauges"]["g"] = 1
+        a["histograms"]["h"] = {"le": [1.0], "counts": [1, 0], "sum": 0.5, "count": 1}
+        b = m.new_dump()
+        b["counters"]["x"] = 3
+        b["counters"]["y"] = 1
+        b["gauges"]["g"] = 2
+        b["histograms"]["h"] = {"le": [1.0], "counts": [0, 2], "sum": 9.0, "count": 2}
+        m.merge_into(a, b)
+        assert a["counters"] == {"x": 5, "y": 1}
+        assert a["gauges"]["g"] == 3
+        assert a["histograms"]["h"] == {
+            "le": [1.0], "counts": [1, 2], "sum": 9.5, "count": 3,
+        }
+
+    def test_relabel_appends_to_every_key(self):
+        dump = m.new_dump()
+        dump["counters"]['x{op="feed"}'] = 1
+        dump["gauges"]["g"] = 2
+        out = m.relabel(dump, shard=3)
+        assert out["counters"] == {'x{op="feed",shard="3"}': 1}
+        assert out["gauges"] == {'g{shard="3"}': 2}
+
+    def test_generation_aggregator_is_monotone_across_restarts(self):
+        agg = m.GenerationAggregator()
+
+        def dump(steps):
+            d = m.new_dump()
+            d["counters"]["repro_steps_total"] = steps
+            d["gauges"]["repro_links"] = 4  # gauges must NOT accumulate
+            return d
+
+        agg.update(0, generation=0, dump=dump(100))
+        assert agg.shard_totals()[0]["counters"]["repro_steps_total"] == 100
+        # The worker restarts: its counter resets to zero, the
+        # generation tag bumps, and the total must carry — not dip.
+        agg.update(0, generation=1, dump=dump(0))
+        total = agg.shard_totals()[0]
+        assert total["counters"]["repro_steps_total"] == 100
+        agg.update(0, generation=1, dump=dump(30))
+        total = agg.shard_totals()[0]
+        assert total["counters"]["repro_steps_total"] == 130
+        assert total["gauges"]["repro_links"] == 4  # from last only
+
+    def test_aggregator_same_generation_updates_replace(self):
+        agg = m.GenerationAggregator()
+        d = m.new_dump()
+        d["counters"]["c"] = 10
+        agg.update(1, generation=0, dump=d)
+        d2 = m.new_dump()
+        d2["counters"]["c"] = 15
+        agg.update(1, generation=0, dump=d2)
+        assert agg.shard_totals()[1]["counters"]["c"] == 15
+
+
+class TestExposition:
+    def _fleet_dump(self):
+        reg = m.MetricsRegistry()
+        reg.counter("repro_requests_total").inc(7)
+        reg.counter("repro_op_requests_total", op="feed").inc(3)
+        reg.gauge("repro_sessions").set(2)
+        hist = reg.histogram("repro_op_latency_seconds", bounds=(0.01, 0.1), op="feed")
+        hist.observe(0.005)
+        hist.observe(0.05)
+        hist.observe(5.0)
+        reg.series("repro_cost", session="s1").append(1, 10)  # no exposition form
+        return reg.dump()
+
+    def test_render_is_lint_clean(self):
+        text = m.render_prometheus(self._fleet_dump())
+        assert m.lint_exposition(text) == []
+        assert "# TYPE repro_requests_total counter" in text
+        assert 'repro_op_requests_total{op="feed"} 3' in text
+        # Histogram buckets are cumulative and +Inf-terminated.
+        assert 'le="+Inf",op="feed"} 3' in text
+        assert 'repro_op_latency_seconds_count{op="feed"} 3' in text
+        assert "repro_cost" not in text  # series are JSON/SSE-only
+
+    def test_lint_catches_malformed_samples(self):
+        assert m.lint_exposition("not a sample line at all\n")
+        assert m.lint_exposition("# TYPE x counter\nx 1")  # missing newline
+        assert any(
+            "no # TYPE" in p for p in m.lint_exposition("orphan_metric 1\n")
+        )
+
+    def test_lint_catches_non_cumulative_buckets(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="0.1"} 5\n'
+            'h_bucket{le="+Inf"} 3\n'
+            "h_sum 1\n"
+            "h_count 3\n"
+        )
+        assert any("not cumulative" in p for p in m.lint_exposition(text))
+
+    def test_summarize_annotates_percentiles(self):
+        out = m.summarize(self._fleet_dump())
+        (hist,) = out["histograms"].values()
+        assert set(hist) >= {"le", "counts", "sum", "count", "p50", "p95", "p99"}
+        assert 0.01 < hist["p50"] <= 0.1

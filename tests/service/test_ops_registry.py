@@ -31,7 +31,7 @@ class TestRegistryShape:
             "ping": 1, "create": 2, "feed": 3, "advance": 4, "query": 5,
             "cost": 6, "snapshot": 7, "restore": 8, "finalize": 9,
             "close": 10, "list": 11, "shutdown": 12, "migrate": 13,
-            "hello": 14, "batch": 15,
+            "hello": 14, "batch": 15, "metrics": 16,
         }
 
     def test_flag_consistency(self):

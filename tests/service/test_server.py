@@ -245,7 +245,10 @@ class TestSmallOpFastPath:
 
                 server._run_sync = tracking
                 try:
-                    covered = {"ping", "hello", "query", "cost", "list", "close", "batch"}
+                    covered = {
+                        "ping", "hello", "query", "cost", "list", "close",
+                        "batch", "metrics",
+                    }
                     # shutdown is inline too but would stop the server;
                     # everything else in the contract set must be hit
                     # here, so editing INLINE_OPS forces updating this.
@@ -256,6 +259,7 @@ class TestSmallOpFastPath:
                     await client.cost(sid)
                     await client.list_sessions()
                     await client.set_batching(True)
+                    await client.metrics()
                     await client.close_session(sid)
                     assert calls == []  # every cheap op stayed on the loop
                     sid2 = await client.create_session(**spec())
