@@ -29,6 +29,11 @@ Measures what serving costs and buys relative to the in-process engine:
   ops plane toggled off vs instrumented under a live 1 Hz
   ``GET /metrics`` scraper — ``overhead_x`` is the telemetry tax the
   admin plane is held to (the regression gate caps it at 2%);
+- **durability_overhead**: the same contrast for the write-ahead log —
+  one server spawned with ``--wal-dir``, measured with WAL appends
+  toggled off vs on (every acked feed flushed to the page cache before
+  its ack, plus periodic checkpoints) — ``overhead_x`` is the
+  durability tax of docs/OPERATIONS.md, gated by the regression check;
 - **shard_scaling**: the same loadgen sweep against the sharded
   supervisor (``serve --shards N``) at 1/2/4 shards — whether served
   aggregate steps/s scales with worker processes.  On a >= 4-core
@@ -54,7 +59,9 @@ import asyncio
 import json
 import os
 import platform
+import shutil
 import statistics
+import tempfile
 import threading
 import time
 import urllib.request
@@ -112,6 +119,11 @@ SCRAPE_INTERVAL_S = 1.0
 #: the CI horizon — cheap insurance against a throttling blip landing
 #: in exactly one variant of a 2-round run).
 METRICS_ROUNDS = 5
+
+#: Rounds of the durability-overhead contrast — a ratio gated by an
+#: absolute ceiling, so it gets the same interleaved-median treatment
+#: (and horizon) as the metrics cell.
+DURABILITY_ROUNDS = 5
 
 #: (T per session, session counts, n, k, eps, chunk) of the multi-tenant
 #: SessionBatch sweep: aggregate steps/s of S same-cohort sessions
@@ -527,6 +539,54 @@ def bench_metrics_overhead(
     }
 
 
+def bench_durability_overhead(
+    T: int, n: int, k: int, eps: float, block: int, rounds: int
+) -> dict:
+    """Single-session served-v2 throughput with WAL appends on vs off.
+
+    One spawned server with a (throwaway) ``--wal-dir``; each round
+    toggles durability over the wire and measures both variants,
+    interleaved.  The "on" variant pays the full serving-path tax:
+    every acked feed is encoded, appended and flushed to the page cache
+    before its ack, and checkpoints fire at the default threshold.
+    ``overhead_x`` is the median per-round off/on ratio (same denoising
+    as the other ratio cells).
+    """
+    wal_dir = tempfile.mkdtemp(prefix="repro-bench-wal-")
+    process, port = _spawn_server(wal_dir=wal_dir)
+    rows: dict[str, list[dict]] = {"off": [], "on": []}
+    try:
+        # Warm the spawned server off the clock (see bench_supervisor_hop).
+        bench_served("127.0.0.1", port, 2_000, n, k, eps, block,
+                     wire_protocol="v2", pipeline=PIPELINE)
+        for _ in range(rounds):
+            for variant, enabled in (("off", False), ("on", True)):
+                with ServiceClient("127.0.0.1", port) as client:
+                    client.durability(enabled)
+                rows[variant].append(
+                    bench_served("127.0.0.1", port, T, n, k, eps, block,
+                                 wire_protocol="v2", pipeline=PIPELINE)
+                )
+        with ServiceClient("127.0.0.1", port) as client:
+            client.shutdown()
+        process.wait(timeout=30)
+    except BaseException:
+        _drain_or_kill(process, port)
+        raise
+    finally:
+        shutil.rmtree(wal_dir, ignore_errors=True)
+    ratios = [
+        off["steps_per_s"] / on["steps_per_s"]
+        for off, on in zip(rows["off"], rows["on"])
+        if on["steps_per_s"]
+    ]
+    return {
+        "undurable": _best(rows["off"]),
+        "durable": _best(rows["on"]),
+        "overhead_x": round(statistics.median(ratios), 3) if ratios else None,
+    }
+
+
 def bench_shard_scaling(T: int, shard_counts: tuple[int, ...],
                         session_counts: tuple[int, ...],
                         n: int, k: int, eps: float, block: int) -> dict:
@@ -650,13 +710,16 @@ def main(argv: list[str] | None = None) -> int:
     metrics_overhead = bench_metrics_overhead(
         metrics_T, n, k, eps, block, METRICS_ROUNDS
     )
+    durability_overhead = bench_durability_overhead(
+        metrics_T, n, k, eps, block, DURABILITY_ROUNDS
+    )
     shard_scaling = bench_shard_scaling(
         shard_T, shard_counts, shard_sessions, n, k, eps, block
     )
     clean = clean and all(row["clean_shutdown"] for row in shard_scaling.values())
 
     report = {
-        "schema": 5,
+        "schema": 6,
         "mode": "ci" if args.ci else "full",
         "python": platform.python_version(),
         "numpy": np.__version__,
@@ -682,6 +745,7 @@ def main(argv: list[str] | None = None) -> int:
         "session_batch": session_batch,
         "supervisor_hop": supervisor_hop,
         "metrics_overhead": metrics_overhead,
+        "durability_overhead": durability_overhead,
         "shard_scaling": shard_scaling,
         "shard_speedup_x": _shard_speedup(shard_scaling),
         "clean_shutdown": clean,
@@ -721,6 +785,9 @@ def main(argv: list[str] | None = None) -> int:
           f"vs on+scrape {metrics_overhead['instrumented']['steps_per_s']:,} steps/s "
           f"-> {metrics_overhead['overhead_x']}x "
           f"({metrics_overhead['scrapes']} scrapes)")
+    print(f"  durability: off {durability_overhead['undurable']['steps_per_s']:,} "
+          f"vs WAL on {durability_overhead['durable']['steps_per_s']:,} steps/s "
+          f"-> {durability_overhead['overhead_x']}x")
     for sessions, row in scaling.items():
         print(f"  {sessions:>2} sessions: {row['steps_per_s']:>9,} steps/s aggregate")
     for sessions, cell in session_batch["sessions"].items():

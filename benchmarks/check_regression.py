@@ -29,13 +29,16 @@ Design points, all in the name of CI-runner noise tolerance:
 - zero overlapping metrics is an *error*, not a pass — a renamed
   schema must not silently disable the gate.
 
-One gate is absolute rather than relative: the fresh service report's
+Two gates are absolute rather than relative: the fresh service report's
 ``metrics_overhead.overhead_x`` (the ops-plane telemetry tax) must stay
-under ``--max-metrics-overhead`` (default 1.02, i.e. <= 2%).  The ratio
-is machine-normalized by construction — both sides of the division ran
-on the same host moments apart — so unlike raw throughput it needs no
-noise headroom, and a baseline that carries the cell pins it: a fresh
-report missing it fails instead of silently dropping the gate.
+under ``--max-metrics-overhead`` (default 1.02, i.e. <= 2%), and its
+``durability_overhead.overhead_x`` (the WAL append + checkpoint tax on
+the served feed path) under ``--max-durability-overhead`` (default
+1.25).  Both ratios are machine-normalized by construction — the two
+sides of each division ran on the same host moments apart — so unlike
+raw throughput they need no noise headroom, and a baseline that carries
+a cell pins it: a fresh report missing it fails instead of silently
+dropping the gate.
 
 Usage::
 
@@ -109,32 +112,53 @@ def compare(
     return rows, failures
 
 
+def check_overhead_cell(
+    baseline_tree: object,
+    fresh_tree: object,
+    cell: str,
+    ceiling: float,
+    what: str,
+) -> str | None:
+    """Absolute gate on one fresh ``<cell>.overhead_x`` ratio, if present.
+
+    Returns a failure message, or ``None`` when the gate passes (or
+    neither report carries the cell — older baselines predate it).
+    """
+    fresh_cell = fresh_tree.get(cell) if isinstance(fresh_tree, dict) else None
+    overhead = fresh_cell.get("overhead_x") if isinstance(fresh_cell, dict) else None
+    if overhead is not None:
+        print(f"  {cell}.overhead_x  x{overhead:.3f}  (max x{ceiling})")
+        if overhead > ceiling:
+            return (
+                f"{what} overhead x{overhead:.3f} exceeds the x{ceiling} "
+                f"ceiling ({what} must cost <= {(ceiling - 1) * 100:.0f}%)"
+            )
+        return None
+    if isinstance(baseline_tree, dict) and cell in baseline_tree:
+        return (
+            f"baseline records {cell}.overhead_x but the fresh report "
+            f"lacks it — the {what}-tax gate must not silently drop"
+        )
+    return None
+
+
 def check_metrics_overhead(
     baseline_tree: object, fresh_tree: object, ceiling: float
 ) -> str | None:
-    """Absolute gate on the fresh ops-plane telemetry tax, if present.
-
-    Returns a failure message, or ``None`` when the gate passes (or
-    neither report carries the cell — pre-ops-plane baselines).
-    """
-    fresh_cell = (
-        fresh_tree.get("metrics_overhead") if isinstance(fresh_tree, dict) else None
+    """The ops-plane telemetry tax (kept as a named wrapper: tests and
+    CI reference it directly)."""
+    return check_overhead_cell(
+        baseline_tree, fresh_tree, "metrics_overhead", ceiling, "telemetry"
     )
-    overhead = fresh_cell.get("overhead_x") if isinstance(fresh_cell, dict) else None
-    if overhead is not None:
-        print(f"  metrics_overhead.overhead_x  x{overhead:.3f}  (max x{ceiling})")
-        if overhead > ceiling:
-            return (
-                f"metrics overhead x{overhead:.3f} exceeds the x{ceiling} "
-                f"ceiling (telemetry must cost <= {(ceiling - 1) * 100:.0f}%)"
-            )
-        return None
-    if isinstance(baseline_tree, dict) and "metrics_overhead" in baseline_tree:
-        return (
-            "baseline records metrics_overhead.overhead_x but the fresh "
-            "report lacks it — the telemetry-tax gate must not silently drop"
-        )
-    return None
+
+
+def check_durability_overhead(
+    baseline_tree: object, fresh_tree: object, ceiling: float
+) -> str | None:
+    """The WAL append + checkpoint tax on the served feed path."""
+    return check_overhead_cell(
+        baseline_tree, fresh_tree, "durability_overhead", ceiling, "durability"
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -152,6 +176,12 @@ def main(argv: list[str] | None = None) -> int:
         type=float,
         default=1.02,
         help="fail when metrics_overhead.overhead_x exceeds this (default 1.02)",
+    )
+    parser.add_argument(
+        "--max-durability-overhead",
+        type=float,
+        default=1.25,
+        help="fail when durability_overhead.overhead_x exceeds this (default 1.25)",
     )
     args = parser.parse_args(argv)
 
@@ -177,9 +207,18 @@ def main(argv: list[str] | None = None) -> int:
     for path, base, new, ratio in rows:
         flag = "  <-- REGRESSION" if path in failures else ""
         print(f"  {path:<{width}}  {base:>12,.0f} -> {new:>12,.0f}  x{ratio:.2f}{flag}")
-    overhead_failure = check_metrics_overhead(
-        baseline_tree, fresh_tree, args.max_metrics_overhead
-    )
+    overhead_failures = [
+        failure
+        for failure in (
+            check_metrics_overhead(
+                baseline_tree, fresh_tree, args.max_metrics_overhead
+            ),
+            check_durability_overhead(
+                baseline_tree, fresh_tree, args.max_durability_overhead
+            ),
+        )
+        if failure
+    ]
     print(
         f"{len(rows)} shared metrics, min allowed ratio {args.min_ratio}, "
         f"{len(failures)} below it"
@@ -190,9 +229,9 @@ def main(argv: list[str] | None = None) -> int:
             + ", ".join(failures),
             file=sys.stderr,
         )
-    if overhead_failure:
-        print(overhead_failure, file=sys.stderr)
-    return 1 if failures or overhead_failure else 0
+    for failure in overhead_failures:
+        print(failure, file=sys.stderr)
+    return 1 if failures or overhead_failures else 0
 
 
 if __name__ == "__main__":

@@ -54,14 +54,32 @@ def main_serve(argv: list[str] | None = None) -> int:
                              "/stats, /watch, ...) on this port (0 = "
                              "OS-assigned, printed on a second announce "
                              "line); off by default")
+    parser.add_argument("--wal-dir", default=None, metavar="DIR",
+                        help="write-ahead log directory: append acknowledged "
+                             "ops and checkpoint periodically so sessions "
+                             "survive worker crashes (docs/OPERATIONS.md); "
+                             "off by default")
+    parser.add_argument("--wal-fsync", action="store_true",
+                        help="fsync every WAL append (survives machine "
+                             "crashes, not just process death; slower)")
+    parser.add_argument("--wal-checkpoint-bytes", type=int,
+                        default=server_mod.wallib.DEFAULT_CHECKPOINT_BYTES,
+                        metavar="N",
+                        help="checkpoint and truncate the log after N "
+                             "appended bytes (default %(default)s)")
     args = parser.parse_args(argv)
     if args.shards < 0:
         parser.error(f"--shards must be >= 0, got {args.shards}")
+    if args.wal_checkpoint_bytes <= 0:
+        parser.error("--wal-checkpoint-bytes must be > 0, "
+                     f"got {args.wal_checkpoint_bytes}")
     try:
         asyncio.run(server_mod.serve(
             args.host, args.port, max_sessions=args.max_sessions,
             shards=args.shards, accept_wire=2 if args.wire == "v2" else 1,
             admin_port=args.admin_port,
+            wal_dir=args.wal_dir, wal_fsync=args.wal_fsync,
+            wal_checkpoint_bytes=args.wal_checkpoint_bytes,
         ))
     except KeyboardInterrupt:
         pass
@@ -69,7 +87,8 @@ def main_serve(argv: list[str] | None = None) -> int:
 
 
 def _spawn_server(
-    shards: int = 0, accept_wire: str = "v2", admin: bool = False
+    shards: int = 0, accept_wire: str = "v2", admin: bool = False,
+    wal_dir: str | None = None,
 ):
     """Launch a server subprocess on a free port; returns (process, port).
 
@@ -78,7 +97,8 @@ def _spawn_server(
     waiting for it below covers the whole topology.  With ``admin=True``
     the server also binds an OS-assigned admin port (announced on a
     second line) and the return value grows to
-    ``(process, port, admin_port)``.
+    ``(process, port, admin_port)``.  ``wal_dir`` spawns the server
+    durable (used by the durability-overhead benchmark cell).
     """
     command = [sys.executable, "-m", "repro.experiments", "serve", "--port", "0",
                "--wire", accept_wire]
@@ -86,6 +106,8 @@ def _spawn_server(
         command += ["--shards", str(shards)]
     if admin:
         command += ["--admin-port", "0"]
+    if wal_dir is not None:
+        command += ["--wal-dir", str(wal_dir)]
     process = subprocess.Popen(
         command,
         stdout=subprocess.PIPE,

@@ -508,6 +508,18 @@ class AsyncServiceClient:
         fields = {} if enabled is None else {"enabled": enabled}
         return await self.request("metrics", **fields)
 
+    async def durability(self, enabled: bool | None = None) -> dict[str, Any]:
+        """Toggle or inspect WAL appends (fleet-wide on shards).
+
+        Durability is on by default when the server was started with a
+        WAL directory and cannot be enabled without one.  Re-enabling
+        forces an immediate full checkpoint so the log restarts from a
+        consistent base.  With no argument this is a pure read; the
+        reply reports ``enabled`` and whether a WAL is configured.
+        """
+        fields = {} if enabled is None else {"enabled": enabled}
+        return await self.request("durability", **fields)
+
     async def shutdown(self) -> dict[str, Any]:
         """Ask the server to stop (it answers, then exits its serve loop)."""
         return await self.request("shutdown")
@@ -607,6 +619,9 @@ class ServiceClient:
 
     def metrics(self, enabled: bool | None = None) -> dict[str, Any]:
         return self._call(self._client.metrics(enabled))
+
+    def durability(self, enabled: bool | None = None) -> dict[str, Any]:
+        return self._call(self._client.durability(enabled))
 
     def shutdown(self) -> dict[str, Any]:
         return self._call(self._client.shutdown())

@@ -40,6 +40,9 @@ from __future__ import annotations
 import asyncio
 import json
 import os
+import shutil
+import signal
+import tempfile
 from pathlib import Path
 from typing import Any
 
@@ -140,6 +143,9 @@ class TopologyHarness:
         self.accept_wire = wire.WIRE_V1 if wire_pin == "v1" else wire.WIRE_V2
         self._loop = asyncio.new_event_loop()
         self._topologies: list[_Topology] = []
+        #: Per-topology WAL directories (temp; removed at teardown, but
+        #: copied next to the failure dump first when a run diverges).
+        self._wal_dirs: list[str] = []
         #: The in-process oracle: logical id -> live Session (``None``
         #: once finalized/closed — ops on the id must fail KeyError).
         self._oracle: dict[int, Session | None] = {}
@@ -147,6 +153,10 @@ class TopologyHarness:
         #: Blobs captured by snapshot ops: one dict per snapshot,
         #: keyed by topology name plus ``"oracle"``.
         self._blobs: list[dict[str, bytes]] = []
+        #: Mirrors the servers' durability toggle (transparent mode, so
+        #: no oracle involvement) — :meth:`crash_shard` only asserts
+        #: lossless recovery while appends are actually on.
+        self._durability = True
         #: Acceptable error types for the first queued pipelined-feed
         #: failure (``None`` = no failure queued).  A set, not a single
         #: type: for a doubly-invalid feed (dead session *and*
@@ -174,12 +184,19 @@ class TopologyHarness:
     async def _start(self) -> None:
         for name in self.topology_names:
             shards = TOPOLOGIES[name]
+            # Every topology runs WAL-backed: durability is a
+            # transparent mode (appends observe acked ops, never session
+            # state), so the differential run doubles as the check that
+            # logging + checkpointing moves nothing observable — and the
+            # crash_shard perturbation needs a log to recover from.
+            wal_dir = tempfile.mkdtemp(prefix=f"repro-fuzz-wal-{name}-")
+            self._wal_dirs.append(wal_dir)
             if shards:
                 server: MonitoringServer = ShardedMonitoringServer(
-                    shards=shards, accept_wire=self.accept_wire
+                    shards=shards, accept_wire=self.accept_wire, wal_dir=wal_dir
                 )
             else:
-                server = MonitoringServer(accept_wire=self.accept_wire)
+                server = MonitoringServer(accept_wire=self.accept_wire, wal_dir=wal_dir)
             await server.start()
             self._topologies.append(_Topology(name, server))
         await self._connect_clients()
@@ -224,6 +241,11 @@ class TopologyHarness:
                 if self._oracle.get(logical) is not None:
                     await asyncio.wait_for(topo.client.close_session(sid), OP_TIMEOUT)
             topo.sids.clear()
+            # A previous example may have toggled durability off on the
+            # reused server; each example starts appending (the
+            # re-enable also forces a checkpoint, truncating the log).
+            await asyncio.wait_for(topo.client.durability(True), OP_TIMEOUT)
+        self._durability = True
 
     def teardown(self) -> None:
         """Shut every topology down (asserting the shutdown op answers)."""
@@ -234,6 +256,9 @@ class TopologyHarness:
         finally:
             self._loop.close()
             self._started = False
+            for wal_dir in self._wal_dirs:
+                shutil.rmtree(wal_dir, ignore_errors=True)
+            self._wal_dirs.clear()
 
     async def _teardown(self) -> None:
         for topo in self._topologies:
@@ -275,6 +300,15 @@ class TopologyHarness:
                 indent=2,
             )
         )
+        # Preserve the WAL state alongside the trace: the logs are the
+        # forensic record of exactly which ops were acknowledged, and
+        # the teardown below would otherwise delete them (CI uploads
+        # this directory as the failure artifact).
+        wal_copy = path.with_name(path.name + ".wal")
+        shutil.rmtree(wal_copy, ignore_errors=True)
+        for name, wal_dir in zip(self.topology_names, self._wal_dirs):
+            if os.path.isdir(wal_dir):
+                shutil.copytree(wal_dir, wal_copy / name, dirs_exist_ok=True)
         return path
 
     def _fail(self, message: str) -> None:
@@ -813,6 +847,28 @@ class TopologyHarness:
                     f"{_short(outcome[1])} (expected enabled={enabled})"
                 )
 
+    def set_durability(self, enabled: bool) -> None:
+        """``durability``: toggle WAL appends on every topology.
+
+        Durability is transparent like batching and metrics: the log
+        observes acknowledged ops but never session state, so the
+        oracle has no durability concept and every later comparison is
+        the check that toggling (re-enabling forces a full checkpoint)
+        moved nothing observable.  Every harness topology runs with a
+        WAL directory, so the ack must echo the requested state.
+        """
+        self._barrier()
+        self._record("durability", enabled=enabled)
+        for topo in self._topologies:
+            assert topo.client is not None
+            outcome = self._run(self._call(topo, topo.client.durability(enabled)))
+            if outcome[0] != "ok" or outcome[1].get("enabled") is not enabled:
+                self._fail(
+                    f"op 'durability': [{topo.name}] answered {outcome[0]} "
+                    f"{_short(outcome[1])} (expected enabled={enabled})"
+                )
+        self._durability = enabled
+
     def upgrade_wire(self) -> None:
         """Mid-sequence ``hello``: upgrade every connection to v2.
 
@@ -907,6 +963,45 @@ class TopologyHarness:
                     f"{outcome[1]['lost']} live session(s) on a healthy worker"
                 )
 
+    def crash_shard(self, seed: int) -> None:
+        """SIGKILL one worker per sharded topology, then recover it.
+
+        The durability law under test: because the harness barriers
+        first (so every generated op has been acknowledged) and every
+        topology appends to a WAL, ``kill -9`` of the worker followed
+        by :meth:`~repro.service.shard.ShardedMonitoringServer.
+        restart_shard` must lose **zero** sessions — and the next
+        query/cost/snapshot comparison proves the replayed state is
+        bit-identical to the oracle, which never crashed.  Skipped (ops
+        recorded, nothing killed) while durability is toggled off:
+        without appends a crash legitimately loses the tail.
+        """
+        self._barrier()
+        self._record("crash_shard", seed=seed)
+        if not self._durability:
+            return
+        for topo in self._topologies:
+            server = topo.server
+            if not isinstance(server, ShardedMonitoringServer):
+                continue
+            index = seed % server.num_shards
+            os.kill(server._workers[index].process.pid, signal.SIGKILL)
+
+            async def run(server=server, index=index):
+                return await server.restart_shard(index)
+
+            outcome = self._run(self._call(topo, run()))
+            if outcome[0] != "ok":
+                self._fail(
+                    f"op 'crash_shard': [{topo.name}] recovery failed: "
+                    f"{_short(outcome[1])}"
+                )
+            if outcome[1]["lost"]:
+                self._fail(
+                    f"op 'crash_shard': [{topo.name}] lost "
+                    f"{outcome[1]['lost']} acknowledged session(s) after kill -9"
+                )
+
     # ------------------------------------------------------------------ #
     # Replay
     # ------------------------------------------------------------------ #
@@ -932,8 +1027,10 @@ class TopologyHarness:
             "upgrade_wire": self.upgrade_wire,
             "batch": lambda: self.set_batching(op["enabled"]),
             "metrics": lambda: self.set_metrics(op["enabled"]),
+            "durability": lambda: self.set_durability(op["enabled"]),
             "migrate": lambda: self.migrate(op["session"]),
             "restart_shard": lambda: self.restart_shard(op["seed"]),
+            "crash_shard": lambda: self.crash_shard(op["seed"]),
         }
         try:
             runner = dispatch[name]

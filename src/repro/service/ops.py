@@ -95,6 +95,7 @@ OPS: tuple[OpSpec, ...] = (
     OpSpec("hello", 14, None, inline=True),
     OpSpec("batch", 15, "set_batching", inline=True),
     OpSpec("metrics", 16, "metrics", inline=True),
+    OpSpec("durability", 17, "durability", inline=True),
 )
 
 BY_NAME: dict[str, OpSpec] = {spec.name: spec for spec in OPS}

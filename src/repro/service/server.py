@@ -32,23 +32,33 @@ Design points:
   The per-session locks stay the serialization boundary: a feeder
   holds its session's lock for the whole tick it participates in.
 
-Op vocabulary (see docs/ARCHITECTURE.md for the full schema):
+- **Optional durability** — with a WAL directory configured, every
+  acknowledged state-changing op is appended to the write-ahead log of
+  :mod:`repro.service.wal` *before* its ack leaves the process, and
+  periodic checkpoints truncate the log; a restarted process replays
+  checkpoint + tail in ``__init__`` and resumes with bit-identical
+  session state (the recovery replay law).
+
+Op vocabulary (see docs/WIRE.md for the code table and
+docs/ARCHITECTURE.md for the full schema):
 
 ``hello``, ``ping``, ``create``, ``feed``, ``advance``, ``query``,
 ``cost``, ``snapshot``, ``restore``, ``finalize``, ``close``,
-``list``, ``shutdown``, ``batch``, ``metrics``.
+``list``, ``shutdown``, ``batch``, ``metrics``, ``durability``.
 """
 
 from __future__ import annotations
 
 import asyncio
 import time
+from pathlib import Path
 from typing import Any
 
 import numpy as np
 
 from repro.service import metrics as metricslib
 from repro.service import ops, wire
+from repro.service import wal as wallib
 from repro.service.session import Session, SessionBatch, session_from_wire
 
 __all__ = ["MonitoringServer", "serve"]
@@ -92,6 +102,18 @@ class MonitoringServer:
         :data:`wire.WIRE_V2`).  ``accept_wire=1`` pins the server to
         JSON lines: upgrade requests are answered with ``wire: 1`` and
         well-behaved clients fall back.
+    wal_dir:
+        Directory for the write-ahead log (``None`` = no durability).
+        Construction *recovers* first: the newest checkpoint manifest is
+        restored and the log tail replayed, so a respawned process picks
+        up exactly where the killed one was acknowledged to be.
+    wal_fsync:
+        Also ``fsync`` every append and manifest write — extends the
+        guarantee from process death to machine crash, at a per-op
+        latency cost (tracked by ``repro_wal_fsync_seconds``).
+    wal_checkpoint_bytes:
+        Rotate + checkpoint once this many bytes accumulate in the live
+        segment (bounds disk footprint and replay time).
     """
 
     def __init__(
@@ -101,6 +123,9 @@ class MonitoringServer:
         *,
         max_sessions: int = 1024,
         accept_wire: int = wire.WIRE_V2,
+        wal_dir: str | Path | None = None,
+        wal_fsync: bool = False,
+        wal_checkpoint_bytes: int = wallib.DEFAULT_CHECKPOINT_BYTES,
     ) -> None:
         self.host = host
         self.port = port
@@ -149,6 +174,131 @@ class MonitoringServer:
             lambda: sum(len(g.entries) for g in self._cohorts.values()),
         )
         self._ingest_series = self.metrics.series("repro_steps_ingested_series")
+        #: Durability plane.  ``durability`` (runtime-toggled by the op
+        #: of the same name) gates *appending*; the WAL object itself
+        #: exists iff a directory was configured.
+        self._wal: wallib.WriteAheadLog | None = None
+        self.durability = False
+        self._checkpoint_task: asyncio.Task | None = None
+        if wal_dir is not None:
+            self._c_recovered = self.metrics.counter(
+                "repro_wal_recovered_sessions_total"
+            )
+            self._c_replayed = self.metrics.counter(
+                "repro_wal_replayed_records_total"
+            )
+            self._wal = wallib.WriteAheadLog(
+                wal_dir,
+                fsync=wal_fsync,
+                checkpoint_bytes=wal_checkpoint_bytes,
+                metrics=self.metrics,
+            )
+            self.metrics.register_gauge_fn(
+                "repro_wal_segment_bytes",
+                lambda: self._wal.bytes_since_checkpoint if self._wal else 0,
+            )
+            self.durability = True
+            self._recover_from_wal()
+
+    # ------------------------------------------------------------------ #
+    # Durability: recovery, logging, checkpointing
+    # ------------------------------------------------------------------ #
+    def _recover_from_wal(self) -> None:
+        """Restore checkpoint + replay the log tail (runs in __init__,
+        before any connection can be accepted)."""
+        assert self._wal is not None
+        state = self._wal.recover()
+        for sid, blob in state.sessions.items():
+            self._slots[sid] = _SessionSlot(Session.restore(blob))
+            self._bump_next_id(sid)
+        self._next_id = max(self._next_id, state.next_id)
+        for record in state.records:
+            self._replay_record(record)
+        if self._slots or state.records:
+            self._c_recovered.inc(len(self._slots))
+            self._c_replayed.inc(len(state.records))
+
+    def _bump_next_id(self, sid: str) -> None:
+        if sid.startswith("s") and sid[1:].isdigit():
+            self._next_id = max(self._next_id, int(sid[1:]))
+
+    def _replay_record(self, record: dict[str, Any]) -> None:
+        """Apply one recovered WAL record, idempotently.
+
+        Feed/advance records carry the session's *post-op* step; a
+        record at or below the restored step was already inside the
+        checkpoint snapshot (the rotate-then-snapshot window) and is
+        skipped.  Create/restore records whose sid is already live are
+        likewise snapshot-covered.
+        """
+        op = record.get("op")
+        sid = record.get("session")
+        if op in ("create", "restore"):
+            if sid in self._slots:
+                return
+            if op == "create":
+                session = session_from_wire(dict(record["spec"]))
+            else:
+                session = Session.restore(wire.decode_blob(record["state"]))
+            self._slots[sid] = _SessionSlot(session)
+            self._bump_next_id(sid)
+            return
+        if op in ("finalize", "close"):
+            slot = self._slots.pop(sid, None)
+            if slot is not None:
+                self._cohort_leave(slot.session)
+            return
+        slot = self._slots.get(sid)
+        if slot is None:
+            return
+        target = record.get("step")
+        if not isinstance(target, int) or slot.session.step >= target:
+            return
+        if op == "feed":
+            slot.session.feed(wire.decode_values(record["values"]))
+        elif op == "advance":
+            slot.session.advance(record.get("steps"))
+
+    def _wal_append(self, message: dict[str, Any]) -> None:
+        """Durably record one acknowledged op (called before the ack is
+        written, inside the slot lock for session-addressed ops).  An
+        append failure (e.g. full disk) propagates and turns the op into
+        an error response — the ack must never outrun the log."""
+        if self._wal is None or not self.durability:
+            return
+        self._wal.append(message)
+        if self._wal.should_checkpoint() and (
+            self._checkpoint_task is None or self._checkpoint_task.done()
+        ):
+            self._checkpoint_task = asyncio.create_task(self._wal_checkpoint())
+
+    async def _wal_checkpoint(self) -> None:
+        """One checkpoint cycle: rotate, snapshot every session under
+        its lock, publish the manifest, prune.  Sessions unchanged since
+        the previous manifest reuse their blob files (the delta scheme).
+        Serving continues throughout — appends land in the rotated
+        (retained) segment, which replay covers."""
+        wal = self._wal
+        if wal is None:
+            return
+        try:
+            segment = wal.begin_checkpoint()
+            previous = wal.manifest_steps()
+            entries: dict[str, tuple[int, bytes | None]] = {}
+            for sid, slot in list(self._slots.items()):
+                async with slot.lock:
+                    if self._slots.get(sid) is not slot:
+                        continue  # finalized/closed while we waited
+                    step = slot.session.step
+                    if previous.get(sid) == step:
+                        entries[sid] = (step, None)
+                    else:
+                        entries[sid] = (step, slot.session.snapshot())
+            wal.commit_checkpoint(segment, entries, self._next_id)
+        except Exception:
+            # The log keeps growing but stays correct; the next append
+            # retries.  Surfaced as a counter, not a crash.
+            self.metrics.counter("repro_wal_checkpoint_failures_total").inc()
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -190,6 +340,8 @@ class MonitoringServer:
         if self._server is not None:
             await self._server.wait_closed()
         self._slots.clear()
+        if self._wal is not None:
+            self._wal.close()
 
     async def _drain_connections(self) -> None:
         """Cancel and reap open connection handlers (idle readers hang forever)."""
@@ -443,6 +595,7 @@ class MonitoringServer:
             raise wire.WireError("create needs a 'spec' object")
         session = await self._run_sync(session_from_wire, spec)
         sid = self._admit(session)
+        self._wal_append({"op": "create", "session": sid, "spec": spec})
         return {"session": sid, "step": session.step}
 
     async def _op_feed(self, message: dict[str, Any]) -> dict[str, Any]:
@@ -463,6 +616,11 @@ class MonitoringServer:
                 step, messages = await self._run_sync(
                     self._feed_serial, session, block, prevalidated
                 )
+            # Logged inside the lock so the post-op step pairs with this
+            # exact block — the replay idempotence key.
+            self._wal_append(
+                {"op": "feed", "session": sid, "values": block, "step": step}
+            )
         self._c_steps.inc(block.shape[0])
         if self.metrics.enabled:
             self._session_telemetry(sid, session, step, messages)
@@ -593,6 +751,9 @@ class MonitoringServer:
             before = session.step
             step = await self._run_sync(session.advance, steps)
             messages, done = session.messages, session.done
+            self._wal_append(
+                {"op": "advance", "session": sid, "steps": steps, "step": step}
+            )
         self._c_steps.inc(step - before)
         if self.metrics.enabled:
             self._session_telemetry(sid, session, step, messages)
@@ -644,6 +805,7 @@ class MonitoringServer:
 
         session = await self._run_sync(rebuild)
         sid = self._admit(session)
+        self._wal_append({"op": "restore", "session": sid, "state": state})
         return {"session": sid, "step": session.step}
 
     async def _op_finalize(self, message: dict[str, Any]) -> dict[str, Any]:
@@ -653,6 +815,7 @@ class MonitoringServer:
         del self._slots[sid]
         self._cohort_leave(slot.session)
         self._drop_session_series(sid)
+        self._wal_append({"op": "finalize", "session": sid})
         return {
             "session": sid,
             "result": {
@@ -672,6 +835,7 @@ class MonitoringServer:
         del self._slots[sid]
         self._cohort_leave(slot.session)
         self._drop_session_series(sid)
+        self._wal_append({"op": "close", "session": sid})
         return {"session": sid, "closed": True}
 
     def _drop_session_series(self, sid: str) -> None:
@@ -701,6 +865,32 @@ class MonitoringServer:
         if enabled is not None:
             self.metrics.enabled = enabled
         return {"enabled": self.metrics.enabled, "metrics": await self.metrics_fleet()}
+
+    async def _op_durability(self, message: dict[str, Any]) -> dict[str, Any]:
+        """Read (and optionally toggle) WAL appending at runtime.
+
+        With no ``enabled`` field this is a pure read.  Enabling
+        requires a configured WAL directory; *re*-enabling forces an
+        immediate full checkpoint so the log is consistent from this
+        op onward (feeds served while durability was off are not in the
+        log — only the fresh snapshot covers them).
+        """
+        enabled = message.get("enabled")
+        if enabled is not None and not isinstance(enabled, bool):
+            raise wire.WireError(
+                f"durability enabled must be a bool, got {enabled!r}"
+            )
+        if enabled is not None:
+            if self._wal is None:
+                if enabled:
+                    raise RuntimeError(
+                        "durability needs a WAL directory (serve --wal-dir)"
+                    )
+            else:
+                was, self.durability = self.durability, enabled
+                if enabled and not was:
+                    await self._wal_checkpoint()
+        return {"enabled": self.durability, "wal": self._wal is not None}
 
     def metrics_dump(self) -> dict[str, Any]:
         """This process's registry snapshot (JSON-ready)."""
@@ -739,7 +929,9 @@ def _encode_response_frame(response: dict[str, Any]) -> bytes:
 async def serve(
     host: str = "127.0.0.1", port: int = 0, *, max_sessions: int = 1024,
     shards: int = 0, accept_wire: int = wire.WIRE_V2, announce=None,
-    admin_port: int | None = None,
+    admin_port: int | None = None, wal_dir: str | Path | None = None,
+    wal_fsync: bool = False,
+    wal_checkpoint_bytes: int = wallib.DEFAULT_CHECKPOINT_BYTES,
 ) -> None:
     """Start a server and run it until a ``shutdown`` op.
 
@@ -760,17 +952,25 @@ async def serve(
     admin plane of :mod:`repro.service.admin` on the same host; its
     ``admin on host:port`` line is announced *after* the serving line,
     so existing single-line parsers are undisturbed.
+
+    ``wal_dir`` turns on durability: acknowledged ops are write-ahead
+    logged and recovered on restart (with shards, each worker logs to
+    ``wal_dir/shard-<i>`` and a dead worker's sessions are *recovered*,
+    not lost, by ``restart_shard``).  See docs/OPERATIONS.md.
     """
     if shards:
         from repro.service.shard import ShardedMonitoringServer
 
         server: MonitoringServer = ShardedMonitoringServer(
             host, port, shards=shards, max_sessions=max_sessions,
-            accept_wire=accept_wire,
+            accept_wire=accept_wire, wal_dir=wal_dir, wal_fsync=wal_fsync,
+            wal_checkpoint_bytes=wal_checkpoint_bytes,
         )
     else:
         server = MonitoringServer(
-            host, port, max_sessions=max_sessions, accept_wire=accept_wire
+            host, port, max_sessions=max_sessions, accept_wire=accept_wire,
+            wal_dir=wal_dir, wal_fsync=wal_fsync,
+            wal_checkpoint_bytes=wal_checkpoint_bytes,
         )
     bound_host, bound_port = await server.start()
     admin = None
@@ -789,6 +989,10 @@ async def serve(
     emit(f"serving on {bound_host}:{bound_port}")
     if admin is not None:
         emit(f"admin on {admin.host}:{admin.port}")
+    if not shards and wal_dir is not None and server._slots:
+        # Worker-side recovery in the sharded topology announces nothing
+        # here: the supervisor holds no sessions (docs/OPERATIONS.md §5.1).
+        emit(f"recovered {len(server._slots)} session(s) from the write-ahead log")
     try:
         await server.serve_until_shutdown()
     finally:

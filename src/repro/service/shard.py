@@ -47,11 +47,14 @@ import bisect
 import hashlib
 import json
 import multiprocessing
+import shutil
 import time
+from pathlib import Path
 from typing import Any
 
 from repro.service import metrics as metricslib
 from repro.service import ops, wire
+from repro.service import wal as wallib
 from repro.service.client import AsyncServiceClient, ServiceError
 from repro.service.server import MonitoringServer
 
@@ -123,19 +126,34 @@ class ShardRing:
 
 
 def shard_worker_main(
-    ready, max_sessions: int, accept_wire: int = wire.WIRE_V2
+    ready,
+    max_sessions: int,
+    accept_wire: int = wire.WIRE_V2,
+    wal_dir: str | None = None,
+    wal_fsync: bool = False,
+    wal_checkpoint_bytes: int = wallib.DEFAULT_CHECKPOINT_BYTES,
 ) -> None:
     """Entry point of one shard worker process.
 
     Runs a plain :class:`MonitoringServer` on an OS-assigned localhost
     port, reports that port through the ``ready`` pipe, then serves
     until the supervisor sends the ``shutdown`` op.  Exit code 0 means
-    a clean drain.
+    a clean drain.  With ``wal_dir``, server construction *recovers*
+    first — a respawned worker replays its checkpoint + log tail and
+    re-hosts every acknowledged session under its original local id
+    (the restored id counter keeps supervisor routes valid) before the
+    port is announced.
     """
 
     async def run() -> None:
         server = MonitoringServer(
-            "127.0.0.1", 0, max_sessions=max_sessions, accept_wire=accept_wire
+            "127.0.0.1",
+            0,
+            max_sessions=max_sessions,
+            accept_wire=accept_wire,
+            wal_dir=wal_dir,
+            wal_fsync=wal_fsync,
+            wal_checkpoint_bytes=wal_checkpoint_bytes,
         )
         await server.start()
         ready.send(server.port)
@@ -238,6 +256,13 @@ class ShardedMonitoringServer(MonitoringServer):
         per shard (backpressure — excess requests queue).
     ring_points:
         Virtual ring positions per shard (placement granularity).
+    wal_dir:
+        Durability root: worker ``i`` write-ahead logs to
+        ``wal_dir/shard-<i>``.  The supervisor itself hosts no sessions
+        and keeps no log — recovery is worker-side: a respawned worker
+        replays its own checkpoint + tail, and :meth:`restart_shard`
+        re-syncs the routes, reporting dead-worker sessions as
+        ``recovered`` instead of ``lost``.
     """
 
     def __init__(
@@ -250,10 +275,20 @@ class ShardedMonitoringServer(MonitoringServer):
         links_per_shard: int = 4,
         ring_points: int = 64,
         accept_wire: int = wire.WIRE_V2,
+        wal_dir: str | Path | None = None,
+        wal_fsync: bool = False,
+        wal_checkpoint_bytes: int = wallib.DEFAULT_CHECKPOINT_BYTES,
     ) -> None:
         super().__init__(host, port, max_sessions=max_sessions, accept_wire=accept_wire)
         if shards < 1:
             raise ValueError(f"need at least 1 shard, got {shards}")
+        self._wal_dir = None if wal_dir is None else Path(wal_dir)
+        self._wal_fsync = wal_fsync
+        self._wal_checkpoint_bytes = wal_checkpoint_bytes
+        #: Fleet-level durability toggle (the workers hold the logs; the
+        #: supervisor's flag is what ``durability`` fan-out re-applies
+        #: to replacement workers after a restart).
+        self.durability = self._wal_dir is not None
         self.num_shards = shards
         self.ring = ShardRing(shards, points=ring_points)
         self._links_per_shard = links_per_shard
@@ -297,9 +332,17 @@ class ShardedMonitoringServer(MonitoringServer):
     async def _spawn_worker(self, worker: _ShardWorker) -> None:
         """Start one worker process and wait for its announced port."""
         receiver, sender = _MP.Pipe(duplex=False)
+        worker_wal = (
+            None
+            if self._wal_dir is None
+            else str(self._wal_dir / f"shard-{worker.index}")
+        )
         process = _MP.Process(
             target=shard_worker_main,
-            args=(sender, self.max_sessions, self.accept_wire),
+            args=(
+                sender, self.max_sessions, self.accept_wire,
+                worker_wal, self._wal_fsync, self._wal_checkpoint_bytes,
+            ),
             name=f"repro-shard-{worker.index}",
             daemon=True,
         )
@@ -600,21 +643,42 @@ class ShardedMonitoringServer(MonitoringServer):
             "moved": True,
         }
 
-    async def restart_shard(self, index: int) -> dict[str, Any]:
-        """Checkpoint a shard's sessions, restart its process, restore.
+    async def restart_shard(
+        self, index: int, *, graceful: bool = False
+    ) -> dict[str, Any]:
+        """Replace a shard's worker process without losing session state.
 
-        Rebalancing/maintenance *and* recovery primitive: every session
-        hosted on shard ``index`` is snapshotted to the supervisor, the
-        worker process is drained and replaced, and the sessions are
-        restored into the fresh process — placement and session ids
-        unchanged, state bit-identical.  If the worker is already dead
-        (snapshots unreachable), the process is still replaced and the
-        unsaveable sessions' routes are dropped so their slots return
-        to the session budget — the ``lost`` count reports them.
+        Rebalancing/maintenance *and* recovery primitive, in three
+        flavors depending on configuration:
+
+        - **No WAL, or durability toggled off** (the original path):
+          every session hosted on shard ``index`` is snapshotted to the
+          supervisor, the worker is drained and replaced, and the
+          sessions are restored into the fresh process — placement and
+          session ids unchanged, state bit-identical.  If the worker is
+          already dead (snapshots unreachable) the unsaveable sessions'
+          routes are dropped so their slots return to the session
+          budget — ``lost`` reports them.
+        - **WAL-backed** (durability on): no snapshot round trips.  The
+          replacement worker replays its own checkpoint + log tail
+          during startup (under the *original* local session ids), the
+          supervisor re-syncs each route's step with a ``query``, and
+          the result reports those sessions as ``recovered``.  A ``kill
+          -9``'d worker loses nothing acknowledged — ``lost`` stays 0.
+        - **``graceful=True``** (rolling restart, needs >= 2 shards and
+          a live worker): resident sessions are first *migrated* to
+          other shards through the checkpoint-migration path, so they
+          keep serving while the process is swapped; sessions whose
+          migration fails fall back to the applicable path above.
         """
         if not 0 <= index < self.num_shards:
             raise ValueError(f"shard {index} out of range [0, {self.num_shards})")
         worker = self._workers[index]
+        # The WAL recovery path is only sound while appends are actually
+        # on: with durability toggled off the log stops at the toggle,
+        # so a healthy restart must fall back to the snapshot path (and
+        # wipe the stale log — the snapshots are the authority).
+        durable = self._wal_dir is not None and self.durability
         async with self._placement:
             # No placement can race us onto the dying worker: create,
             # restore and migrate all hold the same lock.
@@ -628,27 +692,43 @@ class ShardedMonitoringServer(MonitoringServer):
                 for _sid, route in resident:
                     await route.lock.acquire()
                     acquired.append(route)
+                live = [
+                    (sid, route)
+                    for sid, route in resident
+                    # finalized/closed while we awaited its lock
+                    if self._routes.get(sid) is route
+                ]
+                migrated = 0
+                if graceful and self.num_shards > 1:
+                    remaining = []
+                    for sid, route in live:
+                        try:
+                            await self._migrate_locked(sid, route, None)
+                        except (ShardError, ServiceError):
+                            remaining.append((sid, route))  # swap path below
+                        else:
+                            migrated += 1
+                    live = remaining
                 blobs = []
                 lost = []
                 worker_dead = False
-                for sid, route in resident:
-                    if self._routes.get(sid) is not route:
-                        continue  # finalized/closed while we awaited its lock
-                    if worker_dead:
-                        lost.append(sid)
-                        continue
-                    try:
-                        snap = await self._forward(
-                            index, "snapshot", session=route.local
-                        )
-                    except ShardError:
-                        worker_dead = True  # no point probing per session
-                        lost.append(sid)
-                        continue
-                    except ServiceError:
-                        lost.append(sid)  # gone on the worker: route is stale
-                        continue
-                    blobs.append((sid, route, snap["state"]))
+                if not durable:
+                    for sid, route in live:
+                        if worker_dead:
+                            lost.append(sid)
+                            continue
+                        try:
+                            snap = await self._forward(
+                                index, "snapshot", session=route.local
+                            )
+                        except ShardError:
+                            worker_dead = True  # no point probing per session
+                            lost.append(sid)
+                            continue
+                        except ServiceError:
+                            lost.append(sid)  # gone on the worker: route is stale
+                            continue
+                        blobs.append((sid, route, snap["state"]))
                 if not worker_dead:
                     # Harvest the dying registry under its current
                     # generation tag; the fresh process restarts from
@@ -662,25 +742,57 @@ class ShardedMonitoringServer(MonitoringServer):
                     except (ShardError, ServiceError):
                         pass  # the tail counts die with the worker
                 await self._stop_worker(worker)
+                if not durable and self._wal_dir is not None:
+                    # Superseded log: the fresh worker must not replay
+                    # state the snapshots above are about to overwrite.
+                    shutil.rmtree(
+                        self._wal_dir / f"shard-{index}", ignore_errors=True
+                    )
                 await self._spawn_worker(worker)
                 if not self.batching:  # fresh workers default to batching on
                     await self._forward(index, "batch", enabled=False)
                 if not self.metrics.enabled:  # ... and to metrics on
                     await self._forward(index, "metrics", enabled=False)
+                if self._wal_dir is not None and not self.durability:
+                    # ... and to appending on
+                    await self._forward(index, "durability", enabled=False)
                 self.metrics.counter("repro_shard_restarts_total", shard=index).inc()
-                for sid, route, state in blobs:
-                    restored = await self._forward(index, "restore", state=state)
-                    route.local = restored["session"]
-                    route.step = restored["step"]
+                recovered = 0
+                if durable:
+                    # The fresh worker already replayed its WAL; the
+                    # routes' local ids are unchanged by construction,
+                    # so a query both verifies the session and re-syncs
+                    # the supervisor's step echo.
+                    for sid, route in live:
+                        try:
+                            payload = await self._forward(
+                                index, "query", session=route.local
+                            )
+                        except (ShardError, ServiceError):
+                            lost.append(sid)
+                            continue
+                        route.step = payload["step"]
+                        recovered += 1
+                else:
+                    for sid, route, state in blobs:
+                        restored = await self._forward(index, "restore", state=state)
+                        route.local = restored["session"]
+                        route.step = restored["step"]
                 for sid in lost:
                     self._routes.pop(sid, None)
+                if recovered:
+                    self.metrics.counter(
+                        "repro_shard_recovered_sessions_total", shard=index
+                    ).inc(recovered)
             finally:
                 for route in acquired:
                     route.lock.release()
         return {
             "shard": index,
-            "sessions": len(blobs),
+            "sessions": recovered if durable else len(blobs),
             "lost": len(lost),
+            "recovered": recovered,
+            "migrated": migrated,
             "port": worker.port,
         }
 
@@ -738,6 +850,29 @@ class ShardedMonitoringServer(MonitoringServer):
                 await self._forward(worker.index, "metrics", enabled=enabled)
             self.metrics.enabled = enabled
         return {"enabled": self.metrics.enabled, "metrics": await self.metrics_fleet()}
+
+    async def _op_durability(self, message: dict[str, Any]) -> dict[str, Any]:
+        """Fan the durability toggle out to every worker.
+
+        WAL appends happen where the sessions live, so only the workers
+        carry a log; the supervisor keeps its own flag in sync so it can
+        re-apply the toggle to respawned processes (fresh WAL-backed
+        workers default to appending on).
+        """
+        enabled = message.get("enabled")
+        if enabled is not None and not isinstance(enabled, bool):
+            raise wire.WireError(f"durability enabled must be a bool, got {enabled!r}")
+        wal_backed = self._wal_dir is not None
+        if enabled is not None:
+            if enabled and not wal_backed:
+                raise RuntimeError(
+                    "durability needs a WAL directory (serve --wal-dir)"
+                )
+            if wal_backed:
+                for worker in self._workers:
+                    await self._forward(worker.index, "durability", enabled=enabled)
+                self.durability = enabled
+        return {"enabled": self.durability and wal_backed, "wal": wal_backed}
 
     async def metrics_fleet(self) -> dict[str, Any]:
         """Merge every worker registry into the fleet-wide view.

@@ -1,0 +1,416 @@
+"""Write-ahead durability for serving sessions: log, checkpoint, recover.
+
+The paper's monitoring protocols are long-lived by nature — ``F(t)`` is
+tracked over an unbounded stream — so the value of a serving process is
+exactly the continuity of its resident session state.  This module makes
+that state survive process death: every *acknowledged* state-changing op
+is appended to a per-server write-ahead log **before** its ack leaves
+the process, and periodic checkpoints bound replay time by snapshotting
+every session and truncating the log.
+
+**Record format.**  One WAL record is::
+
+    u32 crc32(body) | u32 len(body) | body
+
+(little-endian), where ``body`` is one v2 binary frame
+(:func:`repro.service.wire.encode_frame` of the replay message) — the
+wire codec already gives observation batches a raw float64 payload and
+checkpoints raw blob bytes, so the log reuses the exact framing the op
+arrived in.  Records live in append-only segment files
+``wal-<seq>.log``; a torn or corrupt record at the *tail* of the newest
+segment is discarded on recovery (only an op whose ack never left the
+process can live there), while corruption anywhere earlier is refused
+loudly as :class:`WalError` — an acked op might be under it.
+
+**Checkpoint-delta scheme.**  A checkpoint is a JSON ``manifest.json``
+(written atomically via ``os.replace``) naming, per session, its step
+and a blob file ``ckpt-<sid>-<step>.bin`` holding the session's
+canonical snapshot (:meth:`repro.service.session.Session.snapshot` —
+the blob is a pure function of state, the PR 3/6 determinism law).  The
+delta part: a session whose step is unchanged since the previous
+manifest keeps its existing blob file untouched — the caller passes
+``blob=None`` and only changed sessions are re-pickled and re-written.
+The cycle is crash-safe by ordering:
+
+1. :meth:`WriteAheadLog.begin_checkpoint` rotates to a fresh segment —
+   every record appended *during* the snapshot pass lands in a retained
+   segment;
+2. the owner snapshots each session under its slot lock;
+3. :meth:`WriteAheadLog.commit_checkpoint` writes new blobs, replaces
+   the manifest, and only then prunes segments older than the rotation
+   point and blob files the new manifest no longer references.
+
+A crash between any two steps leaves the *previous* manifest and every
+segment it needs on disk.
+
+**Recovery replay law.**  On startup :meth:`WriteAheadLog.recover`
+returns the manifest's blobs plus every decoded record from segments at
+or after the manifest's rotation point, in append order.  Replay is
+idempotent by construction: each feed/advance record carries the
+session's *post-op* step, so the owner skips records at or below the
+restored step (a record can legally predate its session's snapshot —
+see step 2 above), skips ``create``/``restore`` records whose sid is
+already live, and replays ``finalize``/``close`` as the no-ops they
+already are on a dead sid.  Replaying checkpoint+tail therefore
+reproduces, bit for bit, the state a never-crashed twin holds — which
+is what the chaos tests assert.
+
+``kill -9`` durability needs no fsync: the page cache belongs to the
+kernel, not the process.  The optional ``fsync`` mode (a latency
+histogram tracks its cost) extends the guarantee to machine crashes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import time
+import zlib
+from pathlib import Path
+from typing import Any, Iterator, NamedTuple
+
+from repro.service import wire
+
+__all__ = [
+    "DEFAULT_CHECKPOINT_BYTES",
+    "MANIFEST_FORMAT",
+    "RecoveredState",
+    "WalError",
+    "WriteAheadLog",
+    "decode_record_body",
+    "encode_record",
+]
+
+#: Rotate + checkpoint once this many bytes accumulate in the live
+#: segment.  Bounds both disk footprint and worst-case replay time.
+DEFAULT_CHECKPOINT_BYTES = 4 * 1024 * 1024
+
+#: Manifest schema version (bumped on incompatible layout change).
+MANIFEST_FORMAT = 1
+
+#: Length-prefix framing for one record: crc32(body), len(body).
+_RECORD_HEAD = struct.Struct("<II")
+
+#: Ceiling on one record body — a v2 frame can never legally exceed
+#: header + meta cap + payload cap, so a bigger length prefix is
+#: corruption, not a big record.
+_MAX_RECORD_BYTES = wire.HEADER_SIZE + wire.MAX_META_BYTES + wire.MAX_PAYLOAD_BYTES
+
+_MANIFEST = "manifest.json"
+_SEGMENT_PREFIX = "wal-"
+_SEGMENT_SUFFIX = ".log"
+_BLOB_PREFIX = "ckpt-"
+_BLOB_SUFFIX = ".bin"
+
+
+class WalError(RuntimeError):
+    """The write-ahead log is unusable (corrupt manifest or mid-log
+    corruption under records that may carry acknowledged ops)."""
+
+
+class RecoveredState(NamedTuple):
+    """Everything :meth:`WriteAheadLog.recover` hands back to the owner."""
+
+    #: sid -> checkpoint blob bytes (from the newest manifest).
+    sessions: dict[str, bytes]
+    #: sid -> step recorded at checkpoint time.
+    steps: dict[str, int]
+    #: The session-id counter recorded at checkpoint time (replayed
+    #: ``create``/``restore`` records bump it further via their sids).
+    next_id: int
+    #: Decoded replay messages, in append order.
+    records: list[dict[str, Any]]
+    #: Bytes discarded from a torn tail (0 on a clean shutdown).
+    dropped_bytes: int
+
+
+def encode_record(body: bytes) -> bytes:
+    """Frame one record body for the log."""
+    return _RECORD_HEAD.pack(zlib.crc32(body), len(body)) + body
+
+
+def decode_record_body(body: bytes) -> dict[str, Any]:
+    """One record body (a v2 frame) back into its replay message dict."""
+    header = wire.parse_header(body)
+    meta_end = wire.HEADER_SIZE + header.meta_len
+    if len(body) != meta_end + header.payload_len:
+        raise WalError(
+            f"record body holds {len(body)} bytes, its frame header "
+            f"declares {meta_end + header.payload_len}"
+        )
+    return wire.decode_frame(header, body[wire.HEADER_SIZE : meta_end], body[meta_end:])
+
+
+def _iter_records(data: bytes, *, allow_torn_tail: bool) -> Iterator[bytes]:
+    """Yield record bodies; stop at a torn tail or raise mid-log."""
+    offset = 0
+    total = len(data)
+    while offset < total:
+        remaining = total - offset
+        torn: str | None = None
+        if remaining < _RECORD_HEAD.size:
+            torn = f"{remaining}-byte trailing fragment"
+        else:
+            crc, length = _RECORD_HEAD.unpack_from(data, offset)
+            if length > _MAX_RECORD_BYTES:
+                torn = f"impossible record length {length}"
+            elif remaining < _RECORD_HEAD.size + length:
+                torn = (
+                    f"truncated record ({remaining - _RECORD_HEAD.size} of "
+                    f"{length} body bytes)"
+                )
+            else:
+                body = data[offset + _RECORD_HEAD.size : offset + _RECORD_HEAD.size + length]
+                if zlib.crc32(body) != crc:
+                    torn = "record checksum mismatch"
+        if torn is not None:
+            if allow_torn_tail:
+                return
+            raise WalError(f"corrupt WAL record mid-log at offset {offset}: {torn}")
+        yield body
+        offset += _RECORD_HEAD.size + length
+
+
+class WriteAheadLog:
+    """One server's durability state: segments, blobs, and the manifest.
+
+    All methods run on the owner's event-loop thread — appends happen
+    in op handlers after the state change succeeds and before the ack
+    is written, so the log needs no locking of its own.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        *,
+        fsync: bool = False,
+        checkpoint_bytes: int = DEFAULT_CHECKPOINT_BYTES,
+        metrics: Any = None,
+    ) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.fsync = bool(fsync)
+        self.checkpoint_bytes = int(checkpoint_bytes)
+        self._file = None
+        self._bytes_since_checkpoint = 0
+        self._manifest = self._read_manifest()
+        existing = self._segment_seqs()
+        base = self._manifest["segment"] if self._manifest else 0
+        #: Seq of the segment new appends go to — always strictly after
+        #: every segment already on disk, so replay order is total.
+        self._seq = max([base, *existing], default=0) + 1
+        if metrics is not None:
+            self._c_records = metrics.counter("repro_wal_records_total")
+            self._c_bytes = metrics.counter("repro_wal_bytes_total")
+            self._c_checkpoints = metrics.counter("repro_wal_checkpoints_total")
+            self._h_fsync = metrics.histogram("repro_wal_fsync_seconds")
+        else:
+            self._c_records = self._c_bytes = self._c_checkpoints = None
+            self._h_fsync = None
+
+    # ------------------------------------------------------------------ #
+    # Layout helpers
+    # ------------------------------------------------------------------ #
+    def _segment_path(self, seq: int) -> Path:
+        return self.directory / f"{_SEGMENT_PREFIX}{seq:08d}{_SEGMENT_SUFFIX}"
+
+    def _segment_seqs(self) -> list[int]:
+        seqs = []
+        for path in self.directory.glob(f"{_SEGMENT_PREFIX}*{_SEGMENT_SUFFIX}"):
+            stem = path.name[len(_SEGMENT_PREFIX) : -len(_SEGMENT_SUFFIX)]
+            if stem.isdigit():
+                seqs.append(int(stem))
+        return sorted(seqs)
+
+    @staticmethod
+    def _blob_name(sid: str, step: int) -> str:
+        return f"{_BLOB_PREFIX}{sid}-{step}{_BLOB_SUFFIX}"
+
+    def _read_manifest(self) -> dict[str, Any] | None:
+        path = self.directory / _MANIFEST
+        try:
+            raw = path.read_text()
+        except FileNotFoundError:
+            return None
+        except OSError as exc:
+            raise WalError(f"cannot read WAL manifest {path}: {exc}") from exc
+        try:
+            manifest = json.loads(raw)
+            if (
+                not isinstance(manifest, dict)
+                or manifest.get("format") != MANIFEST_FORMAT
+                or not isinstance(manifest.get("segment"), int)
+                or not isinstance(manifest.get("next_id"), int)
+                or not isinstance(manifest.get("sessions"), dict)
+            ):
+                raise ValueError(f"unrecognized manifest shape: {raw[:200]!r}")
+        except ValueError as exc:
+            raise WalError(f"corrupt WAL manifest {path}: {exc}") from None
+        return manifest
+
+    # ------------------------------------------------------------------ #
+    # Appending
+    # ------------------------------------------------------------------ #
+    @property
+    def bytes_since_checkpoint(self) -> int:
+        return self._bytes_since_checkpoint
+
+    def should_checkpoint(self) -> bool:
+        return self._bytes_since_checkpoint >= self.checkpoint_bytes
+
+    def append(self, message: dict[str, Any]) -> None:
+        """Durably record one acknowledged op (call *before* the ack).
+
+        ``message`` is the replay form: ``op``, ``session``, the op's
+        operands, and — for feed/advance — the session's post-op
+        ``step`` (the idempotence key for replay).
+        """
+        record = encode_record(wire.encode_frame(message))
+        if self._file is None:
+            self._file = open(self._segment_path(self._seq), "ab")
+        self._file.write(record)
+        # Every append reaches the page cache before the ack: a record
+        # stuck in this process's userspace buffer would NOT survive
+        # kill -9, which is the exact failure durability must cover.
+        self._file.flush()
+        if self.fsync:
+            start = time.perf_counter()
+            os.fsync(self._file.fileno())
+            if self._h_fsync is not None:
+                self._h_fsync.observe(time.perf_counter() - start)
+        self._bytes_since_checkpoint += len(record)
+        if self._c_records is not None:
+            self._c_records.inc()
+            self._c_bytes.inc(len(record))
+
+    # ------------------------------------------------------------------ #
+    # Checkpointing
+    # ------------------------------------------------------------------ #
+    def manifest_steps(self) -> dict[str, int]:
+        """sid -> step of the previous checkpoint (for delta reuse)."""
+        if not self._manifest:
+            return {}
+        return {
+            sid: entry["step"] for sid, entry in self._manifest["sessions"].items()
+        }
+
+    def begin_checkpoint(self) -> int:
+        """Rotate to a fresh segment; returns the manifest's replay-start
+        seq.  Records appended between begin and commit land in the new
+        (retained) segment, so snapshotting may interleave with serving.
+        """
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+            self._seq += 1
+        self._bytes_since_checkpoint = 0
+        return self._seq
+
+    def commit_checkpoint(
+        self,
+        segment: int,
+        entries: dict[str, tuple[int, bytes | None]],
+        next_id: int,
+    ) -> None:
+        """Publish a checkpoint: ``entries`` maps sid -> (step, blob),
+        with ``blob=None`` reusing the previous manifest's file for a
+        session unchanged since then (the delta scheme).  Pruning of
+        superseded segments and blobs happens only after the manifest
+        replace succeeds.
+        """
+        previous = self._manifest["sessions"] if self._manifest else {}
+        sessions: dict[str, dict[str, Any]] = {}
+        for sid, (step, blob) in entries.items():
+            if blob is None:
+                entry = previous.get(sid)
+                if entry is None or entry["step"] != step:
+                    raise WalError(
+                        f"cannot reuse checkpoint blob for {sid}@{step}: the "
+                        f"previous manifest records {entry!r}"
+                    )
+                sessions[sid] = dict(entry)
+                continue
+            name = self._blob_name(sid, step)
+            path = self.directory / name
+            tmp = path.with_suffix(".tmp")
+            tmp.write_bytes(blob)
+            if self.fsync:
+                with open(tmp, "rb") as handle:
+                    os.fsync(handle.fileno())
+            os.replace(tmp, path)
+            sessions[sid] = {"step": step, "blob": name}
+        manifest = {
+            "format": MANIFEST_FORMAT,
+            "segment": segment,
+            "next_id": next_id,
+            "sessions": sessions,
+        }
+        path = self.directory / _MANIFEST
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(manifest, separators=(",", ":"), sort_keys=True))
+        if self.fsync:
+            with open(tmp, "rb") as handle:
+                os.fsync(handle.fileno())
+        os.replace(tmp, path)
+        self._manifest = manifest
+        if self._c_checkpoints is not None:
+            self._c_checkpoints.inc()
+        self._prune(segment, {entry["blob"] for entry in sessions.values()})
+
+    def _prune(self, keep_from_segment: int, keep_blobs: set[str]) -> None:
+        for seq in self._segment_seqs():
+            if seq < keep_from_segment:
+                self._segment_path(seq).unlink(missing_ok=True)
+        for path in self.directory.glob(f"{_BLOB_PREFIX}*{_BLOB_SUFFIX}"):
+            if path.name not in keep_blobs:
+                path.unlink(missing_ok=True)
+
+    # ------------------------------------------------------------------ #
+    # Recovery
+    # ------------------------------------------------------------------ #
+    def recover(self) -> RecoveredState:
+        """Read checkpoint + replay tail (call before serving traffic)."""
+        sessions: dict[str, bytes] = {}
+        steps: dict[str, int] = {}
+        next_id = 0
+        start_seq = 1
+        if self._manifest is not None:
+            next_id = self._manifest["next_id"]
+            start_seq = self._manifest["segment"]
+            for sid, entry in self._manifest["sessions"].items():
+                blob_path = self.directory / entry["blob"]
+                try:
+                    sessions[sid] = blob_path.read_bytes()
+                except OSError as exc:
+                    raise WalError(
+                        f"WAL manifest references missing checkpoint blob "
+                        f"{entry['blob']}: {exc}"
+                    ) from exc
+                steps[sid] = entry["step"]
+        records: list[dict[str, Any]] = []
+        dropped = 0
+        replay_seqs = [seq for seq in self._segment_seqs() if seq >= start_seq]
+        for position, seq in enumerate(replay_seqs):
+            data = self._segment_path(seq).read_bytes()
+            last = position == len(replay_seqs) - 1
+            consumed = 0
+            for body in _iter_records(data, allow_torn_tail=last):
+                records.append(decode_record_body(body))
+                consumed += _RECORD_HEAD.size + len(body)
+            dropped += len(data) - consumed
+        return RecoveredState(sessions, steps, next_id, records, dropped)
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()

@@ -155,6 +155,51 @@ class TestMetricsOverheadGate:
         assert self.run(tmp_path, base, {"x": {"steps_per_s": 100}}) == 0
 
 
+class TestDurabilityOverheadGate:
+    """The absolute ceiling on durability_overhead.overhead_x."""
+
+    BASE = {"x": {"steps_per_s": 100}, "durability_overhead": {"overhead_x": 1.1}}
+
+    def run(self, tmp_path, baseline, fresh, *extra):
+        return TestMain.run(self, tmp_path, baseline, fresh, *extra)
+
+    def test_under_the_ceiling_passes(self, tmp_path, capsys):
+        fresh = {"x": {"steps_per_s": 100}, "durability_overhead": {"overhead_x": 1.2}}
+        assert self.run(tmp_path, self.BASE, fresh) == 0
+        assert "durability_overhead.overhead_x" in capsys.readouterr().out
+
+    def test_over_the_ceiling_fails(self, tmp_path, capsys):
+        fresh = {"x": {"steps_per_s": 100}, "durability_overhead": {"overhead_x": 1.4}}
+        assert self.run(tmp_path, self.BASE, fresh) == 1
+        assert "exceeds" in capsys.readouterr().err
+
+    def test_ceiling_is_configurable(self, tmp_path):
+        fresh = {"x": {"steps_per_s": 100}, "durability_overhead": {"overhead_x": 1.4}}
+        code = self.run(
+            tmp_path, self.BASE, fresh, "--max-durability-overhead", "1.5"
+        )
+        assert code == 0
+
+    def test_fresh_report_may_not_drop_a_pinned_cell(self, tmp_path, capsys):
+        assert self.run(tmp_path, self.BASE, {"x": {"steps_per_s": 100}}) == 1
+        assert "silently drop" in capsys.readouterr().err
+
+    def test_both_gates_report_together(self, tmp_path, capsys):
+        base = dict(self.BASE, metrics_overhead={"overhead_x": 1.0})
+        fresh = {
+            "x": {"steps_per_s": 100},
+            "metrics_overhead": {"overhead_x": 1.5},
+            "durability_overhead": {"overhead_x": 1.5},
+        }
+        assert self.run(tmp_path, base, fresh) == 1
+        err = capsys.readouterr().err
+        assert "telemetry" in err and "durability" in err
+
+    def test_pre_durability_baselines_skip_the_gate(self, tmp_path):
+        base = {"x": {"steps_per_s": 100}}
+        assert self.run(tmp_path, base, {"x": {"steps_per_s": 100}}) == 0
+
+
 @pytest.mark.parametrize("key", sorted(check_regression.THROUGHPUT_KEYS))
 def test_throughput_keys_appear_in_committed_baselines(key):
     """Every gated key exists somewhere in a committed baseline, so the

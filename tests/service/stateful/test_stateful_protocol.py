@@ -208,6 +208,12 @@ class ProtocolMachine(RuleBasedStateMachine):
         # telemetry mid-sequence must move nothing observable either.
         self.harness.set_metrics(enabled)
 
+    @rule(enabled=st.booleans())
+    def toggle_durability(self, enabled):
+        # WAL appends are transparent too: logging + checkpointing
+        # (re-enable forces one) must move nothing observable.
+        self.harness.set_durability(enabled)
+
     @rule(session=sessions)
     def migrate(self, session):
         self.harness.migrate(session)
@@ -215,6 +221,13 @@ class ProtocolMachine(RuleBasedStateMachine):
     @rule(seed=st.integers(min_value=0, max_value=7))
     def restart_shard(self, seed):
         self.harness.restart_shard(seed)
+
+    @rule(seed=st.integers(min_value=0, max_value=7))
+    def crash_shard(self, seed):
+        # kill -9 a worker, recover from the WAL: nothing acknowledged
+        # may be lost, and the recovered state must keep matching the
+        # oracle bit for bit (the durability law).
+        self.harness.crash_shard(seed)
 
 
 TestProtocolMachine = ProtocolMachine.TestCase
@@ -308,6 +321,9 @@ if os.environ.get("REPRO_FUZZ_SELFTEST"):
             harness.restore(blob)
             harness.migrate(s)
             harness.restart_shard(1)
+            harness.crash_shard(0)
+            harness.set_durability(False)
+            harness.set_durability(True)
             harness.query(s)
             harness.finalize(s)
             harness.list_sessions()

@@ -8,6 +8,8 @@ land in one consumer without the others noticing.
 """
 
 import inspect
+import re
+from pathlib import Path
 
 import pytest
 
@@ -31,7 +33,7 @@ class TestRegistryShape:
             "ping": 1, "create": 2, "feed": 3, "advance": 4, "query": 5,
             "cost": 6, "snapshot": 7, "restore": 8, "finalize": 9,
             "close": 10, "list": 11, "shutdown": 12, "migrate": 13,
-            "hello": 14, "batch": 15, "metrics": 16,
+            "hello": 14, "batch": 15, "metrics": 16, "durability": 17,
         }
 
     def test_flag_consistency(self):
@@ -103,3 +105,40 @@ class TestClientSurface:
                 getattr(AsyncServiceClient, spec.client_method)
             ).parameters
             assert "session" in params, spec.name
+
+
+class TestWireDoc:
+    """docs/WIRE.md's hand-written op table must match the registry."""
+
+    DOC = Path(__file__).resolve().parents[2] / "docs" / "WIRE.md"
+
+    def _doc_rows(self) -> dict[int, dict]:
+        rows = {}
+        for line in self.DOC.read_text().splitlines():
+            # | code | `op` | `client method` | inline | passthrough | notes |
+            match = re.match(
+                r"\|\s*(\d+)\s*\|\s*`([a-z_]+)`\s*\|\s*(`([a-z_]+)`|—)\s*"
+                r"\|\s*(yes)?\s*\|\s*(yes)?\s*\|",
+                line,
+            )
+            if match is None:
+                continue
+            rows[int(match.group(1))] = {
+                "name": match.group(2),
+                "client_method": match.group(4),
+                "inline": match.group(5) == "yes",
+                "passthrough": match.group(6) == "yes",
+            }
+        return rows
+
+    def test_table_matches_registry(self):
+        rows = self._doc_rows()
+        assert sorted(rows) == sorted(spec.code for spec in ops.OPS), (
+            "docs/WIRE.md op table is missing codes (or invents them)"
+        )
+        for spec in ops.OPS:
+            row = rows[spec.code]
+            assert row["name"] == spec.name, spec.code
+            assert row["client_method"] == spec.client_method, spec.name
+            assert row["inline"] == spec.inline, spec.name
+            assert row["passthrough"] == spec.passthrough, spec.name

@@ -247,7 +247,7 @@ class TestSmallOpFastPath:
                 try:
                     covered = {
                         "ping", "hello", "query", "cost", "list", "close",
-                        "batch", "metrics",
+                        "batch", "metrics", "durability",
                     }
                     # shutdown is inline too but would stop the server;
                     # everything else in the contract set must be hit
@@ -260,6 +260,7 @@ class TestSmallOpFastPath:
                     await client.list_sessions()
                     await client.set_batching(True)
                     await client.metrics()
+                    await client.durability()
                     await client.close_session(sid)
                     assert calls == []  # every cheap op stayed on the loop
                     sid2 = await client.create_session(**spec())

@@ -1,0 +1,279 @@
+"""The write-ahead log: record framing, checkpoint delta, recovery law.
+
+Unit tests drive :mod:`repro.service.wal` directly on a temp directory;
+the server-level tests rebuild a :class:`MonitoringServer` on the same
+WAL directory — *without* a clean shutdown, simulating process death —
+and assert the recovered sessions are bit-identical to a never-crashed
+in-process twin.  The cross-process (kill -9) flavor lives in
+test_durability.py.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.service import wal as wallib
+from repro.service import wire
+from repro.service.client import AsyncServiceClient, ServiceError
+from repro.service.server import MonitoringServer
+from repro.service.session import session_from_wire
+from repro.streams import registry
+
+N, K, EPS = 8, 2, 0.2
+BLOCK = 16
+
+
+def spec(seed: int = 1) -> dict:
+    return dict(algorithm="approx-monitor", n=N, k=K, eps=EPS, seed=seed)
+
+
+def blocks(seed: int = 1, steps: int = 96):
+    source = registry.stream("zipf", steps, N, block_size=BLOCK, rng=40 + seed)
+    return list(source.iter_blocks())
+
+
+def feed_record(sid: str, step: int) -> dict:
+    values = np.full((2, N), float(step), dtype=np.float64)
+    return {"op": "feed", "session": sid, "values": values, "step": step}
+
+
+class TestRecordFraming:
+    def test_round_trip(self):
+        message = feed_record("s7", 4)
+        record = wallib.encode_record(wire.encode_frame(message))
+        decoded = wallib.decode_record_body(record[8:])
+        assert decoded["op"] == "feed"
+        assert decoded["session"] == "s7"
+        assert decoded["step"] == 4
+        np.testing.assert_array_equal(
+            wire.decode_values(decoded["values"]), message["values"]
+        )
+
+    def test_crc_catches_corruption(self):
+        record = bytearray(wallib.encode_record(wire.encode_frame(feed_record("s1", 1))))
+        record[-1] ^= 0xFF
+        with pytest.raises(wallib.WalError):
+            list(wallib._iter_records(bytes(record), allow_torn_tail=False))
+        assert list(wallib._iter_records(bytes(record), allow_torn_tail=True)) == []
+
+
+class TestWriteAheadLog:
+    def _fill(self, wal, sid="s1", count=3):
+        for step in range(1, count + 1):
+            wal.append(feed_record(sid, step))
+
+    def test_append_recover_round_trip(self, tmp_path):
+        with wallib.WriteAheadLog(tmp_path) as wal:
+            self._fill(wal)
+        state = wallib.WriteAheadLog(tmp_path).recover()
+        assert state.sessions == {} and state.next_id == 0
+        assert [record["step"] for record in state.records] == [1, 2, 3]
+        assert state.dropped_bytes == 0
+
+    def test_torn_tail_is_discarded_silently(self, tmp_path):
+        with wallib.WriteAheadLog(tmp_path) as wal:
+            self._fill(wal)
+            segment = wal._segment_path(wal._seq)
+        data = segment.read_bytes()
+        segment.write_bytes(data[:-5])  # a record whose ack never left
+        state = wallib.WriteAheadLog(tmp_path).recover()
+        assert [record["step"] for record in state.records] == [1, 2]
+        assert state.dropped_bytes > 0
+
+    def test_mid_log_corruption_is_refused(self, tmp_path):
+        # only the NEWEST segment may have a torn tail; corruption in an
+        # older segment sits under acked ops and must refuse loudly
+        with wallib.WriteAheadLog(tmp_path) as wal:
+            self._fill(wal)
+            old = wal._segment_path(wal._seq)
+            wal.begin_checkpoint()  # rotate (no commit: no manifest)
+            wal.append(feed_record("s1", 4))
+        data = bytearray(old.read_bytes())
+        data[10] ^= 0xFF
+        old.write_bytes(bytes(data))
+        with pytest.raises(wallib.WalError, match="corrupt"):
+            wallib.WriteAheadLog(tmp_path).recover()
+
+    def test_checkpoint_truncates_and_deltas(self, tmp_path):
+        session = session_from_wire(spec())
+        for block in blocks()[:2]:
+            session.feed(block)
+        blob = session.snapshot()
+        with wallib.WriteAheadLog(tmp_path) as wal:
+            self._fill(wal, count=4)
+            segment = wal.begin_checkpoint()
+            wal.commit_checkpoint(segment, {"s1": (session.step, blob)}, next_id=1)
+            assert wal.bytes_since_checkpoint == 0
+            # records after the checkpoint land in the retained segment
+            wal.append(feed_record("s1", session.step + 2))
+
+            # delta: an unchanged session re-checkpoints without a blob
+            segment = wal.begin_checkpoint()
+            wal.commit_checkpoint(segment, {"s1": (session.step, None)}, next_id=1)
+            # ... but lying about the step is refused
+            with pytest.raises(wallib.WalError, match="reuse"):
+                wal.commit_checkpoint(
+                    wal.begin_checkpoint(), {"s1": (session.step + 9, None)}, next_id=1
+                )
+        state = wallib.WriteAheadLog(tmp_path).recover()
+        assert state.sessions == {"s1": blob}
+        assert state.steps == {"s1": session.step}
+        assert state.next_id == 1
+        # both checkpoints truncated: pre-checkpoint records are gone
+        assert [record["step"] for record in state.records] == []
+        # only segments >= the newest manifest rotation survive pruning
+        names = sorted(p.name for p in tmp_path.glob("wal-*.log"))
+        assert len(names) <= 2
+
+    def test_should_checkpoint_threshold(self, tmp_path):
+        with wallib.WriteAheadLog(tmp_path, checkpoint_bytes=1) as wal:
+            assert not wal.should_checkpoint()
+            wal.append(feed_record("s1", 1))
+            assert wal.should_checkpoint()
+
+
+async def _drive(server, *, upto=6):
+    """Create two sessions on a started server, feed their block prefix."""
+    host, port = await server.start()
+    client = await AsyncServiceClient.connect(host, port)
+    try:
+        sids = [await client.create_session(**spec(i)) for i in range(2)]
+        for i, sid in enumerate(sids):
+            for block in blocks(i)[:upto]:
+                await client.feed(sid, block)
+        return sids
+    finally:
+        await client.aclose()
+
+
+def _strip(response):
+    return {k: v for k, v in response.items() if k not in ("id", "ok")}
+
+
+async def _observe(server, sid):
+    """(query, cost, snapshot bytes) minus the connection envelope."""
+    client = await AsyncServiceClient.connect(server.host, server.port)
+    try:
+        return (
+            _strip(await client.query(sid)),
+            _strip(await client.cost(sid)),
+            await client.snapshot(sid),
+        )
+    finally:
+        await client.aclose()
+
+
+class TestServerRecovery:
+    def test_rebuild_without_shutdown_is_bit_identical(self, tmp_path):
+        """Tear the server down with *no* aclose (simulated death) and
+        rebuild on the WAL directory: step, cost and checkpoint bytes
+        all match a twin that never died.  A tiny checkpoint threshold
+        forces the full cycle (rotate, snapshot, truncate) to run
+        mid-stream, so recovery replays checkpoint + tail, not a flat
+        log."""
+
+        async def scenario():
+            crashed = MonitoringServer(
+                wal_dir=tmp_path, wal_checkpoint_bytes=4096
+            )
+            sids = await _drive(crashed)
+            assert (tmp_path / "manifest.json").exists()
+            # reap the in-flight checkpoint so its prune can't race the
+            # rebuild below, then abandon the sockets without aclose:
+            # the process "died" — the WAL was never closed cleanly
+            if crashed._checkpoint_task is not None:
+                await crashed._checkpoint_task
+            crashed._server.close()
+
+            recovered = MonitoringServer(wal_dir=tmp_path)
+            assert sorted(recovered._slots) == sorted(sids)
+            await recovered.start()
+            for i, sid in enumerate(sids):
+                twin = session_from_wire(spec(i))
+                for block in blocks(i)[:6]:
+                    twin.feed(block)
+                query, cost, blob = await _observe(recovered, sid)
+                assert query["step"] == twin.step
+                assert query["messages"] == twin.messages
+                assert cost["messages"] == twin.cost().messages
+                assert blob == twin.snapshot()  # bit-identical checkpoint
+            # recovered sessions keep serving and ids keep minting fresh
+            client = await AsyncServiceClient.connect(
+                recovered.host, recovered.port
+            )
+            try:
+                fresh = await client.create_session(**spec(7))
+                assert fresh not in sids
+            finally:
+                await client.aclose()
+            await recovered.aclose()
+
+        asyncio.run(scenario())
+
+    def test_durability_toggle(self, tmp_path):
+        async def scenario():
+            server = MonitoringServer(wal_dir=tmp_path)
+            await server.start()
+            client = await AsyncServiceClient.connect(server.host, server.port)
+            try:
+                status = await client.durability()
+                assert status["enabled"] is True and status["wal"] is True
+
+                sid = await client.create_session(**spec())
+                off = await client.durability(False)
+                assert off["enabled"] is False
+                logged = server._wal.bytes_since_checkpoint
+                await client.feed(sid, blocks()[0])  # not appended
+                assert server._wal.bytes_since_checkpoint == logged
+
+                on = await client.durability(True)  # forces a checkpoint
+                assert on["enabled"] is True
+                assert (tmp_path / "manifest.json").exists()
+                # the checkpoint caught the unlogged feed: a rebuild now
+                # still reproduces the full state
+                state = wallib.WriteAheadLog(tmp_path).recover()
+                assert state.steps[sid] == BLOCK
+            finally:
+                await client.aclose()
+                await server.aclose()
+
+        asyncio.run(scenario())
+
+    def test_enable_without_wal_dir_is_refused(self):
+        async def scenario():
+            server = MonitoringServer()
+            await server.start()
+            client = await AsyncServiceClient.connect(server.host, server.port)
+            try:
+                status = await client.durability()
+                assert status == {
+                    "id": status["id"], "ok": True, "enabled": False, "wal": False,
+                }
+                with pytest.raises(ServiceError, match="WAL directory"):
+                    await client.durability(True)
+                off = await client.durability(False)  # harmless no-op
+                assert off["enabled"] is False
+            finally:
+                await client.aclose()
+                await server.aclose()
+
+        asyncio.run(scenario())
+
+    def test_wal_metrics_families(self, tmp_path):
+        async def scenario():
+            server = MonitoringServer(wal_dir=tmp_path)
+            await _drive(server)
+            dump = server.metrics_dump()
+            assert dump["counters"]["repro_wal_records_total"] > 0
+            assert dump["counters"]["repro_wal_bytes_total"] > 0
+            assert dump["gauges"]["repro_wal_segment_bytes"] > 0
+            await server.aclose()
+
+            recovered = MonitoringServer(wal_dir=tmp_path)
+            dump = recovered.metrics_dump()
+            assert dump["counters"]["repro_wal_recovered_sessions_total"] == 2
+            assert dump["counters"]["repro_wal_replayed_records_total"] > 0
+            await recovered.aclose()
+
+        asyncio.run(scenario())
